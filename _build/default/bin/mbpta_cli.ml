@@ -1,0 +1,261 @@
+(* mbpta_cli: command-line front end to the whole reproduction.
+
+   Subcommands:
+     analyze      full campaign (DET + RAND, i.i.d., pWCET, comparison)
+     iid          i.i.d. verification only
+     convergence  pWCET-estimate convergence study
+     paths        per-path analysis (groups runs by execution path)
+     qualify      PRNG qualification battery
+     plot         Figure 2 exceedance plot only
+
+   Examples:
+     dune exec bin/mbpta_cli.exe -- analyze --runs 3000
+     dune exec bin/mbpta_cli.exe -- iid --runs 1000 --seed 7
+     dune exec bin/mbpta_cli.exe -- qualify --algorithm lfsr64 *)
+
+module P = Repro_platform
+module T = Repro_tvca
+module M = Repro_mbpta
+module E = Repro_evt
+module Prng = Repro_rng.Prng
+module Quality = Repro_rng.Quality
+open Cmdliner
+
+(* --------------------------- common options --------------------------- *)
+
+let runs_arg =
+  let doc = "Number of measurement runs per platform configuration." in
+  Arg.(value & opt int 3000 & info [ "r"; "runs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Base seed of the campaign (all randomness derives from it)." in
+  Arg.(value & opt int64 2017L & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let frames_arg =
+  let doc = "Frames (task activations) per measured run." in
+  Arg.(value & opt int T.Mission.default_frames & info [ "frames" ] ~docv:"K" ~doc)
+
+let tail_arg =
+  let tails =
+    [
+      ("gumbel", M.Protocol.Gumbel);
+      ("gev", M.Protocol.Gev);
+      ("pot", M.Protocol.Pot);
+      ("exp", M.Protocol.Exponential_pot);
+    ]
+  in
+  let doc = "Tail model: gumbel (default), gev, pot or exp." in
+  Arg.(value & opt (enum tails) M.Protocol.Gumbel & info [ "tail" ] ~docv:"MODEL" ~doc)
+
+let no_gates_arg =
+  let doc = "Report the i.i.d./convergence verdicts but do not fail on them." in
+  Arg.(value & flag & info [ "no-gates" ] ~doc)
+
+let experiment ~config ~seed ~frames =
+  T.Experiment.create ~frames ~config ~base_seed:seed ()
+
+let options_of ~tail ~no_gates =
+  {
+    M.Protocol.default_options with
+    M.Protocol.tail;
+    M.Protocol.gate_on_iid = not no_gates;
+    M.Protocol.check_convergence = not no_gates;
+  }
+
+(* ------------------------------ analyze ------------------------------ *)
+
+let analyze runs seed frames tail no_gates factor csv_dir =
+  let det = experiment ~config:P.Config.deterministic ~seed ~frames in
+  let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
+  let input =
+    {
+      M.Campaign.runs;
+      measure_det = (fun i -> T.Experiment.measure det ~run_index:i);
+      measure_rand = (fun i -> T.Experiment.measure rand ~run_index:i);
+      options = options_of ~tail ~no_gates;
+      engineering_factor = factor;
+    }
+  in
+  let campaign = M.Campaign.run input in
+  print_endline (M.Campaign.render campaign);
+  (match csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let write name contents = M.Export.to_file ~path:(Filename.concat dir name) contents in
+      write "det_samples.csv" (M.Export.samples_csv ~label:"DET" campaign.M.Campaign.det_sample);
+      write "rand_samples.csv"
+        (M.Export.samples_csv ~label:"RAND" campaign.M.Campaign.rand_sample);
+      write "rand_ecdf.csv" (M.Export.ecdf_csv campaign.M.Campaign.rand_sample);
+      (match campaign.M.Campaign.analysis with
+      | Ok a -> write "pwcet_curve.csv" (M.Export.curve_csv a.M.Protocol.curve)
+      | Error _ -> ());
+      (match campaign.M.Campaign.comparison with
+      | Some c -> write "comparison.csv" (M.Export.comparison_csv c)
+      | None -> ());
+      Format.printf "CSV data written to %s/@." dir);
+  0
+
+let analyze_cmd =
+  let factor =
+    let doc = "Engineering factor of the industrial MBTA baseline." in
+    Arg.(value & opt float 1.5 & info [ "engineering-factor" ] ~docv:"F" ~doc)
+  in
+  let csv_dir =
+    let doc = "Also write samples/ECDF/curve/comparison CSV files to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+  in
+  let doc = "run the full measurement campaign and print the report" in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg $ factor
+      $ csv_dir)
+
+(* -------------------------------- iid -------------------------------- *)
+
+let iid runs seed frames =
+  let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
+  let xs = T.Experiment.collect rand ~runs in
+  Format.printf "%a@." M.Iid.pp (M.Iid.check xs);
+  0
+
+let iid_cmd =
+  let doc = "collect runs on the randomized platform and verify i.i.d." in
+  Cmd.v (Cmd.info "iid" ~doc) Term.(const iid $ runs_arg $ seed_arg $ frames_arg)
+
+(* ---------------------------- convergence ---------------------------- *)
+
+let convergence runs seed frames probability =
+  let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
+  let xs = T.Experiment.collect rand ~runs in
+  let c = E.Convergence.study ~probability xs in
+  Format.printf "%a@.@." E.Convergence.pp_result c;
+  print_string (M.Ascii_plot.convergence_plot c.E.Convergence.history);
+  0
+
+let convergence_cmd =
+  let probability =
+    let doc = "Reference exceedance probability of the tracked estimate." in
+    Arg.(value & opt float 1e-9 & info [ "probability" ] ~docv:"P" ~doc)
+  in
+  let doc = "study how the pWCET estimate stabilizes as runs accumulate" in
+  Cmd.v
+    (Cmd.info "convergence" ~doc)
+    Term.(const convergence $ runs_arg $ seed_arg $ frames_arg $ probability)
+
+(* ------------------------------- paths -------------------------------- *)
+
+let paths runs seed frames =
+  let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
+  let measurements = T.Experiment.collect rand ~runs in
+  let signatures = Array.init runs (fun i -> T.Experiment.path_signature rand ~run_index:i) in
+  let options =
+    { M.Protocol.default_options with M.Protocol.check_convergence = false }
+  in
+  let t = M.Path_analysis.analyze ~options ~measurements ~signatures () in
+  Format.printf "%a@." M.Path_analysis.pp t;
+  (match M.Path_analysis.pwcet_estimate t ~cutoff_probability:1e-12 with
+  | Some v -> Format.printf "max pWCET(1e-12) across analyzed paths: %.0f@." v
+  | None ->
+      Format.printf
+        "no path had enough runs for its own analysis; with continuous inputs@.";
+      Format.printf
+        "every run tends to follow its own path - analyze the pooled sample@.";
+      Format.printf "instead (mbpta_cli analyze), which is sound under randomization.@.");
+  0
+
+let paths_cmd =
+  let doc = "group runs by execution path and analyze each path separately" in
+  Cmd.v (Cmd.info "paths" ~doc) Term.(const paths $ runs_arg $ seed_arg $ frames_arg)
+
+(* ------------------------------ qualify ------------------------------ *)
+
+let qualify algorithm draws seed =
+  let algorithms =
+    match algorithm with
+    | Some a -> [ a ]
+    | None -> Prng.all_algorithms
+  in
+  List.iter
+    (fun algorithm ->
+      let prng = Prng.create ~algorithm seed in
+      let verdicts = Quality.qualify ~alpha:0.001 ~draws prng in
+      Format.printf "%-14s %s@." (Prng.algorithm_name algorithm)
+        (if Quality.all_passed verdicts then "QUALIFIED" else "REJECTED");
+      List.iter (fun (n, v) -> Format.printf "  %-24s %a@." n Quality.pp_verdict v) verdicts)
+    algorithms;
+  0
+
+let qualify_cmd =
+  let algorithm =
+    let algs =
+      [
+        ("xorshift128+", Prng.Xorshift128p);
+        ("pcg32", Prng.Pcg32);
+        ("lfsr64", Prng.Lfsr64);
+        ("mwc32", Prng.Mwc32);
+      ]
+    in
+    let doc = "Qualify only this generator (default: all)." in
+    Arg.(value & opt (some (enum algs)) None & info [ "algorithm" ] ~docv:"ALG" ~doc)
+  in
+  let draws =
+    let doc = "Draws per statistical test." in
+    Arg.(value & opt int 20_000 & info [ "draws" ] ~docv:"N" ~doc)
+  in
+  let doc = "run the statistical qualification battery on the PRNGs" in
+  Cmd.v (Cmd.info "qualify" ~doc) Term.(const qualify $ algorithm $ draws $ seed_arg)
+
+(* -------------------------------- plot -------------------------------- *)
+
+let plot runs seed frames tail qq =
+  let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
+  let xs = T.Experiment.collect rand ~runs in
+  let options = options_of ~tail ~no_gates:true in
+  (match M.Protocol.analyze ~options xs with
+  | Ok a ->
+      print_string (M.Ascii_plot.exceedance_plot a.M.Protocol.curve);
+      if qq then begin
+        let curve = a.M.Protocol.curve in
+        let quantile =
+          match Repro_evt.Pwcet.model curve with
+          | Repro_evt.Pwcet.Gumbel_tail g -> Some (Repro_stats.Distribution.Gumbel.quantile g)
+          | Repro_evt.Pwcet.Gev_tail g -> Some (Repro_stats.Distribution.Gev.quantile g)
+          | Repro_evt.Pwcet.Pot_tail _ -> None
+        in
+        match quantile with
+        | Some quantile ->
+            let maxima =
+              Repro_evt.Block_maxima.extract
+                ~block_size:(Repro_evt.Pwcet.block_size curve)
+                xs
+            in
+            print_newline ();
+            print_string (M.Ascii_plot.qq_plot ~data:maxima ~quantile ())
+        | None -> Format.printf "(QQ plot only available for block-maxima tails)@."
+      end
+  | Error f -> Format.printf "analysis failed: %a@." M.Protocol.pp_failure f);
+  0
+
+let plot_cmd =
+  let qq =
+    let doc = "Also print the quantile-quantile diagnostic of the tail fit." in
+    Arg.(value & flag & info [ "qq" ] ~doc)
+  in
+  let doc = "print the Figure 2 exceedance plot for a fresh measurement set" in
+  Cmd.v (Cmd.info "plot" ~doc)
+    Term.(const plot $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ qq)
+
+(* -------------------------------- main -------------------------------- *)
+
+let () =
+  let doc =
+    "measurement-based probabilistic timing analysis on a time-randomized platform"
+  in
+  let info = Cmd.info "mbpta_cli" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ analyze_cmd; iid_cmd; convergence_cmd; paths_cmd; qualify_cmd; plot_cmd ]
+  in
+  exit (Cmd.eval' group)

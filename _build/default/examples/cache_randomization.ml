@@ -1,0 +1,69 @@
+(* Why random placement matters: the memory-layout sensitivity experiment.
+
+   The paper's argument for random placement (Section II) is that the
+   memory layout of code/data decides which cache sets they occupy, with a
+   large impact on execution time — an impact the user of a deterministic
+   platform must somehow enumerate, and which random placement turns into a
+   per-run random variable that plain measurements cover.
+
+   This example re-links the same TVCA binary at 12 different layouts and
+   measures each on:
+   - the DET platform (modulo placement + LRU): timing shifts with layout;
+   - the RAND platform (random modulo + random replacement): the layout
+     effect disappears into the per-run randomization.
+
+   Run with:  dune exec examples/cache_randomization.exe *)
+
+module P = Repro_platform
+module T = Repro_tvca
+module Isa = Repro_isa
+module D = Repro_stats.Descriptive
+
+let layouts = 12
+let runs_per_layout = 120
+
+(* Between-layout spread of the per-layout mean, against the sampling noise
+   of that mean (within-layout std / sqrt n).  A spread well above the noise
+   means the platform timing genuinely depends on the link layout. *)
+let spread name config =
+  let e = T.Experiment.create ~config ~base_seed:7L () in
+  let program = T.Experiment.program e in
+  let means = Array.make layouts 0. in
+  let noise = Array.make layouts 0. in
+  for l = 0 to layouts - 1 do
+    let layout = Isa.Layout.scrambled ~seed:(Int64.of_int (1000 + l)) program in
+    let e' = T.Experiment.with_layout e layout in
+    let xs = Array.init runs_per_layout (fun i -> T.Experiment.measure e' ~run_index:i) in
+    means.(l) <- D.mean xs;
+    noise.(l) <- D.sample_std xs /. sqrt (float_of_int runs_per_layout)
+  done;
+  let lo = D.min means and hi = D.max means in
+  let spread = hi -. lo in
+  let typical_noise = D.mean noise in
+  Format.printf
+    "%-14s layout means %10.0f..%10.0f  spread %8.0f cycles (%4.1fx the sampling noise)@."
+    name lo hi spread
+    (spread /. typical_noise);
+  spread /. typical_noise
+
+let () =
+  Format.printf
+    "re-linking the same TVCA binary at %d layouts, %d runs each@.@." layouts
+    runs_per_layout;
+  let det = spread "DET" P.Config.deterministic in
+  let rand = spread "RAND" P.Config.mbpta_compliant in
+  Format.printf
+    "@.randomizing the caches cuts the layout effect by %.0fx (%.0fx -> %.0fx above@."
+    (det /. rand) det rand;
+  Format.printf
+    "noise).  The residual is the DRAM row-buffer and TLB page-spread component,@.";
+  Format.printf
+    "which the paper's platform leaves unrandomized too: random placement removes@.";
+  Format.printf "the dominant, cache-conflict part of the layout dependence.@.";
+  (* Placement-policy ablation: how much does each policy expose layout? *)
+  Format.printf "@.placement-policy ablation (LRU replacement, same protocol):@.";
+  List.iter
+    (fun placement ->
+      let config = P.Config.with_placement P.Config.deterministic placement in
+      ignore (spread (P.Config.placement_name placement) config))
+    [ P.Config.Modulo; P.Config.Random_modulo; P.Config.Hash_random ]

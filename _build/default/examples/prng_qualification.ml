@@ -1,0 +1,29 @@
+(* Qualifying the hardware randomization source.
+
+   The time-randomized platform's guarantees rest on its pseudo-random
+   number generator being statistically sound (the paper builds on an
+   IEC-61508 SIL3-qualified PRNG).  This example runs the qualification
+   battery over every generator in the library and prints the verdicts.
+
+   Run with:  dune exec examples/prng_qualification.exe *)
+
+module Prng = Repro_rng.Prng
+module Quality = Repro_rng.Quality
+
+let () =
+  (* Screening batteries run at a strict level (0.001): with 4 tests per
+     generator and 4 generators, a 1% level would false-alarm on a healthy
+     generator every few invocations. *)
+  Format.printf "qualification battery: 20000 draws per test, alpha = 0.001@.@.";
+  List.iter
+    (fun algorithm ->
+      let prng = Prng.create ~algorithm 20170327L in
+      let verdicts = Quality.qualify ~alpha:0.001 prng in
+      Format.printf "%-14s %s@." (Prng.algorithm_name algorithm)
+        (if Quality.all_passed verdicts then "QUALIFIED" else "REJECTED");
+      List.iter
+        (fun (name, v) ->
+          Format.printf "  %-24s %a@." name Quality.pp_verdict v)
+        verdicts;
+      Format.printf "@.")
+    Prng.all_algorithms

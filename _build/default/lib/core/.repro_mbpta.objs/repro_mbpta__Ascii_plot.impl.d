@@ -1,0 +1,1 @@
+lib/core/ascii_plot.ml: Array Buffer Bytes Float List Printf Repro_evt Repro_stats Stdlib String

@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Buffer List Mbta Printf Report Repro_evt Repro_stats

@@ -1,0 +1,1 @@
+lib/core/iid.ml: Format Repro_stats

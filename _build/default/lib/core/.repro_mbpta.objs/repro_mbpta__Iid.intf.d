@@ -1,0 +1,1 @@
+lib/core/iid.mli: Format Repro_stats

@@ -1,0 +1,1 @@
+lib/core/mbta.ml: Array Float Format List

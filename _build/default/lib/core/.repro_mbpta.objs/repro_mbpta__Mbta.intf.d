@@ -1,0 +1,1 @@
+lib/core/mbta.mli: Format

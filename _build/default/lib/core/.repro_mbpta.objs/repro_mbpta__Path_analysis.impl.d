@@ -1,0 +1,1 @@
+lib/core/path_analysis.ml: Array Float Format Hashtbl List Option Protocol Repro_evt Stdlib

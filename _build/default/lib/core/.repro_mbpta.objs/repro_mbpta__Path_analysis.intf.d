@@ -1,0 +1,1 @@
+lib/core/path_analysis.mli: Format Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Format Iid List Repro_evt Repro_stats

@@ -1,0 +1,1 @@
+lib/core/report.ml: Ascii_plot Format List Mbta Protocol Repro_evt Repro_stats

@@ -1,0 +1,1 @@
+lib/core/schedulability.ml: Float Format List Repro_evt

@@ -1,0 +1,1 @@
+lib/core/schedulability.mli: Format Repro_evt

@@ -1,0 +1,18 @@
+(** Text rendering of the paper's Figure 2: execution time on the X axis,
+    exceedance probability in log scale on the Y axis (one row per decade
+    down to 1e-15), with the observed empirical tail ('o') overlaid by the
+    EVT pWCET curve ('*'). *)
+
+(** [exceedance_plot ?width ?decades curve] — [width] columns for the plot
+    area (default 72), [decades] rows (default 15). *)
+val exceedance_plot : ?width:int -> ?decades:int -> Repro_evt.Pwcet.t -> string
+
+(** [convergence_plot history] — pWCET-estimate trajectory against run
+    count (the A3 ablation), rendered as rows of [runs estimate bar]. *)
+val convergence_plot : ?width:int -> Repro_evt.Convergence.point list -> string
+
+(** [qq_plot ~data ~quantile] — quantile-quantile diagnostic of a fitted
+    model: empirical quantiles of [data] (Y) against the model [quantile]
+    function evaluated at the plotting positions (X), with the identity
+    diagonal ('.') a good fit hugs.  '+' marks the data. *)
+val qq_plot : ?width:int -> ?height:int -> data:float array -> quantile:(float -> float) -> unit -> string

@@ -1,0 +1,46 @@
+type input = {
+  runs : int;
+  measure_det : int -> float;
+  measure_rand : int -> float;
+  options : Protocol.options;
+  engineering_factor : float;
+}
+
+let default_input ~measure_det ~measure_rand =
+  {
+    runs = 3000;
+    measure_det;
+    measure_rand;
+    options = Protocol.default_options;
+    engineering_factor = 1.5;
+  }
+
+type t = {
+  det_sample : float array;
+  rand_sample : float array;
+  analysis : (Protocol.analysis, Protocol.failure) Stdlib.result;
+  comparison : comparison option;
+}
+
+and comparison = Report.comparison
+
+let run input =
+  assert (input.runs >= 1);
+  let det_sample = Array.init input.runs input.measure_det in
+  let rand_sample = Array.init input.runs input.measure_rand in
+  let analysis = Protocol.analyze ~options:input.options rand_sample in
+  let comparison =
+    match analysis with
+    | Ok a ->
+        Some
+          (Report.compare ~engineering_factor:input.engineering_factor ~analysis:a
+             ~det_sample ())
+    | Error _ -> None
+  in
+  { det_sample; rand_sample; analysis; comparison }
+
+let render t =
+  match (t.analysis, t.comparison) with
+  | Ok analysis, Some comparison -> Report.render ~analysis ~comparison
+  | Ok analysis, None -> Format.asprintf "%a" Protocol.pp_analysis analysis
+  | Error f, _ -> Format.asprintf "campaign failed: %a" Protocol.pp_failure f

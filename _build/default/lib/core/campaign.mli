@@ -1,0 +1,32 @@
+(** A full measurement campaign: the four experiments of the paper's
+    evaluation (E1 i.i.d., E2 pWCET curve, E3 MBPTA-vs-DET comparison, E4
+    average performance) driven end-to-end from two measurement functions.
+
+    Workload-agnostic: the harness supplies [measure_det] and [measure_rand]
+    (run index to cycles; the harness owns reseeding/flushing), keeping this
+    library independent of any particular platform or application — like a
+    timing-analysis tool attached to a target. *)
+
+type input = {
+  runs : int;  (** the paper uses 3,000 *)
+  measure_det : int -> float;
+  measure_rand : int -> float;
+  options : Protocol.options;
+  engineering_factor : float;  (** MBTA margin, 1.5 in the paper *)
+}
+
+val default_input : measure_det:(int -> float) -> measure_rand:(int -> float) -> input
+
+type t = {
+  det_sample : float array;
+  rand_sample : float array;
+  analysis : (Protocol.analysis, Protocol.failure) Stdlib.result;
+  comparison : comparison option;
+}
+
+and comparison = Report.comparison
+
+val run : input -> t
+
+(** Render the whole campaign as a text report (all four experiments). *)
+val render : t -> string

@@ -1,0 +1,54 @@
+module Stats = Repro_stats
+module Evt = Repro_evt
+
+let samples_csv ?label xs =
+  let buffer = Buffer.create (Array.length xs * 16) in
+  (match label with
+  | None -> Buffer.add_string buffer "index,cycles\n"
+  | Some _ -> Buffer.add_string buffer "index,cycles,label\n");
+  Array.iteri
+    (fun i x ->
+      match label with
+      | None -> Buffer.add_string buffer (Printf.sprintf "%d,%.0f\n" i x)
+      | Some l -> Buffer.add_string buffer (Printf.sprintf "%d,%.0f,%s\n" i x l))
+    xs;
+  Buffer.contents buffer
+
+let ecdf_csv xs =
+  let ecdf = Stats.Ecdf.of_sample xs in
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "cycles,exceedance_probability\n";
+  List.iter
+    (fun (x, p) -> Buffer.add_string buffer (Printf.sprintf "%.0f,%.10g\n" x p))
+    (Stats.Ecdf.ccdf_points ecdf);
+  Buffer.contents buffer
+
+let curve_csv ?(decades = 15) curve =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "exceedance_probability,cycles\n";
+  List.iter
+    (fun (v, p) -> Buffer.add_string buffer (Printf.sprintf "%.3e,%.1f\n" p v))
+    (Evt.Pwcet.ccdf_series curve ~decades_below:decades);
+  Buffer.contents buffer
+
+let comparison_csv (c : Report.comparison) =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "quantity,cycles\n";
+  let row name v = Buffer.add_string buffer (Printf.sprintf "%s,%.1f\n" name v) in
+  row "det_mean" c.Report.det_summary.Stats.Descriptive.mean;
+  row "rand_mean" c.Report.rand_summary.Stats.Descriptive.mean;
+  row "det_max" c.Report.det_summary.Stats.Descriptive.maximum;
+  row "rand_max" c.Report.rand_summary.Stats.Descriptive.maximum;
+  row "mbta_bound" c.Report.mbta.Mbta.bound;
+  List.iter
+    (fun (p, v) -> row (Printf.sprintf "pwcet_%.0e" p) v)
+    c.Report.pwcet_at;
+  Buffer.contents buffer
+
+let to_file ~path contents =
+  let oc = open_out path in
+  (try output_string oc contents
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,26 @@
+(** Data export: CSV renderings of samples, empirical tails and pWCET
+    curves, for plotting or archiving outside this tool (the numbers behind
+    Figures 2 and 3).
+
+    Functions produce strings; [to_file] writes one atomically enough for
+    tooling purposes (write then rename is overkill here; a plain write is
+    used). *)
+
+(** [samples_csv ?label xs] — ["index,cycles"] rows (label becomes a third
+    column when given, for stacking DET/RAND in one file). *)
+val samples_csv : ?label:string -> float array -> string
+
+(** [ecdf_csv xs] — ["cycles,exceedance_probability"] rows of the empirical
+    tail. *)
+val ecdf_csv : float array -> string
+
+(** [curve_csv ?decades curve] — ["exceedance_probability,cycles"] rows of
+    the analytical pWCET projection (default 15 decades). *)
+val curve_csv : ?decades:int -> Repro_evt.Pwcet.t -> string
+
+(** [comparison_csv c] — one row per Figure 3 quantity:
+    ["quantity,cycles"]. *)
+val comparison_csv : Report.comparison -> string
+
+(** [to_file ~path contents] — writes, creating/truncating [path]. *)
+val to_file : path:string -> string -> unit

@@ -1,0 +1,35 @@
+module Stats = Repro_stats
+
+type result = {
+  ljung_box : Stats.Ljung_box.result;
+  kolmogorov_smirnov : Stats.Ks.result;
+  runs_diagnostic : Stats.Runs_test.result;
+  alpha : float;
+  accepted : bool;
+}
+
+let check ?(alpha = 0.05) xs =
+  let ljung_box = Stats.Ljung_box.test ~alpha xs in
+  let first, second = Stats.Ks.split_halves xs in
+  let kolmogorov_smirnov = Stats.Ks.two_sample ~alpha first second in
+  let runs_diagnostic = Stats.Runs_test.test ~alpha xs in
+  {
+    ljung_box;
+    kolmogorov_smirnov;
+    runs_diagnostic;
+    alpha;
+    accepted =
+      ljung_box.Stats.Ljung_box.independent
+      && kolmogorov_smirnov.Stats.Ks.same_distribution;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>i.i.d. check (alpha=%.2f):@,\
+    \  independence (Ljung-Box):     %a@,\
+    \  identical distribution (KS):  %a@,\
+    \  runs diagnostic:              %a@,\
+    \  verdict: %s@]"
+    r.alpha Stats.Ljung_box.pp_result r.ljung_box Stats.Ks.pp_result r.kolmogorov_smirnov
+    Stats.Runs_test.pp_result r.runs_diagnostic
+    (if r.accepted then "i.i.d. ACCEPTED - MBPTA enabled" else "i.i.d. REJECTED")

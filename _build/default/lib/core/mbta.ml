@@ -1,0 +1,23 @@
+type result = {
+  high_watermark : float;
+  engineering_factor : float;
+  bound : float;
+  sample_size : int;
+}
+
+let bound ?(engineering_factor = 1.5) xs =
+  assert (Array.length xs > 0 && engineering_factor >= 1.);
+  let high_watermark = Array.fold_left Float.max xs.(0) xs in
+  {
+    high_watermark;
+    engineering_factor;
+    bound = high_watermark *. engineering_factor;
+    sample_size = Array.length xs;
+  }
+
+let sensitivity xs ~factors =
+  List.map (fun f -> (f, (bound ~engineering_factor:f xs).bound)) factors
+
+let pp ppf r =
+  Format.fprintf ppf "MBTA bound: HWM=%.0f x %.2f = %.0f (n=%d)" r.high_watermark
+    r.engineering_factor r.bound r.sample_size

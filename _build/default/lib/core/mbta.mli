@@ -1,0 +1,24 @@
+(** The industrial MBTA baseline the paper compares against: take the
+    highest execution time observed on the deterministic platform (the
+    "high watermark") and inflate it by an engineering margin (20%-50%;
+    the paper quotes 50%).
+
+    The approach is cheap but its confidence rests on having exercised the
+    worst-case conditions (e.g. the worst cache placement of objects) —
+    the uncertainty MBPTA replaces with probabilistic guarantees. *)
+
+type result = {
+  high_watermark : float;
+  engineering_factor : float;  (** e.g. 1.5 for +50% *)
+  bound : float;
+  sample_size : int;
+}
+
+(** [bound ?engineering_factor xs] — factor defaults to 1.5. *)
+val bound : ?engineering_factor:float -> float array -> result
+
+(** [sensitivity xs ~factors] — the bound for each candidate factor; used
+    to reproduce the margin sweep of the comparison figure. *)
+val sensitivity : float array -> factors:float list -> (float * float) list
+
+val pp : Format.formatter -> result -> unit

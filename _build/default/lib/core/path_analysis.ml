@@ -1,0 +1,67 @@
+module Evt = Repro_evt
+
+type path_report = {
+  signature : int;
+  occurrences : int;
+  analysis : (Protocol.analysis, Protocol.failure) Stdlib.result;
+}
+
+type t = { paths : path_report list; analyzed_fraction : float }
+
+let analyze ?options ?(min_runs_per_path = 100) ~measurements ~signatures () =
+  let n = Array.length measurements in
+  assert (n = Array.length signatures && n > 0);
+  let groups = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let s = signatures.(i) in
+    let existing = Option.value (Hashtbl.find_opt groups s) ~default:[] in
+    Hashtbl.replace groups s (measurements.(i) :: existing)
+  done;
+  let paths =
+    Hashtbl.fold
+      (fun signature times acc ->
+        let xs = Array.of_list (List.rev times) in
+        let analysis =
+          if Array.length xs >= min_runs_per_path then Protocol.analyze ?options xs
+          else
+            Error
+              (Protocol.Not_enough_runs
+                 { have = Array.length xs; need = min_runs_per_path })
+        in
+        { signature; occurrences = Array.length xs; analysis } :: acc)
+      groups []
+    |> List.sort (fun a b -> compare b.occurrences a.occurrences)
+  in
+  let analyzed_runs =
+    List.fold_left
+      (fun acc p -> match p.analysis with Ok _ -> acc + p.occurrences | Error _ -> acc)
+      0 paths
+  in
+  { paths; analyzed_fraction = float_of_int analyzed_runs /. float_of_int n }
+
+let pwcet_estimate t ~cutoff_probability =
+  List.filter_map
+    (fun p ->
+      match p.analysis with
+      | Ok a -> Some (Evt.Pwcet.estimate a.Protocol.curve ~cutoff_probability)
+      | Error _ -> None)
+    t.paths
+  |> function
+  | [] -> None
+  | estimates -> Some (List.fold_left Float.max neg_infinity estimates)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>per-path analysis: %d paths, %.1f%% of runs analyzed@,"
+    (List.length t.paths) (100. *. t.analyzed_fraction);
+  List.iter
+    (fun p ->
+      match p.analysis with
+      | Ok a ->
+          Format.fprintf ppf "  path %08x: %d runs, pWCET(1e-12)=%.0f@," p.signature
+            p.occurrences
+            (Evt.Pwcet.estimate a.Protocol.curve ~cutoff_probability:1e-12)
+      | Error f ->
+          Format.fprintf ppf "  path %08x: %d runs, not analyzed (%a)@," p.signature
+            p.occurrences Protocol.pp_failure f)
+    t.paths;
+  Format.fprintf ppf "@]"

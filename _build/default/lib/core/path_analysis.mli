@@ -1,0 +1,39 @@
+(** Per-path MBPTA (the paper performs "per-path analysis taking the maximum
+    across paths").
+
+    Runs are grouped by an execution-path signature supplied by the harness
+    (e.g. {!Repro_isa.Executor.path_signature}).  Each path population with
+    enough runs is analyzed independently with the {!Protocol}; the reported
+    pWCET at any cutoff is the maximum across analyzed paths.  Paths too
+    rare to analyze are reported as residual coverage: their occurrence
+    probability is bounded by the observed frequency, which the caller must
+    argue about separately (standard MBPTA practice for multi-path
+    programs). *)
+
+type path_report = {
+  signature : int;
+  occurrences : int;
+  analysis : (Protocol.analysis, Protocol.failure) Stdlib.result;
+}
+
+type t = {
+  paths : path_report list;  (** most frequent first *)
+  analyzed_fraction : float;  (** fraction of runs covered by analyzed paths *)
+}
+
+(** [analyze ?options ?min_runs_per_path ~measurements ~signatures ()] —
+    [measurements] and [signatures] are parallel arrays (one per run);
+    [min_runs_per_path] defaults to {!Protocol}'s minimum (100). *)
+val analyze :
+  ?options:Protocol.options ->
+  ?min_runs_per_path:int ->
+  measurements:float array ->
+  signatures:int array ->
+  unit ->
+  t
+
+(** [pwcet_estimate t ~cutoff_probability] — maximum across analyzed paths;
+    [None] when no path could be analyzed. *)
+val pwcet_estimate : t -> cutoff_probability:float -> float option
+
+val pp : Format.formatter -> t -> unit

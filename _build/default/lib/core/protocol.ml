@@ -1,0 +1,177 @@
+module Stats = Repro_stats
+module Evt = Repro_evt
+
+type tail = Gumbel | Gev | Pot | Exponential_pot
+
+type options = {
+  alpha : float;
+  gate_on_iid : bool;
+  tail : tail;
+  block_size : int option;
+  fit_method : [ `Pwm | `Mle ];
+  check_convergence : bool;
+  convergence_probability : float;
+  convergence_tolerance : float;
+}
+
+let default_options =
+  {
+    alpha = 0.05;
+    gate_on_iid = true;
+    tail = Gumbel;
+    block_size = None;
+    fit_method = `Pwm;
+    check_convergence = true;
+    convergence_probability = 1e-9;
+    convergence_tolerance = 0.01;
+  }
+
+type analysis = {
+  sample : float array;
+  iid : Iid.result;
+  convergence : Evt.Convergence.result option;
+  block_size : int;
+  curve : Evt.Pwcet.t;
+  goodness_of_fit : Stats.Ks.result;
+  goodness_of_fit_ad : Stats.Anderson_darling.result;
+  tail_diagnostic : Evt.Tail_test.verdict option;
+}
+
+type failure =
+  | Not_enough_runs of { have : int; need : int }
+  | Iid_rejected of Iid.result
+  | Not_converged of Evt.Convergence.result
+
+let pp_failure ppf = function
+  | Not_enough_runs { have; need } ->
+      Format.fprintf ppf "not enough runs: have %d, need at least %d" have need
+  | Iid_rejected iid -> Format.fprintf ppf "i.i.d. hypothesis rejected:@ %a" Iid.pp iid
+  | Not_converged c ->
+      Format.fprintf ppf "convergence criterion not met:@ %a" Evt.Convergence.pp_result c
+
+let min_runs = 100
+
+let fit_curve (options : options) xs =
+  let block_size =
+    match options.block_size with
+    | Some b -> b
+    | None -> Evt.Block_maxima.suggest_block_size (Array.length xs)
+  in
+  match options.tail with
+  | Gumbel ->
+      let maxima = Evt.Block_maxima.extract ~block_size xs in
+      let method_ =
+        match options.fit_method with `Pwm -> Evt.Gumbel_fit.Pwm | `Mle -> Evt.Gumbel_fit.Mle
+      in
+      let model = Evt.Gumbel_fit.fit ~method_ maxima in
+      let curve =
+        Evt.Pwcet.create ~model:(Evt.Pwcet.Gumbel_tail model) ~block_size ~sample:xs
+      in
+      let ad =
+        Stats.Anderson_darling.test maxima ~cdf:(Stats.Distribution.Gumbel.cdf model)
+      in
+      (block_size, curve, Evt.Gumbel_fit.goodness_of_fit model maxima, ad)
+  | Gev ->
+      let maxima = Evt.Block_maxima.extract ~block_size xs in
+      let method_ =
+        match options.fit_method with `Pwm -> Evt.Gev_fit.Pwm | `Mle -> Evt.Gev_fit.Mle
+      in
+      let model = Evt.Gev_fit.fit ~method_ maxima in
+      let curve = Evt.Pwcet.create ~model:(Evt.Pwcet.Gev_tail model) ~block_size ~sample:xs in
+      let ad =
+        Stats.Anderson_darling.test maxima ~cdf:(Stats.Distribution.Gev.cdf model)
+      in
+      (block_size, curve, Evt.Gev_fit.goodness_of_fit model maxima, ad)
+  | Pot | Exponential_pot ->
+      let method_ =
+        if options.tail = Exponential_pot then Evt.Gpd_fit.Exponential
+        else match options.fit_method with
+          | `Pwm -> Evt.Gpd_fit.Pwm
+          | `Mle -> Evt.Gpd_fit.Mle
+      in
+      let pot = Evt.Gpd_fit.Pot.analyze ~method_ xs in
+      let curve = Evt.Pwcet.create ~model:(Evt.Pwcet.Pot_tail pot) ~block_size:1 ~sample:xs in
+      let above_threshold =
+        Array.to_list xs
+        |> List.filter_map (fun x ->
+               if x > pot.Evt.Gpd_fit.Pot.threshold then Some x else None)
+        |> Array.of_list
+      in
+      let gof =
+        Stats.Ks.one_sample above_threshold
+          ~cdf:(Stats.Distribution.Gpd.cdf pot.Evt.Gpd_fit.Pot.model)
+      in
+      let ad =
+        Stats.Anderson_darling.test above_threshold
+          ~cdf:(Stats.Distribution.Gpd.cdf pot.Evt.Gpd_fit.Pot.model)
+      in
+      (1, curve, gof, ad)
+
+let analyze ?(options = default_options) xs =
+  let n = Array.length xs in
+  if n < min_runs then Error (Not_enough_runs { have = n; need = min_runs })
+  else begin
+    let iid = Iid.check ~alpha:options.alpha xs in
+    if options.gate_on_iid && not iid.Iid.accepted then Error (Iid_rejected iid)
+    else begin
+      let convergence =
+        if options.check_convergence then
+          Some
+            (Evt.Convergence.study ~probability:options.convergence_probability
+               ~tolerance:options.convergence_tolerance xs)
+        else None
+      in
+      match convergence with
+      | Some c when not c.Evt.Convergence.converged -> Error (Not_converged c)
+      | Some _ | None ->
+          let block_size, curve, goodness_of_fit, goodness_of_fit_ad =
+            fit_curve options xs
+          in
+          let tail_diagnostic =
+            (* near-constant samples (a jitterless platform) have no
+               excesses to diagnose; that is fine, not an error *)
+            try Some (Evt.Tail_test.exponentiality xs) with Invalid_argument _ -> None
+          in
+          Ok
+            {
+              sample = xs;
+              iid;
+              convergence;
+              block_size;
+              curve;
+              goodness_of_fit;
+              goodness_of_fit_ad;
+              tail_diagnostic;
+            }
+    end
+  end
+
+let collect_and_analyze ?options ~runs ~measure () =
+  let xs = Array.init runs measure in
+  analyze ?options xs
+
+let standard_cutoffs = [ 1e-6; 1e-7; 1e-8; 1e-9; 1e-10; 1e-11; 1e-12; 1e-13; 1e-14; 1e-15 ]
+
+let pwcet_table analysis =
+  List.map
+    (fun p -> (p, Evt.Pwcet.estimate analysis.curve ~cutoff_probability:p))
+    standard_cutoffs
+
+let pp_analysis ppf a =
+  Format.fprintf ppf
+    "@[<v>%a@,%a@,block size: %d@,model fit (KS on maxima): %a@,model fit (AD, \
+     tail-weighted): %a@,tail: %a@,"
+    Iid.pp a.iid Evt.Pwcet.pp a.curve a.block_size Stats.Ks.pp_result a.goodness_of_fit
+    Stats.Anderson_darling.pp_result a.goodness_of_fit_ad
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "(no excesses to diagnose)")
+       Evt.Tail_test.pp_verdict)
+    a.tail_diagnostic;
+  (match a.convergence with
+  | Some c -> Format.fprintf ppf "convergence: %a@," Evt.Convergence.pp_result c
+  | None -> ());
+  Format.fprintf ppf "pWCET estimates:@,";
+  List.iter
+    (fun (p, v) -> Format.fprintf ppf "  P(exceed) <= %.0e : %.0f cycles@," p v)
+    (pwcet_table a);
+  Format.fprintf ppf "@]"

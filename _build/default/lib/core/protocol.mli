@@ -1,0 +1,85 @@
+(** The end-to-end MBPTA protocol (Cucu-Grosjean et al., ECRTS 2012; applied
+    industrially in the paper): given a series of execution-time
+    measurements taken under randomized conditions,
+
+    + verify the i.i.d. hypothesis ({!Iid});
+    + verify that the number of runs satisfies the convergence criterion
+      ({!Repro_evt.Convergence});
+    + select a tail model and fit it on block maxima (Gumbel by default;
+      optionally full GEV, or POT/GPD);
+    + return the {!Repro_evt.Pwcet} curve plus every intermediate verdict.
+
+    The protocol is deliberately workload-agnostic: it consumes a plain
+    measurement vector (or a [measure] function), exactly like a timing
+    analysis tool attached to a target platform. *)
+
+type tail =
+  | Gumbel  (** Gumbel fit on block maxima (default) *)
+  | Gev  (** full GEV fit on block maxima *)
+  | Pot  (** peaks-over-threshold, GPD excesses *)
+  | Exponential_pot
+      (** peaks-over-threshold with the exponential (xi = 0) tail of the
+          original MBPTA formulation; pair with the {!Repro_evt.Tail_test}
+          exponentiality diagnostic *)
+
+type options = {
+  alpha : float;  (** significance level of the i.i.d. tests, 0.05 *)
+  gate_on_iid : bool;
+      (** reject the analysis when the i.i.d. tests fail (default); when
+          false the verdicts are still computed and reported but the
+          analysis proceeds — for diagnostic tooling and for samples a
+          borderline test falsely rejects *)
+  tail : tail;
+  block_size : int option;  (** [None]: {!Repro_evt.Block_maxima.suggest_block_size} *)
+  fit_method : [ `Pwm | `Mle ];
+  check_convergence : bool;
+  convergence_probability : float;  (** reference exceedance, 1e-9 *)
+  convergence_tolerance : float;  (** relative stability threshold, 0.01 *)
+}
+
+val default_options : options
+
+type analysis = {
+  sample : float array;
+  iid : Iid.result;
+  convergence : Repro_evt.Convergence.result option;
+  block_size : int;
+  curve : Repro_evt.Pwcet.t;
+  goodness_of_fit : Repro_stats.Ks.result;  (** model vs block maxima / excesses *)
+  goodness_of_fit_ad : Repro_stats.Anderson_darling.result;
+      (** Anderson-Darling on the same fit: weights the tail, where it
+          matters for extrapolation *)
+  tail_diagnostic : Repro_evt.Tail_test.verdict option;
+      (** [None] when the sample is too concentrated to form excesses
+          (e.g. a jitterless platform producing near-constant times) *)
+}
+
+type failure =
+  | Not_enough_runs of { have : int; need : int }
+  | Iid_rejected of Iid.result
+  | Not_converged of Repro_evt.Convergence.result
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [analyze ?options xs] runs the protocol on a collected sample. *)
+val analyze : ?options:options -> float array -> (analysis, failure) Stdlib.result
+
+(** [collect_and_analyze ?options ~runs ~measure ()] drives the measurement
+    protocol itself: performs [runs] measurements by calling [measure i]
+    (the harness is responsible for reseeding/flushing per run) and
+    analyzes them. *)
+val collect_and_analyze :
+  ?options:options ->
+  runs:int ->
+  measure:(int -> float) ->
+  unit ->
+  (analysis, failure) Stdlib.result
+
+(** Standard cutoff-probability ladder of the paper's Figure 3:
+    1e-6 .. 1e-15, one per decade (alternating decades: 1e-6, 1e-7, ...). *)
+val standard_cutoffs : float list
+
+(** [pwcet_table analysis] — pWCET estimate at each standard cutoff. *)
+val pwcet_table : analysis -> (float * float) list
+
+val pp_analysis : Format.formatter -> analysis -> unit

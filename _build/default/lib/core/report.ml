@@ -1,0 +1,47 @@
+module Stats = Repro_stats
+module Evt = Repro_evt
+
+type comparison = {
+  det_summary : Stats.Descriptive.summary;
+  rand_summary : Stats.Descriptive.summary;
+  average_overhead : float;
+  mbta : Mbta.result;
+  pwcet_at : (float * float) list;
+  margin_at_1e6 : float;
+}
+
+let compare ?(engineering_factor = 1.5) ~analysis ~det_sample () =
+  let rand_sample = analysis.Protocol.sample in
+  let det_summary = Stats.Descriptive.summarize det_sample in
+  let rand_summary = Stats.Descriptive.summarize rand_sample in
+  {
+    det_summary;
+    rand_summary;
+    average_overhead =
+      (rand_summary.Stats.Descriptive.mean /. det_summary.Stats.Descriptive.mean) -. 1.;
+    mbta = Mbta.bound ~engineering_factor det_sample;
+    pwcet_at = Protocol.pwcet_table analysis;
+    margin_at_1e6 =
+      Evt.Pwcet.margin_over_observed analysis.Protocol.curve ~cutoff_probability:1e-6;
+  }
+
+let pp_comparison ppf c =
+  Format.fprintf ppf
+    "@[<v>MBPTA vs industrial MBTA practice:@,\
+    \  DET  observations: %a@,\
+    \  RAND observations: %a@,\
+    \  average overhead of randomization: %+.2f%%@,\
+    \  MBTA (DET): %a@,\
+    \  pWCET(1e-6) / max observed: %.2fx@,\
+     pWCET ladder:@,"
+    Stats.Descriptive.pp_summary c.det_summary Stats.Descriptive.pp_summary c.rand_summary
+    (100. *. c.average_overhead) Mbta.pp c.mbta c.margin_at_1e6;
+  List.iter
+    (fun (p, v) ->
+      Format.fprintf ppf "    %.0e : %10.0f  (%.2fx MBTA bound)@," p v (v /. c.mbta.Mbta.bound))
+    c.pwcet_at;
+  Format.fprintf ppf "@]"
+
+let render ~analysis ~comparison =
+  Format.asprintf "%a@.@.%a@.@.%s" Protocol.pp_analysis analysis pp_comparison comparison
+    (Ascii_plot.exceedance_plot analysis.Protocol.curve)

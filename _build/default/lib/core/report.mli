@@ -1,0 +1,28 @@
+(** The MBPTA-vs-industrial-practice comparison of the paper's Figure 3 and
+    the "Average performance" paragraph, as a reusable report object. *)
+
+type comparison = {
+  det_summary : Repro_stats.Descriptive.summary;  (** DET platform times *)
+  rand_summary : Repro_stats.Descriptive.summary;  (** RAND platform times *)
+  average_overhead : float;
+      (** RAND mean / DET mean - 1; the paper finds "no noticeable
+          difference" *)
+  mbta : Mbta.result;  (** industrial bound on the DET observations *)
+  pwcet_at : (float * float) list;  (** MBPTA estimates at standard cutoffs *)
+  margin_at_1e6 : float;
+      (** pWCET(1e-6) over the highest RAND observation; the paper reports
+          "an increase of 50%" at this cutoff *)
+}
+
+val compare :
+  ?engineering_factor:float ->
+  analysis:Protocol.analysis ->
+  det_sample:float array ->
+  unit ->
+  comparison
+
+val pp_comparison : Format.formatter -> comparison -> unit
+
+(** Full text report: i.i.d. verdicts, the pWCET table, the comparison and
+    the Figure 2 plot. *)
+val render : analysis:Protocol.analysis -> comparison:comparison -> string

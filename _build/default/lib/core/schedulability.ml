@@ -1,0 +1,48 @@
+type task = { name : string; period : float; deadline : float; budget : float }
+
+let required_cutoff ~activations_per_hour ~target_failures_per_hour =
+  assert (activations_per_hour > 0. && target_failures_per_hour > 0.);
+  Float.min 1. (target_failures_per_hour /. activations_per_hour)
+
+let budget_of_curve curve ~cutoff_probability =
+  Repro_evt.Pwcet.estimate curve ~cutoff_probability
+
+let overrun_rate_bound tasks ~cutoff ~activations_per_hour =
+  List.fold_left (fun acc task -> acc +. (cutoff *. activations_per_hour task)) 0. tasks
+
+type response = { task : task; response_time : float; meets_deadline : bool }
+
+(* Least fixed point of R = C + sum_hp ceil(R/T_j) C_j, starting from C. *)
+let response_time ~higher task =
+  let rec iterate r =
+    let interference =
+      List.fold_left
+        (fun acc (hp : task) -> acc +. (Float.ceil (r /. hp.period) *. hp.budget))
+        0. higher
+    in
+    let r' = task.budget +. interference in
+    if r' = r then r
+    else if r' > task.deadline *. 1000. then r' (* diverging: unschedulable *)
+    else iterate r'
+  in
+  iterate task.budget
+
+let response_times tasks =
+  let rec go higher = function
+    | [] -> []
+    | task :: rest ->
+        let r = response_time ~higher task in
+        { task; response_time = r; meets_deadline = r <= task.deadline }
+        :: go (higher @ [ task ]) rest
+  in
+  go [] tasks
+
+let schedulable tasks = List.for_all (fun r -> r.meets_deadline) (response_times tasks)
+
+let utilization tasks =
+  List.fold_left (fun acc t -> acc +. (t.budget /. t.period)) 0. tasks
+
+let pp_response ppf r =
+  Format.fprintf ppf "%-12s C=%10.0f T=%10.0f D=%10.0f R=%10.0f %s" r.task.name
+    r.task.budget r.task.period r.task.deadline r.response_time
+    (if r.meets_deadline then "OK" else "DEADLINE MISS")

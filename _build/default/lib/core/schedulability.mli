@@ -1,0 +1,64 @@
+(** From pWCET curves to task budgets and schedulability.
+
+    The paper closes with: "The particular cutoff probability is to be
+    chosen based on the applicable domain standard, the task criticality
+    level and the task frequency of execution."  This module performs that
+    engineering step:
+
+    - {!required_cutoff} derives the per-activation exceedance probability
+      a task needs so that, at its activation rate, the budget-overrun rate
+      stays below the failure-rate target of the applicable standard level
+      (e.g. 1e-9/h for the highest criticality classes);
+    - {!budget_of_curve} reads the corresponding execution-time budget off
+      a fitted {!Repro_evt.Pwcet} curve;
+    - {!response_times} runs classic fixed-priority response-time analysis
+      with those budgets, so the 3-task TVCA set can be shown schedulable;
+    - {!overrun_rate_bound} gives the union-bound system-level overrun rate
+      actually achieved. *)
+
+type task = {
+  name : string;
+  period : float;  (** activation period, cycles *)
+  deadline : float;  (** relative deadline, cycles; typically = period *)
+  budget : float;  (** execution-time budget, cycles (e.g. a pWCET quantile) *)
+}
+
+(** [required_cutoff ~activations_per_hour ~target_failures_per_hour] — the
+    largest per-activation exceedance probability compatible with the
+    target (union bound: rate <= activations/h x p). *)
+val required_cutoff :
+  activations_per_hour:float -> target_failures_per_hour:float -> float
+
+(** [budget_of_curve curve ~cutoff_probability] — convenience alias of
+    {!Repro_evt.Pwcet.estimate}. *)
+val budget_of_curve : Repro_evt.Pwcet.t -> cutoff_probability:float -> float
+
+(** [overrun_rate_bound tasks ~cutoff ~activations_per_hour] — union bound
+    over all tasks of the per-hour probability that some activation
+    overruns its budget, when every budget was set at [cutoff].
+    [activations_per_hour task] gives each task's rate. *)
+val overrun_rate_bound :
+  task list -> cutoff:float -> activations_per_hour:(task -> float) -> float
+
+type response = {
+  task : task;
+  response_time : float;  (** worst-case response time, cycles *)
+  meets_deadline : bool;
+}
+
+(** [response_times tasks] — exact fixed-priority response-time analysis
+    (Joseph & Pandya): tasks in decreasing priority order (head =
+    highest); each response is the least fixed point of
+    R = C_i + sum_{j higher} ceil(R / T_j) C_j.
+    Returns [None] for a task whose iteration exceeds its deadline by more
+    than 1000x (unschedulable divergence guard) — its [meets_deadline] is
+    false and [response_time] is the last iterate. *)
+val response_times : task list -> response list
+
+(** [schedulable tasks] — all deadlines met. *)
+val schedulable : task list -> bool
+
+(** Total utilization sum(C/T). *)
+val utilization : task list -> float
+
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,1 @@
+lib/evt/block_maxima.ml: Array Float

@@ -1,0 +1,1 @@
+lib/evt/bootstrap.ml: Array Block_maxima Float Format Gumbel_fit Pwcet Repro_rng Stdlib

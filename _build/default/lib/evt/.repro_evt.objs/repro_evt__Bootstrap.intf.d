@@ -1,0 +1,1 @@
+lib/evt/bootstrap.mli: Format Repro_rng

@@ -1,0 +1,1 @@
+lib/evt/convergence.ml: Array Block_maxima Float Format Gumbel_fit List Pwcet

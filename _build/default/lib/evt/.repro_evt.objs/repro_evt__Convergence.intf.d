@@ -1,0 +1,1 @@
+lib/evt/convergence.mli: Format

@@ -1,0 +1,1 @@
+lib/evt/gev_fit.ml: Array Float Gumbel_fit Repro_stats

@@ -1,0 +1,1 @@
+lib/evt/gev_fit.mli: Repro_stats

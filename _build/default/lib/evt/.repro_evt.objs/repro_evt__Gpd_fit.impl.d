@@ -1,0 +1,1 @@
+lib/evt/gpd_fit.ml: Array Float List Repro_stats

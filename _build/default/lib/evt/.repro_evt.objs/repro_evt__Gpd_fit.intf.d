@@ -1,0 +1,1 @@
+lib/evt/gpd_fit.mli: Repro_stats

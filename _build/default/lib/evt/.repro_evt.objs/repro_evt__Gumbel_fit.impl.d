@@ -1,0 +1,1 @@
+lib/evt/gumbel_fit.ml: Array Float Repro_stats

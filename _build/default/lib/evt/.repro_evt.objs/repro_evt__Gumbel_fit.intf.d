@@ -1,0 +1,1 @@
+lib/evt/gumbel_fit.mli: Repro_stats

@@ -1,0 +1,1 @@
+lib/evt/pwcet.ml: Float Format Gpd_fit List Repro_stats

@@ -1,0 +1,1 @@
+lib/evt/pwcet.mli: Format Gpd_fit Repro_stats

@@ -1,0 +1,1 @@
+lib/evt/tail_test.ml: Array Float Format List Repro_stats

@@ -1,0 +1,1 @@
+lib/evt/tail_test.mli: Format

@@ -1,0 +1,18 @@
+let extract ~block_size xs =
+  if block_size < 1 then invalid_arg "Block_maxima.extract: block_size < 1";
+  let n = Array.length xs in
+  let blocks = n / block_size in
+  if blocks < 1 then invalid_arg "Block_maxima.extract: sample smaller than one block";
+  Array.init blocks (fun b ->
+      let start = b * block_size in
+      let rec max_in i acc =
+        if i >= block_size then acc else max_in (i + 1) (Float.max acc xs.(start + i))
+      in
+      max_in 1 xs.(start))
+
+let suggest_block_size n =
+  let rec grow candidate =
+    let next = candidate * 2 in
+    if next <= 64 && n / next >= 30 then grow next else candidate
+  in
+  if n < 30 then 1 else grow 1

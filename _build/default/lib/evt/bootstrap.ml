@@ -1,0 +1,52 @@
+module Prng = Repro_rng.Prng
+
+type interval = {
+  lower : float;
+  point : float;
+  upper : float;
+  confidence : float;
+  replicates : int;
+}
+
+let estimate_on xs ~cutoff_probability =
+  let block_size = Block_maxima.suggest_block_size (Array.length xs) in
+  let maxima = Block_maxima.extract ~block_size xs in
+  let model = Gumbel_fit.fit maxima in
+  let curve = Pwcet.create ~model:(Pwcet.Gumbel_tail model) ~block_size ~sample:xs in
+  Pwcet.estimate curve ~cutoff_probability
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let h = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let pwcet_interval ?(replicates = 200) ?(confidence = 0.95) ~prng ~sample
+    ~cutoff_probability () =
+  assert (replicates >= 20 && confidence > 0. && confidence < 1.);
+  let n = Array.length sample in
+  assert (n >= 60);
+  let point = estimate_on sample ~cutoff_probability in
+  let resample = Array.make n 0. in
+  let estimates =
+    Array.init replicates (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- sample.(Prng.int_below prng n)
+        done;
+        estimate_on resample ~cutoff_probability)
+  in
+  Array.sort compare estimates;
+  let tail = (1. -. confidence) /. 2. in
+  {
+    lower = percentile estimates tail;
+    point;
+    upper = percentile estimates (1. -. tail);
+    confidence;
+    replicates;
+  }
+
+let pp_interval ppf i =
+  Format.fprintf ppf "%.0f  [%.0f, %.0f] at %.0f%% (%d bootstrap replicates)" i.point
+    i.lower i.upper (100. *. i.confidence) i.replicates

@@ -1,0 +1,32 @@
+(** Bootstrap confidence intervals on pWCET estimates.
+
+    A point pWCET at 1e-15 extrapolates ten orders of magnitude past the
+    data; reporting it without a sampling-uncertainty band invites
+    over-trust.  This module resamples the measurement set with
+    replacement, refits the tail each time, and returns percentile
+    intervals of the pWCET quantile — the standard nonparametric bootstrap
+    applied at the level of whole runs, so block re-formation is part of
+    the resampling. *)
+
+type interval = {
+  lower : float;
+  point : float;  (** estimate on the original sample *)
+  upper : float;
+  confidence : float;
+  replicates : int;
+}
+
+(** [pwcet_interval ?replicates ?confidence ~prng ~sample ~cutoff_probability ()]
+    — Gumbel tail on block maxima (block size from
+    {!Block_maxima.suggest_block_size} of the sample size), [replicates]
+    defaults to 200 and [confidence] to 0.95. *)
+val pwcet_interval :
+  ?replicates:int ->
+  ?confidence:float ->
+  prng:Repro_rng.Prng.t ->
+  sample:float array ->
+  cutoff_probability:float ->
+  unit ->
+  interval
+
+val pp_interval : Format.formatter -> interval -> unit

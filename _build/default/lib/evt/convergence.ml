@@ -1,0 +1,40 @@
+type point = { runs : int; estimate : float }
+type result = { converged : bool; runs_used : int; history : point list }
+
+let estimate_at xs probability =
+  let block_size = Block_maxima.suggest_block_size (Array.length xs) in
+  let maxima = Block_maxima.extract ~block_size xs in
+  let gumbel = Gumbel_fit.fit ~method_:Gumbel_fit.Pwm maxima in
+  let curve =
+    Pwcet.create ~model:(Pwcet.Gumbel_tail gumbel) ~block_size ~sample:xs
+  in
+  Pwcet.estimate curve ~cutoff_probability:probability
+
+let study ?(probability = 1e-9) ?(step = 100) ?(tolerance = 0.01) ?(stable_steps = 3)
+    ?(min_runs = 100) xs =
+  let n = Array.length xs in
+  assert (n >= min_runs && step >= 1 && stable_steps >= 1);
+  let rec go used previous streak acc =
+    if used > n then
+      { converged = false; runs_used = n; history = List.rev acc }
+    else begin
+      let sub = Array.sub xs 0 used in
+      let est = estimate_at sub probability in
+      let acc = { runs = used; estimate = est } :: acc in
+      let streak =
+        match previous with
+        | Some prev when Float.abs (est -. prev) /. Float.abs prev <= tolerance ->
+            streak + 1
+        | Some _ | None -> 0
+      in
+      if streak >= stable_steps then
+        { converged = true; runs_used = used; history = List.rev acc }
+      else go (used + step) (Some est) streak acc
+    end
+  in
+  go min_runs None 0 []
+
+let pp_result ppf r =
+  Format.fprintf ppf "%s after %d runs (%d estimates)"
+    (if r.converged then "converged" else "NOT converged")
+    r.runs_used (List.length r.history)

@@ -1,0 +1,32 @@
+(** MBPTA convergence criterion.
+
+    The paper collects runs until "the convergence criteria defined in the
+    MBPTA process" are satisfied (3,000 runs for TVCA).  Following
+    Cucu-Grosjean et al. (ECRTS 2012), we re-estimate the pWCET at a
+    reference exceedance probability each time [step] more runs are
+    available; the process has converged when the estimate changes by less
+    than [tolerance] (relative) for [stable_steps] consecutive increments. *)
+
+type point = { runs : int; estimate : float }
+
+type result = {
+  converged : bool;
+  runs_used : int;  (** runs consumed when convergence was declared (or all) *)
+  history : point list;  (** estimate trajectory, oldest first *)
+}
+
+val study :
+  ?probability:float ->
+  (* reference exceedance probability, default 1e-9 *)
+  ?step:int ->
+  (* runs added per iteration, default 100 *)
+  ?tolerance:float ->
+  (* relative stability threshold, default 0.01 *)
+  ?stable_steps:int ->
+  (* consecutive stable increments required, default 3 *)
+  ?min_runs:int ->
+  (* smallest sample for the first estimate, default 100 *)
+  float array ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,20 @@
+(** Tail-shape diagnostics used to justify the light-tail (Gumbel /
+    exponential-tail) model choice before projecting to 1e-15.
+
+    [exponentiality] checks that the excesses over a high threshold look
+    exponential: their coefficient of variation must be close to 1 (an
+    exponential's CV is exactly 1), with the acceptance band derived from the
+    asymptotic normality of the sample CV.  [qq_correlation] is a second
+    diagnostic: the Pearson correlation between empirical and exponential
+    theoretical quantiles of the excesses (close to 1 for a good fit). *)
+
+type verdict = { cv : float; z : float; p_value : float; exponential : bool }
+
+(** [exponentiality ?alpha ?quantile xs] tests excesses over the empirical
+    [quantile] (default 0.75) of [xs]. *)
+val exponentiality : ?alpha:float -> ?quantile:float -> float array -> verdict
+
+(** [qq_correlation ?quantile xs] in [[0, 1]]. *)
+val qq_correlation : ?quantile:float -> float array -> float
+
+val pp_verdict : Format.formatter -> verdict -> unit

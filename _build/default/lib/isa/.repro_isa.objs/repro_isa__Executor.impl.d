@@ -1,0 +1,1 @@
+lib/isa/executor.ml: Array Float Instr Layout List Memory Printf Program

@@ -1,0 +1,1 @@
+lib/isa/executor.mli: Instr Layout Memory Program

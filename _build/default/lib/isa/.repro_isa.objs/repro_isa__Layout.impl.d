@@ -1,0 +1,1 @@
+lib/isa/layout.ml: Array Format Hashtbl Int64 List Printf Program

@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  mutable instructions : Instr.t list;  (* reversed *)
+  mutable count : int;
+  mutable labels : (string * int) list;
+  mutable data : Program.data_symbol list;
+  mutable fresh : int;
+}
+
+let create ~name = { name; instructions = []; count = 0; labels = []; data = []; fresh = 0 }
+
+let emit t i =
+  t.instructions <- i :: t.instructions;
+  t.count <- t.count + 1
+
+let label t l =
+  if List.mem_assoc l t.labels then invalid_arg ("Builder.label: duplicate " ^ l);
+  t.labels <- (l, t.count) :: t.labels
+
+let fresh_label t stem =
+  t.fresh <- t.fresh + 1;
+  Printf.sprintf "%s__%d" stem t.fresh
+
+let declare_data t ~symbol ~elements =
+  t.data <- { Program.symbol; elements } :: t.data
+
+let at ?index_reg ?(offset = 0) base = { Instr.base; index_reg; offset }
+
+let counted_loop t ~counter ~from_ ~below body =
+  let head = fresh_label t "loop_head" in
+  let exit = fresh_label t "loop_exit" in
+  let limit_reg = counter + 1 in
+  if limit_reg >= Instr.register_count then
+    invalid_arg "Builder.counted_loop: counter register too high (needs counter+1)";
+  emit t (Instr.Li (counter, from_));
+  emit t (Instr.Li (limit_reg, below));
+  label t head;
+  emit t (Instr.Bge (counter, limit_reg, exit));
+  body ();
+  emit t (Instr.Addi (counter, counter, 1));
+  emit t (Instr.Jmp head);
+  label t exit
+
+let build t ~entry =
+  Program.create ~name:t.name
+    ~code:(Array.of_list (List.rev t.instructions))
+    ~labels:t.labels ~data:(List.rev t.data) ~entry

@@ -1,0 +1,31 @@
+(** Imperative program builder: the tiny "assembler" used by the TVCA code
+    generator and by tests.  Collects instructions, labels and data
+    declarations, then seals them into a validated {!Program.t}. *)
+
+type t
+
+val create : name:string -> t
+
+(** [emit t i] appends an instruction. *)
+val emit : t -> Instr.t -> unit
+
+(** [label t l] defines [l] at the current position.
+    Raises [Invalid_argument] on duplicates. *)
+val label : t -> string -> unit
+
+(** [fresh_label t stem] returns a unique label name (not yet placed). *)
+val fresh_label : t -> string -> string
+
+(** [declare_data t ~symbol ~elements] declares a data symbol. *)
+val declare_data : t -> symbol:string -> elements:int -> unit
+
+(** Addressing helpers. *)
+val at : ?index_reg:int -> ?offset:int -> string -> Instr.addressing
+
+(** [counted_loop t ~counter ~from_ ~below body] emits
+    [for counter = from_ to below - 1 do body done] using [counter] as the
+    loop register; [body] may emit freely but must preserve [counter]. *)
+val counted_loop : t -> counter:int -> from_:int -> below:int -> (unit -> unit) -> unit
+
+(** [build t ~entry] seals the program ([entry] must be a defined label). *)
+val build : t -> entry:string -> Program.t

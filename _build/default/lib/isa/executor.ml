@@ -1,0 +1,306 @@
+exception Stack_overflow_ of string
+exception Runaway of string
+
+type stats = {
+  retired : int;
+  loads : int;
+  stores : int;
+  fp_long_ops : int;
+  branches : int;
+  taken_branches : int;
+}
+
+let max_call_depth = 256
+
+(* Pre-resolved addressing: the live backing array plus the symbol's byte
+   base, so the hot loop does no hash lookups.  index_reg = -1 encodes "no
+   index register". *)
+type raddr = { values : float array; byte_base : int; index_reg : int; offset : int }
+
+type rop =
+  | RLi of int * int
+  | RAdd of int * int * int
+  | RAddi of int * int * int
+  | RSub of int * int * int
+  | RMul of int * int * int
+  | RFli of int * float
+  | RFld of int * raddr
+  | RFst of int * raddr
+  | RFadd of int * int * int
+  | RFsub of int * int * int
+  | RFmul of int * int * int
+  | RFdiv of int * int * int
+  | RFsqrt of int * int
+  | RFabs of int * int
+  | RFmov of int * int
+  | RFcvt of int * int
+  | RIcvt of int * int
+  | RBlt of int * int * int
+  | RBge of int * int * int
+  | RBeq of int * int * int
+  | RBne of int * int * int
+  | RFblt of int * int * int
+  | RFbge of int * int * int
+  | RJmp of int
+  | RCall of int
+  | RRet
+  | RNop
+  | RHalt
+
+let resolve ~program ~layout ~memory =
+  let target l = Program.label_index program l in
+  let addr (a : Instr.addressing) =
+    {
+      values = Memory.raw memory a.Instr.base;
+      byte_base = Layout.data_address layout ~symbol:a.Instr.base ~element:0;
+      index_reg = (match a.Instr.index_reg with Some r -> r | None -> -1);
+      offset = a.Instr.offset;
+    }
+  in
+  Array.map
+    (fun instr ->
+      match instr with
+      | Instr.Li (rd, v) -> RLi (rd, v)
+      | Instr.Add (a, b, c) -> RAdd (a, b, c)
+      | Instr.Addi (a, b, v) -> RAddi (a, b, v)
+      | Instr.Sub (a, b, c) -> RSub (a, b, c)
+      | Instr.Mul (a, b, c) -> RMul (a, b, c)
+      | Instr.Fli (fd, v) -> RFli (fd, v)
+      | Instr.Fld (fd, a) -> RFld (fd, addr a)
+      | Instr.Fst (fs, a) -> RFst (fs, addr a)
+      | Instr.Fadd (a, b, c) -> RFadd (a, b, c)
+      | Instr.Fsub (a, b, c) -> RFsub (a, b, c)
+      | Instr.Fmul (a, b, c) -> RFmul (a, b, c)
+      | Instr.Fdiv (a, b, c) -> RFdiv (a, b, c)
+      | Instr.Fsqrt (a, b) -> RFsqrt (a, b)
+      | Instr.Fabs (a, b) -> RFabs (a, b)
+      | Instr.Fmov (a, b) -> RFmov (a, b)
+      | Instr.Fcvt (a, b) -> RFcvt (a, b)
+      | Instr.Icvt (a, b) -> RIcvt (a, b)
+      | Instr.Blt (a, b, l) -> RBlt (a, b, target l)
+      | Instr.Bge (a, b, l) -> RBge (a, b, target l)
+      | Instr.Beq (a, b, l) -> RBeq (a, b, target l)
+      | Instr.Bne (a, b, l) -> RBne (a, b, target l)
+      | Instr.Fblt (a, b, l) -> RFblt (a, b, target l)
+      | Instr.Fbge (a, b, l) -> RFbge (a, b, target l)
+      | Instr.Jmp l -> RJmp (target l)
+      | Instr.Call l -> RCall (target l)
+      | Instr.Ret -> RRet
+      | Instr.Nop -> RNop
+      | Instr.Halt -> RHalt)
+    (Program.code program)
+
+let element_index (a : raddr) regs =
+  let idx = if a.index_reg >= 0 then regs.(a.index_reg) + a.offset else a.offset in
+  if idx < 0 || idx >= Array.length a.values then
+    invalid_arg
+      (Printf.sprintf "Executor: data access out of bounds (index %d, size %d)" idx
+         (Array.length a.values));
+  idx
+
+module Stepper = struct
+  type t = {
+    code : rop array;
+    layout : Layout.t;
+    name : string;
+    max_instructions : int;
+    regs : int array;
+    fregs : float array;
+    call_stack : int array;
+    mutable sp : int;
+    mutable pc : int;
+    mutable running : bool;
+    mutable retired : int;
+    mutable loads : int;
+    mutable stores : int;
+    mutable fp_long : int;
+    mutable branches : int;
+    mutable taken : int;
+  }
+
+  let create ?(max_instructions = 10_000_000) ?entry ?(init_regs = []) ~program ~layout
+      ~memory () =
+    let entry_label = match entry with Some l -> l | None -> Program.entry program in
+    let t =
+      {
+        code = resolve ~program ~layout ~memory;
+        layout;
+        name = Program.name program;
+        max_instructions;
+        regs = Array.make Instr.register_count 0;
+        fregs = Array.make Instr.register_count 0.;
+        call_stack = Array.make max_call_depth 0;
+        sp = 0;
+        pc = Program.label_index program entry_label;
+        running = true;
+        retired = 0;
+        loads = 0;
+        stores = 0;
+        fp_long = 0;
+        branches = 0;
+        taken = 0;
+      }
+    in
+    List.iter
+      (fun (r, v) ->
+        if r < 0 || r >= Instr.register_count then
+          invalid_arg "Stepper.create: init register out of range";
+        t.regs.(r) <- v)
+      init_regs;
+    t
+
+  let finished t = not t.running
+
+  let stats t =
+    {
+      retired = t.retired;
+      loads = t.loads;
+      stores = t.stores;
+      fp_long_ops = t.fp_long;
+      branches = t.branches;
+      taken_branches = t.taken;
+    }
+
+  let step t =
+    if not t.running then None
+    else begin
+      if t.retired >= t.max_instructions then raise (Runaway t.name);
+      let regs = t.regs and fregs = t.fregs in
+      let fetch_addr = Layout.code_address t.layout t.pc in
+      let op = t.code.(t.pc) in
+      t.retired <- t.retired + 1;
+      let next = t.pc + 1 in
+      let simple work =
+        t.pc <- next;
+        work
+      in
+      let branch cond target =
+        t.branches <- t.branches + 1;
+        if cond then t.taken <- t.taken + 1;
+        t.pc <- (if cond then target else next);
+        Instr.Ctrl cond
+      in
+      let work =
+        match op with
+        | RLi (rd, v) ->
+            regs.(rd) <- v;
+            simple Instr.Int_alu
+        | RAdd (rd, r1, r2) ->
+            regs.(rd) <- regs.(r1) + regs.(r2);
+            simple Instr.Int_alu
+        | RAddi (rd, r1, v) ->
+            regs.(rd) <- regs.(r1) + v;
+            simple Instr.Int_alu
+        | RSub (rd, r1, r2) ->
+            regs.(rd) <- regs.(r1) - regs.(r2);
+            simple Instr.Int_alu
+        | RMul (rd, r1, r2) ->
+            regs.(rd) <- regs.(r1) * regs.(r2);
+            simple Instr.Int_mul
+        | RFli (fd, v) ->
+            fregs.(fd) <- v;
+            simple Instr.Int_alu
+        | RFld (fd, a) ->
+            let idx = element_index a regs in
+            fregs.(fd) <- a.values.(idx);
+            t.loads <- t.loads + 1;
+            simple (Instr.Mem_read (a.byte_base + (idx * Layout.element_bytes)))
+        | RFst (fs, a) ->
+            let idx = element_index a regs in
+            a.values.(idx) <- fregs.(fs);
+            t.stores <- t.stores + 1;
+            simple (Instr.Mem_write (a.byte_base + (idx * Layout.element_bytes)))
+        | RFadd (fd, f1, f2) ->
+            fregs.(fd) <- fregs.(f1) +. fregs.(f2);
+            simple (Instr.Fp_short Instr.Fadd_op)
+        | RFsub (fd, f1, f2) ->
+            fregs.(fd) <- fregs.(f1) -. fregs.(f2);
+            simple (Instr.Fp_short Instr.Fadd_op)
+        | RFmul (fd, f1, f2) ->
+            fregs.(fd) <- fregs.(f1) *. fregs.(f2);
+            simple (Instr.Fp_short Instr.Fmul_op)
+        | RFdiv (fd, f1, f2) ->
+            let x = fregs.(f1) and y = fregs.(f2) in
+            fregs.(fd) <- x /. y;
+            t.fp_long <- t.fp_long + 1;
+            simple (Instr.Fp_long (Instr.Fdiv_op, x, y))
+        | RFsqrt (fd, f1) ->
+            let x = fregs.(f1) in
+            fregs.(fd) <- sqrt x;
+            t.fp_long <- t.fp_long + 1;
+            simple (Instr.Fp_long (Instr.Fsqrt_op, x, 0.))
+        | RFabs (fd, f1) ->
+            fregs.(fd) <- Float.abs fregs.(f1);
+            simple (Instr.Fp_short Instr.Fadd_op)
+        | RFmov (fd, f1) ->
+            fregs.(fd) <- fregs.(f1);
+            simple (Instr.Fp_short Instr.Fadd_op)
+        | RFcvt (rd, f1) ->
+            regs.(rd) <- int_of_float fregs.(f1);
+            simple Instr.Int_alu
+        | RIcvt (fd, r1) ->
+            fregs.(fd) <- float_of_int regs.(r1);
+            simple Instr.Int_alu
+        | RBlt (r1, r2, l) -> branch (regs.(r1) < regs.(r2)) l
+        | RBge (r1, r2, l) -> branch (regs.(r1) >= regs.(r2)) l
+        | RBeq (r1, r2, l) -> branch (regs.(r1) = regs.(r2)) l
+        | RBne (r1, r2, l) -> branch (regs.(r1) <> regs.(r2)) l
+        | RFblt (f1, f2, l) -> branch (fregs.(f1) < fregs.(f2)) l
+        | RFbge (f1, f2, l) -> branch (fregs.(f1) >= fregs.(f2)) l
+        | RJmp l ->
+            t.branches <- t.branches + 1;
+            t.taken <- t.taken + 1;
+            t.pc <- l;
+            Instr.Ctrl true
+        | RCall l ->
+            if t.sp >= max_call_depth then raise (Stack_overflow_ t.name);
+            t.call_stack.(t.sp) <- next;
+            t.sp <- t.sp + 1;
+            t.branches <- t.branches + 1;
+            t.taken <- t.taken + 1;
+            t.pc <- l;
+            Instr.Ctrl true
+        | RRet ->
+            t.branches <- t.branches + 1;
+            t.taken <- t.taken + 1;
+            if t.sp = 0 then t.running <- false
+            else begin
+              t.sp <- t.sp - 1;
+              t.pc <- t.call_stack.(t.sp)
+            end;
+            Instr.Ctrl true
+        | RNop -> simple Instr.No_op
+        | RHalt ->
+            t.running <- false;
+            Instr.No_op
+      in
+      Some { Instr.fetch_addr; work }
+    end
+end
+
+let run ?max_instructions ~program ~layout ~memory ~on_retire () =
+  let stepper = Stepper.create ?max_instructions ~program ~layout ~memory () in
+  let rec go () =
+    match Stepper.step stepper with
+    | Some retired ->
+        on_retire retired;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Stepper.stats stepper
+
+let path_signature ?max_instructions ~program ~layout ~memory () =
+  let h = ref 0 in
+  let on_retire (r : Instr.retired) =
+    match r.Instr.work with
+    | Instr.Ctrl taken ->
+        (* FNV-style fold of the taken/not-taken sequence. *)
+        h := (!h * 16777619) lxor (if taken then 1 else 2);
+        h := !h land max_int
+    | Instr.Int_alu | Instr.Int_mul | Instr.Mem_read _ | Instr.Mem_write _
+    | Instr.Fp_short _ | Instr.Fp_long _ | Instr.No_op ->
+        ()
+  in
+  let (_ : stats) = run ?max_instructions ~program ~layout ~memory ~on_retire () in
+  !h

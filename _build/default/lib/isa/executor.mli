@@ -1,0 +1,77 @@
+(** Functional execution of a program: interprets the instruction semantics,
+    updating registers and {!Memory}, and streams one {!Instr.retired} record
+    per executed instruction to the caller (normally the platform timing
+    model).
+
+    Execution is fully deterministic given (program, layout, memory
+    contents); all timing is the consumer's business.
+
+    Two interfaces: {!run} executes to completion; {!Stepper} executes one
+    instruction at a time, which is what a preemptive scheduler needs to
+    interleave several tasks on one core. *)
+
+exception Stack_overflow_ of string
+
+exception Runaway of string
+(** raised when [max_instructions] is exceeded — almost always an
+    unintended infinite loop in a generated program *)
+
+type stats = {
+  retired : int;
+  loads : int;
+  stores : int;
+  fp_long_ops : int;  (** FDIV + FSQRT count *)
+  branches : int;
+  taken_branches : int;
+}
+
+(** Resumable execution: one instruction per {!Stepper.step} call. *)
+module Stepper : sig
+  type t
+
+  (** [create ?max_instructions ?entry ?init_regs ~program ~layout ~memory ()]
+      — [entry] defaults to the program's entry label; [init_regs] presets
+      integer registers (e.g. a task's activation index) before the first
+      instruction. *)
+  val create :
+    ?max_instructions:int ->
+    ?entry:string ->
+    ?init_regs:(int * int) list ->
+    program:Program.t ->
+    layout:Layout.t ->
+    memory:Memory.t ->
+    unit ->
+    t
+
+  (** [step t] executes one instruction and returns its retirement record,
+      or [None] if the program already finished ([Halt], or [Ret] with an
+      empty call stack). *)
+  val step : t -> Instr.retired option
+
+  val finished : t -> bool
+  val stats : t -> stats
+end
+
+(** [run ?max_instructions ~program ~layout ~memory ~on_retire ()] executes
+    from the program's entry to [Halt] (or to [Ret] with an empty call
+    stack).  Default [max_instructions] is [10_000_000]. *)
+val run :
+  ?max_instructions:int ->
+  program:Program.t ->
+  layout:Layout.t ->
+  memory:Memory.t ->
+  on_retire:(Instr.retired -> unit) ->
+  unit ->
+  stats
+
+(** [path_signature ~program ~layout ~memory ()] executes without a consumer
+    and returns a hash of the taken/not-taken branch sequence: two runs with
+    the same signature followed the same execution path.  Used by the
+    per-path analysis of the MBPTA protocol. *)
+val path_signature :
+  ?max_instructions:int ->
+  program:Program.t ->
+  layout:Layout.t ->
+  memory:Memory.t ->
+  unit ->
+  int

@@ -1,0 +1,80 @@
+type t = {
+  code_base : int;
+  data_bases : (string, int * int) Hashtbl.t;  (* symbol -> (base, elements) *)
+}
+
+let instruction_bytes = 4
+let element_bytes = 8
+
+let place ~code_base ~data_placement program =
+  let data_bases = Hashtbl.create 16 in
+  List.iter
+    (fun (d, base) -> Hashtbl.add data_bases d.Program.symbol (base, d.Program.elements))
+    (data_placement program);
+  { code_base; data_bases }
+
+let sequential ?(code_base = 0x4000_0000) ?(data_base = 0x4010_0000) ?(gap = 0) program =
+  let placement p =
+    let next = ref data_base in
+    List.map
+      (fun d ->
+        let base = !next in
+        next := base + (d.Program.elements * element_bytes) + gap;
+        (d, base))
+      (Program.data p)
+  in
+  place ~code_base ~data_placement:placement program
+
+let shifted ~offset program =
+  let aligned = offset / element_bytes * element_bytes in
+  sequential ~data_base:(0x4010_0000 + aligned) program
+
+let scrambled ~seed program =
+  (* A tiny deterministic mixer (splitmix-style) keeps this module free of
+     dependencies; layouts only need to differ per seed, not be
+     cryptographically random. *)
+  let state = ref seed in
+  let next () =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.to_int (Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 0xFFFFFFL)
+  in
+  let code_base = 0x4000_0000 + (next () mod 4096 * instruction_bytes) in
+  let placement p =
+    let symbols = Array.of_list (Program.data p) in
+    (* Fisher-Yates with the local mixer. *)
+    for i = Array.length symbols - 1 downto 1 do
+      let j = next () mod (i + 1) in
+      let tmp = symbols.(i) in
+      symbols.(i) <- symbols.(j);
+      symbols.(j) <- tmp
+    done;
+    let nextb = ref 0x4010_0000 in
+    Array.to_list symbols
+    |> List.map (fun d ->
+           let pad = next () mod 64 * element_bytes in
+           let base = !nextb + pad in
+           nextb := base + (d.Program.elements * element_bytes);
+           (d, base))
+  in
+  place ~code_base ~data_placement:placement program
+
+let code_address t index = t.code_base + (index * instruction_bytes)
+
+let data_address t ~symbol ~element =
+  match Hashtbl.find_opt t.data_bases symbol with
+  | None -> raise Not_found
+  | Some (base, elements) ->
+      if element < 0 || element >= elements then
+        invalid_arg
+          (Printf.sprintf "Layout.data_address: %s[%d] out of bounds (size %d)" symbol
+             element elements);
+      base + (element * element_bytes)
+
+let pp ppf t =
+  Format.fprintf ppf "code @ 0x%08x@." t.code_base;
+  Hashtbl.iter
+    (fun s (base, elements) -> Format.fprintf ppf "%-16s @ 0x%08x (%d elements)@." s base elements)
+    t.data_bases

@@ -1,0 +1,25 @@
+type t = (string, float array) Hashtbl.t
+
+let create program =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun d -> Hashtbl.add t d.Program.symbol (Array.make d.Program.elements 0.))
+    (Program.data program);
+  t
+
+let find t symbol =
+  match Hashtbl.find_opt t symbol with
+  | Some a -> a
+  | None -> invalid_arg ("Memory: unknown symbol " ^ symbol)
+
+let get t symbol i = (find t symbol).(i)
+let set t symbol i v = (find t symbol).(i) <- v
+
+let load_array t symbol values =
+  let a = find t symbol in
+  if Array.length values > Array.length a then
+    invalid_arg ("Memory.load_array: too many values for " ^ symbol);
+  Array.blit values 0 a 0 (Array.length values)
+
+let read_array t symbol = Array.copy (find t symbol)
+let raw t symbol = find t symbol

@@ -1,0 +1,25 @@
+(** Data-memory contents of a run: one float array per data symbol.
+
+    Values and addresses are deliberately separate concerns — {!Layout}
+    decides where a symbol lives (timing), this module holds what it
+    contains (semantics).  A fresh [Memory.t] is created per run and filled
+    with that run's inputs. *)
+
+type t
+
+(** Zero-initialized memory for all data symbols of the program. *)
+val create : Program.t -> t
+
+val get : t -> string -> int -> float
+val set : t -> string -> int -> float -> unit
+
+(** [load_array t symbol values] copies [values] into the symbol
+    (length-checked: [values] must not exceed the symbol size). *)
+val load_array : t -> string -> float array -> unit
+
+(** [read_array t symbol] snapshots the whole symbol. *)
+val read_array : t -> string -> float array
+
+(** [raw t symbol] — the live backing array, shared with [t].  Used by the
+    executor's hot loop; treat as owned by the memory. *)
+val raw : t -> string -> float array

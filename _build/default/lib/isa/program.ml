@@ -1,0 +1,93 @@
+type data_symbol = { symbol : string; elements : int }
+
+type t = {
+  name : string;
+  code : Instr.t array;
+  labels : (string, int) Hashtbl.t;
+  data : data_symbol list;
+  data_index : (string, data_symbol) Hashtbl.t;
+  entry : string;
+}
+
+let check_register r = if r < 0 || r >= Instr.register_count then invalid_arg "register out of range"
+
+let validate t =
+  let check_label l =
+    if not (Hashtbl.mem t.labels l) then invalid_arg ("undefined label: " ^ l)
+  in
+  let check_addr (a : Instr.addressing) =
+    if not (Hashtbl.mem t.data_index a.Instr.base) then
+      invalid_arg ("undefined data symbol: " ^ a.Instr.base);
+    (match a.Instr.index_reg with Some r -> check_register r | None -> ())
+  in
+  check_label t.entry;
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Instr.Li (rd, _) -> check_register rd
+      | Instr.Add (a, b, c) | Instr.Sub (a, b, c) | Instr.Mul (a, b, c)
+      | Instr.Fadd (a, b, c) | Instr.Fsub (a, b, c) | Instr.Fmul (a, b, c)
+      | Instr.Fdiv (a, b, c) ->
+          check_register a;
+          check_register b;
+          check_register c
+      | Instr.Addi (a, b, _) -> check_register a; check_register b
+      | Instr.Fli (fd, _) -> check_register fd
+      | Instr.Fld (fd, addr) -> check_register fd; check_addr addr
+      | Instr.Fst (fs, addr) -> check_register fs; check_addr addr
+      | Instr.Fsqrt (a, b) | Instr.Fabs (a, b) | Instr.Fmov (a, b)
+      | Instr.Fcvt (a, b) | Instr.Icvt (a, b) ->
+          check_register a;
+          check_register b
+      | Instr.Blt (a, b, l) | Instr.Bge (a, b, l) | Instr.Beq (a, b, l)
+      | Instr.Bne (a, b, l) | Instr.Fblt (a, b, l) | Instr.Fbge (a, b, l) ->
+          check_register a;
+          check_register b;
+          check_label l
+      | Instr.Jmp l | Instr.Call l -> check_label l
+      | Instr.Ret | Instr.Nop | Instr.Halt -> ())
+    t.code
+
+let create ~name ~code ~labels ~data ~entry =
+  let label_table = Hashtbl.create 16 in
+  List.iter
+    (fun (l, i) ->
+      if Hashtbl.mem label_table l then invalid_arg ("duplicate label: " ^ l);
+      if i < 0 || i > Array.length code then invalid_arg ("label out of code range: " ^ l);
+      Hashtbl.add label_table l i)
+    labels;
+  let data_index = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if d.elements <= 0 then invalid_arg ("empty data symbol: " ^ d.symbol);
+      if Hashtbl.mem data_index d.symbol then
+        invalid_arg ("duplicate data symbol: " ^ d.symbol);
+      Hashtbl.add data_index d.symbol d)
+    data;
+  let t = { name; code; labels = label_table; data; data_index; entry } in
+  validate t;
+  t
+
+let name t = t.name
+let code t = t.code
+let data t = t.data
+let entry t = t.entry
+
+let label_index t l =
+  match Hashtbl.find_opt t.labels l with Some i -> i | None -> raise Not_found
+
+let data_symbol t s =
+  match Hashtbl.find_opt t.data_index s with Some d -> d | None -> raise Not_found
+
+let length t = Array.length t.code
+
+let pp ppf t =
+  Format.fprintf ppf "program %s (%d instructions, entry %s)@." t.name (length t) t.entry;
+  (* Invert the label table for listing. *)
+  let by_index = Hashtbl.create 16 in
+  Hashtbl.iter (fun l i -> Hashtbl.add by_index i l) t.labels;
+  Array.iteri
+    (fun i instr ->
+      List.iter (fun l -> Format.fprintf ppf "%s:@." l) (Hashtbl.find_all by_index i);
+      Format.fprintf ppf "  %4d  %a@." i Instr.pp instr)
+    t.code

@@ -1,0 +1,38 @@
+(** A program: a flat instruction array with named labels, a set of named
+    data symbols (float arrays in data memory), and an entry label.
+
+    Programs are built with {!Builder}, placed in memory by {!Layout} and run
+    by {!Executor}. *)
+
+type data_symbol = { symbol : string; elements : int }
+
+type t
+
+(** [create ~name ~code ~labels ~data ~entry] — validates that every branch
+    target and [entry] are defined labels, register indices are in range,
+    and every addressing base is a declared data symbol.
+    Raises [Invalid_argument] otherwise. *)
+val create :
+  name:string ->
+  code:Instr.t array ->
+  labels:(string * int) list ->
+  data:data_symbol list ->
+  entry:string ->
+  t
+
+val name : t -> string
+val code : t -> Instr.t array
+val data : t -> data_symbol list
+val entry : t -> string
+
+(** [label_index t l] — instruction index of label [l].
+    Raises [Not_found] for an unknown label. *)
+val label_index : t -> string -> int
+
+(** [data_symbol t s] — declared size (elements) of symbol [s]. *)
+val data_symbol : t -> string -> data_symbol
+
+(** Total static instruction count. *)
+val length : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/platform/bus.ml: Array Config List Repro_rng

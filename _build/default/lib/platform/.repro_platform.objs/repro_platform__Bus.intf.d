@@ -1,0 +1,1 @@
+lib/platform/bus.mli: Config Repro_rng

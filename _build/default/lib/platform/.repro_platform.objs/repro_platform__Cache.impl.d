@@ -1,0 +1,1 @@
+lib/platform/cache.ml: Array Config Int64 Repro_rng

@@ -1,0 +1,1 @@
+lib/platform/cache.mli: Config Repro_rng

@@ -1,0 +1,1 @@
+lib/platform/core_sim.ml: Bus Cache Config Dram Fpu Metrics Repro_isa Repro_rng Tlb

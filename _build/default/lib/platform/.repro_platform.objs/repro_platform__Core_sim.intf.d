@@ -1,0 +1,1 @@
+lib/platform/core_sim.mli: Config Metrics Repro_isa

@@ -1,0 +1,1 @@
+lib/platform/dram.mli: Config

@@ -1,0 +1,1 @@
+lib/platform/fpu.ml: Config Float Int64 Repro_isa Stdlib

@@ -1,0 +1,1 @@
+lib/platform/fpu.mli: Config Repro_isa

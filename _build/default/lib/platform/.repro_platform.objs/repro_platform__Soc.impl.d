@@ -1,0 +1,1 @@
+lib/platform/soc.ml: Core_sim List

@@ -1,0 +1,1 @@
+lib/platform/soc.mli: Config Core_sim Metrics Repro_isa

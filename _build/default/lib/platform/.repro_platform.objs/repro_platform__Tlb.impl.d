@@ -1,0 +1,1 @@
+lib/platform/tlb.ml: Array Config Repro_rng

@@ -1,0 +1,27 @@
+module Prng = Repro_rng.Prng
+
+type t = {
+  transfer : int;
+  contenders : float array;
+  mutable transactions : int;
+}
+
+let create ~latencies ~contenders =
+  List.iter (fun p -> assert (p >= 0. && p <= 1.)) contenders;
+  {
+    transfer = latencies.Config.bus_transfer;
+    contenders = Array.of_list contenders;
+    transactions = 0;
+  }
+
+let transaction t ~prng =
+  t.transactions <- t.transactions + 1;
+  let interference = ref 0 in
+  Array.iter
+    (fun pressure -> if Prng.float prng < pressure then interference := !interference + t.transfer)
+    t.contenders;
+  t.transfer + !interference
+
+let count t = t.transactions
+
+let reset t = t.transactions <- 0

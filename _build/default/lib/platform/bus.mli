@@ -1,0 +1,25 @@
+(** Shared bus between the cores' L1 caches and the memory controller.
+
+    Round-robin arbitration: a requester waits for the bus transfer slots of
+    the other cores that are contending.  For a single active core the bus
+    adds a fixed transfer cost per transaction; with co-runners the expected
+    interference per transaction grows with the number of contenders and
+    their bus pressure — the multicore experiment (A4) drives this. *)
+
+type t
+
+(** [create ~latencies ~contenders] — [contenders] is the list of co-runner
+    bus pressures in [[0, 1]] (fraction of bus slots each co-runner
+    occupies); empty for single-core runs. *)
+val create : latencies:Config.latencies -> contenders:float list -> t
+
+(** [transaction t ~prng] — cycles this bus transaction takes including
+    arbitration delay.  Interference is sampled per transaction: each
+    contender occupies the slot ahead of us with its pressure
+    probability. *)
+val transaction : t -> prng:Repro_rng.Prng.t -> int
+
+(** Transactions seen so far. *)
+val count : t -> int
+
+val reset : t -> unit

@@ -1,0 +1,140 @@
+module Prng = Repro_rng.Prng
+
+type outcome = Hit | Miss
+
+type t = {
+  config : Config.cache_config;
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array array;  (* sets x ways; full line number, -1 = invalid *)
+  recency : int array array;  (* sets x ways; last-use stamp for LRU *)
+  rr : int array;  (* per-set round-robin pointer *)
+  mutable clock : int;
+  prng : Prng.t;
+  mutable seed_material : int;  (* per-flush salt for randomized placement *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable write_throughs : int;
+}
+
+(* splitmix-like 2-in-1 mixer used as the placement hash. *)
+let mix a b =
+  let z = Int64.of_int ((a * 0x9E3779B9) lxor (b * 0x85EBCA6B)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
+
+let create ~config ~prng =
+  let sets = Config.sets config.Config.geometry in
+  let ways = config.Config.geometry.Config.ways in
+  {
+    config;
+    sets;
+    ways;
+    line_bytes = config.Config.geometry.Config.line_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    recency = Array.init sets (fun _ -> Array.make ways 0);
+    rr = Array.make sets 0;
+    clock = 0;
+    prng;
+    seed_material = Prng.bits32 prng;
+    hits = 0;
+    misses = 0;
+    write_throughs = 0;
+  }
+
+let sets t = t.sets
+let ways t = t.ways
+
+let line_of_addr t addr = addr / t.line_bytes
+
+let set_of_line t line =
+  match t.config.Config.placement with
+  | Config.Modulo -> line land (t.sets - 1)
+  | Config.Random_modulo ->
+      (* Rotate the conventional index by a hash of the tag: lines within the
+         same window (equal tag) keep distinct sets. *)
+      let index = line land (t.sets - 1) in
+      let tag = line / t.sets in
+      (index + mix tag t.seed_material) land (t.sets - 1)
+  | Config.Hash_random -> mix line t.seed_material land (t.sets - 1)
+
+let set_of_addr t addr = set_of_line t (line_of_addr t addr)
+
+let find_way t set line =
+  let tags = t.tags.(set) in
+  let rec go w = if w >= t.ways then None else if tags.(w) = line then Some w else go (w + 1) in
+  go 0
+
+let touch t set way =
+  t.clock <- t.clock + 1;
+  t.recency.(set).(way) <- t.clock
+
+let victim_way t set =
+  let tags = t.tags.(set) in
+  (* Prefer an invalid way. *)
+  let rec find_invalid w =
+    if w >= t.ways then None else if tags.(w) = -1 then Some w else find_invalid (w + 1)
+  in
+  match find_invalid 0 with
+  | Some w -> w
+  | None -> begin
+      match t.config.Config.replacement with
+      | Config.Lru ->
+          let best = ref 0 in
+          for w = 1 to t.ways - 1 do
+            if t.recency.(set).(w) < t.recency.(set).(!best) then best := w
+          done;
+          !best
+      | Config.Random_replacement -> Prng.int_below t.prng t.ways
+      | Config.Round_robin ->
+          let w = t.rr.(set) in
+          t.rr.(set) <- (w + 1) mod t.ways;
+          w
+    end
+
+let access t ~addr ~write =
+  let line = line_of_addr t addr in
+  let set = set_of_line t line in
+  match find_way t set line with
+  | Some way ->
+      t.hits <- t.hits + 1;
+      if write then t.write_throughs <- t.write_throughs + 1;
+      touch t set way;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      if write then begin
+        (* no-write-allocate: the write goes straight through. *)
+        t.write_throughs <- t.write_throughs + 1;
+        Miss
+      end
+      else begin
+        let way = victim_way t set in
+        t.tags.(set).(way) <- line;
+        touch t set way;
+        Miss
+      end
+
+let probe t ~addr =
+  let line = line_of_addr t addr in
+  let set = set_of_line t line in
+  match find_way t set line with Some _ -> Hit | None -> Miss
+
+let flush t =
+  Array.iter (fun ws -> Array.fill ws 0 (Array.length ws) (-1)) t.tags;
+  Array.iter (fun ws -> Array.fill ws 0 (Array.length ws) 0) t.recency;
+  Array.fill t.rr 0 t.sets 0;
+  t.clock <- 0;
+  (* A flush models a run boundary: draw a fresh placement salt. *)
+  t.seed_material <- Prng.bits32 t.prng
+
+type stats = { hits : int; misses : int; write_throughs : int }
+
+let stats (t : t) = { hits = t.hits; misses = t.misses; write_throughs = t.write_throughs }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.write_throughs <- 0

@@ -1,0 +1,49 @@
+(** Set-associative cache timing model with the placement and replacement
+    policies of the paper.
+
+    Placement decides which set a line maps to:
+    - [Modulo]: the conventional [line mod sets] — layout-sensitive;
+    - [Random_modulo] (Hernandez et al., DAC 2016): the modulo index is
+      rotated by a pseudo-random function of the line's tag and the per-run
+      seed, so consecutive lines still occupy distinct sets (no intra-window
+      conflicts) but the mapping changes every run;
+    - [Hash_random] (Kosmidis et al., DATE 2013): the set is a pseudo-random
+      hash of the full line address and the seed.
+
+    Replacement decides the victim way: LRU, random, or round-robin
+    (FIFO-per-set).
+
+    The model tracks presence only (no data), which is all timing needs. *)
+
+type t
+
+type outcome = Hit | Miss
+
+(** [create ~config ~prng] — [prng] drives random placement/replacement; a
+    fresh per-run seed gives a fresh mapping (the paper sets "a new seed for
+    each experiment"). *)
+val create : config:Config.cache_config -> prng:Repro_rng.Prng.t -> t
+
+(** [access t ~addr ~write] looks up the line containing byte [addr];
+    allocation on read misses; write misses do not allocate (no-write-
+    allocate) and write hits refresh recency only (write-through has no
+    dirty state). *)
+val access : t -> addr:int -> write:bool -> outcome
+
+(** [probe t ~addr] — lookup without side effects. *)
+val probe : t -> addr:int -> outcome
+
+(** Invalidate everything (per-run cache flush). *)
+val flush : t -> unit
+
+(** The set index [addr] currently maps to (depends on the seed for the
+    randomized policies). *)
+val set_of_addr : t -> int -> int
+
+val sets : t -> int
+val ways : t -> int
+
+type stats = { hits : int; misses : int; write_throughs : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

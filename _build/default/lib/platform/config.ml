@@ -1,0 +1,118 @@
+type placement = Modulo | Random_modulo | Hash_random
+type replacement = Lru | Random_replacement | Round_robin
+type fpu_mode = Value_dependent | Worst_case_fixed
+type dram_mode = Open_page | Fixed_worst
+
+type cache_geometry = { size_bytes : int; line_bytes : int; ways : int }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let sets g =
+  let lines = g.size_bytes / g.line_bytes in
+  let sets = lines / g.ways in
+  if
+    (not (is_power_of_two g.size_bytes))
+    || (not (is_power_of_two g.line_bytes))
+    || sets * g.ways * g.line_bytes <> g.size_bytes
+    || not (is_power_of_two sets)
+  then invalid_arg "Config.sets: geometry must be power-of-two and consistent";
+  sets
+
+type cache_config = {
+  geometry : cache_geometry;
+  placement : placement;
+  replacement : replacement;
+}
+
+type latencies = {
+  l1_hit : int;
+  bus_transfer : int;
+  dram_row_hit : int;
+  dram_row_miss : int;
+  dram_fixed : int;
+  tlb_miss_walk : int;
+  store_buffer : int;
+  branch_taken : int;
+  int_mul : int;
+  fp_short : int;
+}
+
+type t = {
+  name : string;
+  il1 : cache_config;
+  dl1 : cache_config;
+  itlb_entries : int;
+  dtlb_entries : int;
+  tlb_replacement : replacement;
+  page_bytes : int;
+  fpu : fpu_mode;
+  dram : dram_mode;
+  dram_banks : int;
+  dram_row_bytes : int;
+  latencies : latencies;
+}
+
+let leon3_geometry = { size_bytes = 16 * 1024; line_bytes = 32; ways = 4 }
+
+let default_latencies =
+  {
+    l1_hit = 0;
+    bus_transfer = 8;
+    dram_row_hit = 30;
+    dram_row_miss = 70;
+    dram_fixed = 70;
+    tlb_miss_walk = 60;
+    store_buffer = 2;
+    branch_taken = 2;
+    int_mul = 2;
+    fp_short = 3;
+  }
+
+let deterministic =
+  {
+    name = "DET";
+    il1 = { geometry = leon3_geometry; placement = Modulo; replacement = Lru };
+    dl1 = { geometry = leon3_geometry; placement = Modulo; replacement = Lru };
+    itlb_entries = 64;
+    dtlb_entries = 64;
+    tlb_replacement = Lru;
+    page_bytes = 4096;
+    fpu = Value_dependent;
+    dram = Open_page;
+    dram_banks = 4;
+    dram_row_bytes = 2048;
+    latencies = default_latencies;
+  }
+
+let mbpta_compliant =
+  {
+    deterministic with
+    name = "RAND";
+    il1 =
+      { geometry = leon3_geometry; placement = Random_modulo; replacement = Random_replacement };
+    dl1 =
+      { geometry = leon3_geometry; placement = Random_modulo; replacement = Random_replacement };
+    tlb_replacement = Random_replacement;
+    fpu = Worst_case_fixed;
+    (* The paper modifies caches, TLBs and FPU only; the DRAM controller is
+       untouched, and its jitter is covered by the randomized miss stream. *)
+    dram = Open_page;
+  }
+
+let with_placement t p =
+  { t with il1 = { t.il1 with placement = p }; dl1 = { t.dl1 with placement = p } }
+
+let with_replacement t r =
+  { t with il1 = { t.il1 with replacement = r }; dl1 = { t.dl1 with replacement = r } }
+
+let with_fpu t fpu = { t with fpu }
+
+let placement_name = function
+  | Modulo -> "modulo"
+  | Random_modulo -> "random-modulo"
+  | Hash_random -> "hash-random"
+
+let replacement_name = function
+  | Lru -> "lru"
+  | Random_replacement -> "random"
+  | Round_robin -> "round-robin"

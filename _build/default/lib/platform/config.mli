@@ -1,0 +1,76 @@
+(** Platform configuration: the reference LEON3-class architecture of the
+    paper (Figure 1) in both its flavours.
+
+    - {!deterministic} (DET): the baseline — modulo placement, LRU
+      replacement, value-dependent FPU latency, open-page DRAM.  Execution
+      time depends on the memory layout and operand values; that dependence
+      is exactly what industrial MBTA must enumerate.
+    - {!mbpta_compliant} (RAND): the modified platform — random-modulo
+      placement and random replacement in IL1/DL1, random replacement in the
+      TLBs, worst-case-fixed FDIV/FSQRT latency and closed-page (fixed
+      worst) DRAM, per the two MBPTA compliance techniques (randomize, or
+      force the worst case). *)
+
+type placement = Modulo | Random_modulo | Hash_random
+type replacement = Lru | Random_replacement | Round_robin
+type fpu_mode = Value_dependent | Worst_case_fixed
+type dram_mode = Open_page | Fixed_worst
+
+type cache_geometry = { size_bytes : int; line_bytes : int; ways : int }
+
+(** [sets g] — number of cache sets; fails on non-power-of-two geometry. *)
+val sets : cache_geometry -> int
+
+type cache_config = {
+  geometry : cache_geometry;
+  placement : placement;
+  replacement : replacement;
+}
+
+type latencies = {
+  l1_hit : int;  (** extra cycles on an L1 hit beyond the pipelined base *)
+  bus_transfer : int;  (** bus occupancy per transaction *)
+  dram_row_hit : int;
+  dram_row_miss : int;
+  dram_fixed : int;  (** closed-page latency used in [Fixed_worst] mode *)
+  tlb_miss_walk : int;  (** page-table walk penalty *)
+  store_buffer : int;  (** write-through store cost as seen by the pipeline *)
+  branch_taken : int;  (** flush penalty of a taken branch *)
+  int_mul : int;
+  fp_short : int;  (** FADD/FMUL latency *)
+}
+
+type t = {
+  name : string;
+  il1 : cache_config;
+  dl1 : cache_config;
+  itlb_entries : int;
+  dtlb_entries : int;
+  tlb_replacement : replacement;
+  page_bytes : int;
+  fpu : fpu_mode;
+  dram : dram_mode;
+  dram_banks : int;
+  dram_row_bytes : int;
+  latencies : latencies;
+}
+
+(** 16KB 4-way IL1/DL1 with 32-byte lines, as in the paper. *)
+val leon3_geometry : cache_geometry
+
+val default_latencies : latencies
+
+val deterministic : t
+val mbpta_compliant : t
+
+(** [with_placement t p] / [with_replacement t r] — both L1 caches changed;
+    used by the placement/replacement ablations. *)
+val with_placement : t -> placement -> t
+
+val with_replacement : t -> replacement -> t
+
+(** [with_fpu t mode] — FPU latency mode changed (A2 ablation). *)
+val with_fpu : t -> fpu_mode -> t
+
+val placement_name : placement -> string
+val replacement_name : replacement -> string

@@ -1,0 +1,127 @@
+module Prng = Repro_rng.Prng
+module Instr = Repro_isa.Instr
+
+type t = {
+  config : Config.t;
+  il1 : Cache.t;
+  dl1 : Cache.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  fpu : Fpu.t;
+  bus : Bus.t;
+  dram : Dram.t;
+  prng : Prng.t;
+  mutable cycles : int;
+}
+
+let create ?(contenders = []) ~config ~seed () =
+  let prng = Prng.create seed in
+  let lat = config.Config.latencies in
+  {
+    config;
+    il1 = Cache.create ~config:config.Config.il1 ~prng:(Prng.split prng);
+    dl1 = Cache.create ~config:config.Config.dl1 ~prng:(Prng.split prng);
+    itlb =
+      Tlb.create ~entries:config.Config.itlb_entries ~page_bytes:config.Config.page_bytes
+        ~replacement:config.Config.tlb_replacement ~prng:(Prng.split prng);
+    dtlb =
+      Tlb.create ~entries:config.Config.dtlb_entries ~page_bytes:config.Config.page_bytes
+        ~replacement:config.Config.tlb_replacement ~prng:(Prng.split prng);
+    fpu = Fpu.create ~mode:config.Config.fpu ~latencies:lat;
+    bus = Bus.create ~latencies:lat ~contenders;
+    dram =
+      Dram.create ~mode:config.Config.dram ~banks:config.Config.dram_banks
+        ~row_bytes:config.Config.dram_row_bytes ~latencies:lat;
+    prng;
+    cycles = 0;
+  }
+
+let config t = t.config
+
+let reset_run t =
+  Cache.flush t.il1;
+  Cache.flush t.dl1;
+  Cache.reset_stats t.il1;
+  Cache.reset_stats t.dl1;
+  Tlb.flush t.itlb;
+  Tlb.flush t.dtlb;
+  Tlb.reset_stats t.itlb;
+  Tlb.reset_stats t.dtlb;
+  Dram.flush t.dram;
+  Dram.reset_stats t.dram;
+  Bus.reset t.bus;
+  t.cycles <- 0
+
+(* A memory transaction that reached the bus: arbitration + DRAM. *)
+let memory_transaction t ~addr =
+  t.cycles <- t.cycles + Bus.transaction t.bus ~prng:t.prng + Dram.access t.dram ~addr
+
+let data_access t ~addr ~write =
+  (match Tlb.access t.dtlb ~addr with
+  | Tlb.Hit -> ()
+  | Tlb.Miss -> t.cycles <- t.cycles + t.config.Config.latencies.Config.tlb_miss_walk);
+  match Cache.access t.dl1 ~addr ~write with
+  | Cache.Hit ->
+      t.cycles <- t.cycles + t.config.Config.latencies.Config.l1_hit;
+      if write then
+        (* write-through: the store drains via the store buffer *)
+        t.cycles <- t.cycles + t.config.Config.latencies.Config.store_buffer
+  | Cache.Miss ->
+      if write then t.cycles <- t.cycles + t.config.Config.latencies.Config.store_buffer
+      else memory_transaction t ~addr
+
+let consume t (r : Instr.retired) =
+  (* Pipelined base cost. *)
+  t.cycles <- t.cycles + 1;
+  (* Fetch: ITLB then IL1. *)
+  (match Tlb.access t.itlb ~addr:r.Instr.fetch_addr with
+  | Tlb.Hit -> ()
+  | Tlb.Miss -> t.cycles <- t.cycles + t.config.Config.latencies.Config.tlb_miss_walk);
+  (match Cache.access t.il1 ~addr:r.Instr.fetch_addr ~write:false with
+  | Cache.Hit -> t.cycles <- t.cycles + t.config.Config.latencies.Config.l1_hit
+  | Cache.Miss -> memory_transaction t ~addr:r.Instr.fetch_addr);
+  match r.Instr.work with
+  | Instr.Int_alu -> ()
+  | Instr.Int_mul -> t.cycles <- t.cycles + t.config.Config.latencies.Config.int_mul
+  | Instr.Mem_read addr -> data_access t ~addr ~write:false
+  | Instr.Mem_write addr -> data_access t ~addr ~write:true
+  | Instr.Fp_short op -> t.cycles <- t.cycles + Fpu.latency t.fpu op ~x:0. ~y:0.
+  | Instr.Fp_long (op, x, y) -> t.cycles <- t.cycles + Fpu.latency t.fpu op ~x ~y
+  | Instr.Ctrl taken ->
+      if taken then t.cycles <- t.cycles + t.config.Config.latencies.Config.branch_taken
+  | Instr.No_op -> ()
+
+let advance t n =
+  assert (n >= 0);
+  t.cycles <- t.cycles + n
+
+let cycles t = t.cycles
+
+let snapshot t ~instructions ~fp_long_ops ~taken_branches =
+  let il1 = Cache.stats t.il1 and dl1 = Cache.stats t.dl1 in
+  let itlb = Tlb.stats t.itlb and dtlb = Tlb.stats t.dtlb in
+  let dram = Dram.stats t.dram in
+  {
+    Metrics.cycles = t.cycles;
+    instructions;
+    il1_hits = il1.Cache.hits;
+    il1_misses = il1.Cache.misses;
+    dl1_hits = dl1.Cache.hits;
+    dl1_misses = dl1.Cache.misses;
+    itlb_misses = itlb.Tlb.misses;
+    dtlb_misses = dtlb.Tlb.misses;
+    bus_transactions = Bus.count t.bus;
+    dram_row_hits = dram.Dram.row_hits;
+    dram_row_misses = dram.Dram.row_misses;
+    fp_long_ops;
+    taken_branches;
+  }
+
+let run_program t ~program ~layout ~memory =
+  reset_run t;
+  let stats =
+    Repro_isa.Executor.run ~program ~layout ~memory ~on_retire:(consume t) ()
+  in
+  snapshot t ~instructions:stats.Repro_isa.Executor.retired
+    ~fp_long_ops:stats.Repro_isa.Executor.fp_long_ops
+    ~taken_branches:stats.Repro_isa.Executor.taken_branches

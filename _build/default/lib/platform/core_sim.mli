@@ -1,0 +1,44 @@
+(** One LEON3-class core: the 7-stage in-order pipeline timing model wired
+    to its IL1/DL1, ITLB/DTLB, FPU, and the shared bus + DRAM controller.
+
+    The model is cycle-approximate: the pipelined base cost is one cycle per
+    retired instruction, and every stall source the paper names adds its
+    latency on top — IL1/DL1 misses (bus + DRAM), TLB walks, FDIV/FSQRT
+    iterations, taken-branch flushes, write-through store cost.  What makes
+    a platform DET or RAND is entirely the configuration, not this code. *)
+
+type t
+
+(** [create ?contenders ~config ~seed ()] — [seed] drives all platform
+    randomization for this instance (placement, replacement, bus
+    interference sampling); [contenders] are co-runner bus pressures for
+    multicore experiments. *)
+val create : ?contenders:float list -> config:Config.t -> seed:int64 -> unit -> t
+
+val config : t -> Config.t
+
+(** Flush caches, TLBs and DRAM row buffers and draw fresh placement salts:
+    the paper's per-run "flush caches, reset, reload, new seed" protocol. *)
+val reset_run : t -> unit
+
+(** [consume t retired] — advance time for one retired instruction.
+    Exposed so schedulers can interleave instruction streams. *)
+val consume : t -> Repro_isa.Instr.retired -> unit
+
+(** Add idle cycles (e.g. a scheduler's timer tick overhead). *)
+val advance : t -> int -> unit
+
+val cycles : t -> int
+
+(** [run_program t ~program ~layout ~memory] — [reset_run], execute to
+    completion, and return this run's metrics. *)
+val run_program :
+  t ->
+  program:Repro_isa.Program.t ->
+  layout:Repro_isa.Layout.t ->
+  memory:Repro_isa.Memory.t ->
+  Metrics.t
+
+(** Metrics accumulated since the last [reset_run] (for callers driving
+    [consume] directly). *)
+val snapshot : t -> instructions:int -> fp_long_ops:int -> taken_branches:int -> Metrics.t

@@ -1,0 +1,51 @@
+type t = {
+  mode : Config.dram_mode;
+  banks : int;
+  row_bytes : int;
+  open_rows : int array;  (* per bank; -1 = closed *)
+  row_hit : int;
+  row_miss : int;
+  fixed : int;
+  mutable row_hits : int;
+  mutable row_misses : int;
+}
+
+let create ~mode ~banks ~row_bytes ~latencies =
+  assert (banks >= 1 && row_bytes >= 1);
+  {
+    mode;
+    banks;
+    row_bytes;
+    open_rows = Array.make banks (-1);
+    row_hit = latencies.Config.dram_row_hit;
+    row_miss = latencies.Config.dram_row_miss;
+    fixed = latencies.Config.dram_fixed;
+    row_hits = 0;
+    row_misses = 0;
+  }
+
+let access t ~addr =
+  match t.mode with
+  | Config.Fixed_worst -> t.fixed
+  | Config.Open_page ->
+      let row = addr / t.row_bytes in
+      let bank = row mod t.banks in
+      if t.open_rows.(bank) = row then begin
+        t.row_hits <- t.row_hits + 1;
+        t.row_hit
+      end
+      else begin
+        t.row_misses <- t.row_misses + 1;
+        t.open_rows.(bank) <- row;
+        t.row_miss
+      end
+
+let flush t = Array.fill t.open_rows 0 t.banks (-1)
+
+type stats = { row_hits : int; row_misses : int }
+
+let stats (t : t) = { row_hits = t.row_hits; row_misses = t.row_misses }
+
+let reset_stats (t : t) =
+  t.row_hits <- 0;
+  t.row_misses <- 0

@@ -1,0 +1,24 @@
+(** DRAM controller timing: per-bank open row (row-buffer) model.
+
+    In [Open_page] mode an access to the currently open row of its bank is
+    cheap (row hit) while switching rows pays precharge + activate (row
+    miss) — a layout- and history-dependent jitter source.  In [Fixed_worst]
+    mode every access pays the closed-page worst-case latency, making the
+    controller jitterless for MBPTA (the "force the worst case" compliance
+    technique). *)
+
+type t
+
+val create :
+  mode:Config.dram_mode -> banks:int -> row_bytes:int -> latencies:Config.latencies -> t
+
+(** [access t ~addr] — latency in cycles of this memory transaction. *)
+val access : t -> addr:int -> int
+
+(** Close all row buffers (run boundary). *)
+val flush : t -> unit
+
+type stats = { row_hits : int; row_misses : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

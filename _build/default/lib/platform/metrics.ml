@@ -1,0 +1,35 @@
+type t = {
+  cycles : int;
+  instructions : int;
+  il1_hits : int;
+  il1_misses : int;
+  dl1_hits : int;
+  dl1_misses : int;
+  itlb_misses : int;
+  dtlb_misses : int;
+  bus_transactions : int;
+  dram_row_hits : int;
+  dram_row_misses : int;
+  fp_long_ops : int;
+  taken_branches : int;
+}
+
+let cycles t = t.cycles
+
+let cpi t =
+  if t.instructions = 0 then 0. else float_of_int t.cycles /. float_of_int t.instructions
+
+let rate misses hits =
+  let total = misses + hits in
+  if total = 0 then 0. else float_of_int misses /. float_of_int total
+
+let il1_miss_rate t = rate t.il1_misses t.il1_hits
+let dl1_miss_rate t = rate t.dl1_misses t.dl1_hits
+
+let pp ppf t =
+  Format.fprintf ppf
+    "cycles=%d instr=%d cpi=%.3f il1=%.4f dl1=%.4f itlb_m=%d dtlb_m=%d bus=%d dram=%d/%d \
+     fp_long=%d taken=%d"
+    t.cycles t.instructions (cpi t) (il1_miss_rate t) (dl1_miss_rate t) t.itlb_misses
+    t.dtlb_misses t.bus_transactions t.dram_row_hits t.dram_row_misses t.fp_long_ops
+    t.taken_branches

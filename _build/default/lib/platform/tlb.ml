@@ -1,0 +1,89 @@
+module Prng = Repro_rng.Prng
+
+type outcome = Hit | Miss
+
+type t = {
+  entries : int;
+  page_bytes : int;
+  replacement : Config.replacement;
+  pages : int array;  (* page number, -1 = invalid *)
+  recency : int array;
+  mutable rr : int;
+  mutable clock : int;
+  prng : Prng.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries ~page_bytes ~replacement ~prng =
+  assert (entries >= 1 && page_bytes >= 1);
+  {
+    entries;
+    page_bytes;
+    replacement;
+    pages = Array.make entries (-1);
+    recency = Array.make entries 0;
+    rr = 0;
+    clock = 0;
+    prng;
+    hits = 0;
+    misses = 0;
+  }
+
+let find t page =
+  let rec go i =
+    if i >= t.entries then None else if t.pages.(i) = page then Some i else go (i + 1)
+  in
+  go 0
+
+let victim t =
+  let rec find_invalid i =
+    if i >= t.entries then None
+    else if t.pages.(i) = -1 then Some i
+    else find_invalid (i + 1)
+  in
+  match find_invalid 0 with
+  | Some i -> i
+  | None -> begin
+      match t.replacement with
+      | Config.Lru ->
+          let best = ref 0 in
+          for i = 1 to t.entries - 1 do
+            if t.recency.(i) < t.recency.(!best) then best := i
+          done;
+          !best
+      | Config.Random_replacement -> Prng.int_below t.prng t.entries
+      | Config.Round_robin ->
+          let i = t.rr in
+          t.rr <- (i + 1) mod t.entries;
+          i
+    end
+
+let access t ~addr =
+  let page = addr / t.page_bytes in
+  t.clock <- t.clock + 1;
+  match find t page with
+  | Some i ->
+      t.hits <- t.hits + 1;
+      t.recency.(i) <- t.clock;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      let i = victim t in
+      t.pages.(i) <- page;
+      t.recency.(i) <- t.clock;
+      Miss
+
+let flush t =
+  Array.fill t.pages 0 t.entries (-1);
+  Array.fill t.recency 0 t.entries 0;
+  t.rr <- 0;
+  t.clock <- 0
+
+type stats = { hits : int; misses : int }
+
+let stats (t : t) = { hits = t.hits; misses = t.misses }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,25 @@
+(** Fully associative translation lookaside buffer (64 entries in the
+    reference platform), with LRU or random replacement.  The paper
+    randomizes ITLB and DTLB replacement on the MBPTA-compliant platform. *)
+
+type t
+
+type outcome = Hit | Miss
+
+val create :
+  entries:int ->
+  page_bytes:int ->
+  replacement:Config.replacement ->
+  prng:Repro_rng.Prng.t ->
+  t
+
+(** [access t ~addr] translates the page containing [addr], allocating on
+    miss. *)
+val access : t -> addr:int -> outcome
+
+val flush : t -> unit
+
+type stats = { hits : int; misses : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/rng/lfsr.ml: Int64 Splitmix

@@ -1,0 +1,1 @@
+lib/rng/lfsr.mli: Generator

@@ -1,0 +1,1 @@
+lib/rng/mwc.ml: Int64 Splitmix

@@ -1,0 +1,1 @@
+lib/rng/pcg.ml: Int64 Splitmix

@@ -1,0 +1,1 @@
+lib/rng/pcg.mli: Generator

@@ -1,0 +1,1 @@
+lib/rng/prng.ml: Array Float Generator Int64 Lfsr Mwc Pcg Stdlib Xorshift

@@ -1,0 +1,1 @@
+lib/rng/quality.ml: Array Float Format List Prng Stdlib

@@ -1,0 +1,1 @@
+lib/rng/quality.mli: Format Prng

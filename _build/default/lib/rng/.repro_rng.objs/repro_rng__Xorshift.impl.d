@@ -1,0 +1,1 @@
+lib/rng/xorshift.ml: Int64 Splitmix

@@ -1,0 +1,8 @@
+module type S = sig
+  type state
+
+  val name : string
+  val create : int64 -> state
+  val next32 : state -> int
+  val copy : state -> state
+end

@@ -1,0 +1,22 @@
+type state = { mutable r : int64 }
+
+let name = "lfsr64"
+
+(* Maximal-length polynomial x^64 + x^63 + x^61 + x^60 + 1 (taps as a mask). *)
+let taps = 0xD800000000000000L
+
+let create seed =
+  let sm = Splitmix.create seed in
+  { r = Splitmix.next_nonzero sm }
+
+let shift t =
+  let lsb = Int64.logand t.r 1L in
+  t.r <- Int64.shift_right_logical t.r 1;
+  if Int64.equal lsb 1L then t.r <- Int64.logxor t.r taps;
+  Int64.to_int lsb
+
+let next32 t =
+  let rec gather acc i = if i = 32 then acc else gather ((acc lsl 1) lor shift t) (i + 1) in
+  gather 0 0
+
+let copy t = { r = t.r }

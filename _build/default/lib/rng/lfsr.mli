@@ -1,0 +1,8 @@
+(** 64-bit Galois linear-feedback shift register with a maximal-length
+    polynomial.  LFSRs are the classic hardware randomization primitive; the
+    IEC-61508-qualified generator of the reference platform is built from
+    LFSR stages.  One output bit is produced per shift; [next32] gathers 32
+    shifts, so the generator is slower but matches a bit-serial hardware
+    implementation. *)
+
+include Generator.S

@@ -1,0 +1,22 @@
+type state = { mutable x : int64 }
+
+let name = "mwc32"
+
+(* MWC with a = 4294957665 = 0xFFFFDA61: x and carry packed in 64 bits. *)
+let a = 0xFFFFDA61L
+
+let create seed =
+  let sm = Splitmix.create seed in
+  (* Low 32 bits = x, high 32 bits = carry; carry must be in [1, a-1]. *)
+  let x = Int64.logand (Splitmix.next sm) 0xFFFFFFFFL in
+  let c = Int64.add 1L (Int64.rem (Splitmix.next_nonzero sm) (Int64.sub a 2L)) in
+  let c = if Int64.compare c 0L < 0 then Int64.neg c else c in
+  { x = Int64.logor x (Int64.shift_left c 32) }
+
+let copy t = { x = t.x }
+
+let next32 t =
+  let x = Int64.logand t.x 0xFFFFFFFFL in
+  let c = Int64.shift_right_logical t.x 32 in
+  t.x <- Int64.add (Int64.mul a x) c;
+  Int64.to_int (Int64.logand t.x 0xFFFFFFFFL)

@@ -1,0 +1,5 @@
+(** Multiply-with-carry generator (Marsaglia): 32-bit lag-1 MWC with
+    multiplier 4294957665; tiny state, long period, hardware-friendly
+    (one multiply and one add per output). *)
+
+include Generator.S

@@ -1,0 +1,28 @@
+type state = { mutable s : int64; inc : int64 }
+
+let name = "pcg32"
+
+let multiplier = 6364136223846793005L
+
+let create seed =
+  let sm = Splitmix.create seed in
+  let initstate = Splitmix.next sm in
+  (* The stream selector must be odd. *)
+  let inc = Int64.logor (Splitmix.next sm) 1L in
+  let t = { s = 0L; inc } in
+  t.s <- Int64.add initstate inc;
+  t.s <- Int64.add (Int64.mul t.s multiplier) inc;
+  t
+
+let copy t = { s = t.s; inc = t.inc }
+
+let next32 t =
+  let old = t.s in
+  t.s <- Int64.add (Int64.mul old multiplier) t.inc;
+  let xorshifted =
+    Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical old 18) old) 27
+  in
+  let xorshifted = Int64.to_int (Int64.logand xorshifted 0xFFFFFFFFL) in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
+  if rot = 0 then xorshifted
+  else ((xorshifted lsr rot) lor (xorshifted lsl (32 - rot))) land 0xFFFFFFFF

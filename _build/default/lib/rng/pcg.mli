@@ -1,0 +1,4 @@
+(** PCG32 (O'Neill, 2014): 64-bit LCG state with a permuted xorshift-rotate
+    output function.  Included as an alternative qualified generator. *)
+
+include Generator.S

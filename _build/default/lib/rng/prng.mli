@@ -1,0 +1,68 @@
+(** A packaged pseudo-random number generator: any {!Generator.S}
+    implementation boxed with its state, plus the derived draws every client
+    of the library needs (floats, bounded ints, booleans, permutations).
+
+    This is the single randomness entry point for the whole reproduction:
+    the time-randomized platform (cache placement/replacement seeds), the
+    workload input generator, and the synthetic-data generators used by the
+    statistics tests all draw from a [Prng.t]. *)
+
+type t
+
+(** Which generator algorithm backs a [t]. *)
+type algorithm = Xorshift128p | Pcg32 | Lfsr64 | Mwc32
+
+(** All the algorithms this library provides. *)
+val all_algorithms : algorithm list
+
+val algorithm_name : algorithm -> string
+
+(** [create ?algorithm seed] builds a generator ([Xorshift128p] when
+    [algorithm] is omitted).  Equal [(algorithm, seed)] pairs yield equal
+    streams. *)
+val create : ?algorithm:algorithm -> int64 -> t
+
+(** [of_module (module G) seed] packages an arbitrary generator
+    implementation. *)
+val of_module : (module Generator.S) -> int64 -> t
+
+val name : t -> string
+
+(** The backing algorithm, or [None] for a generator packaged with
+    {!of_module}. *)
+val algorithm : t -> algorithm option
+
+(** 32 uniform bits in [[0, 2^32)]. *)
+val bits32 : t -> int
+
+(** Uniform float in [[0, 1)], built from 32 bits of entropy. *)
+val float : t -> float
+
+(** Uniform float in [(0, 1)] — never returns [0.]; safe for [log]. *)
+val float_pos : t -> float
+
+(** [int_below t n] is uniform in [[0, n)]; rejection-sampled so it is exact
+    (no modulo bias).  [n] must be in [[1, 2^32]]. *)
+val int_below : t -> int -> int
+
+(** [int_in_range t ~lo ~hi] is uniform in [[lo, hi]] inclusive. *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+val bool : t -> bool
+
+(** Standard normal draw (Box-Muller). *)
+val gaussian : t -> float
+
+(** Unit-rate exponential draw. *)
+val exponential : t -> float
+
+(** [shuffle_in_place t a] applies a Fisher-Yates shuffle. *)
+val shuffle_in_place : t -> 'a array -> unit
+
+(** [split t] derives a fresh, independent generator (same algorithm), for
+    handing a private stream to a subcomponent. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state: both generators then produce the
+    same stream.  Used to replay a run exactly. *)
+val copy : t -> t

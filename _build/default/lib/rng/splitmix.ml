@@ -1,0 +1,19 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Finalizer from MurmurHash3 / splitmix64 reference implementation. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let rec next_nonzero t =
+  let v = next t in
+  if Int64.equal v 0L then next_nonzero t else v

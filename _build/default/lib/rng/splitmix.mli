@@ -1,0 +1,19 @@
+(** Splitmix64: a fast, well-distributed 64-bit generator used here only to
+    expand a single user seed into the wider internal states required by the
+    MBPTA-class generators ({!Xorshift}, {!Pcg}, {!Lfsr}, {!Mwc}).
+
+    Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+    generators", OOPSLA 2014. *)
+
+type t
+
+(** [create seed] makes a fresh stream; distinct seeds give independent
+    streams for any practical purpose. *)
+val create : int64 -> t
+
+(** [next t] returns the next 64-bit value and advances the state. *)
+val next : t -> int64
+
+(** [next_nonzero t] is [next t] skipping zero, for generators whose state
+    must never be all-zero (LFSR, xorshift). *)
+val next_nonzero : t -> int64

@@ -1,0 +1,26 @@
+type state = { mutable s0 : int64; mutable s1 : int64 }
+
+let name = "xorshift128+"
+
+let create seed =
+  let sm = Splitmix.create seed in
+  let s0 = Splitmix.next_nonzero sm in
+  let s1 = Splitmix.next_nonzero sm in
+  { s0; s1 }
+
+let ( ^^ ) = Int64.logxor
+let ( <<< ) = Int64.shift_left
+let ( >>> ) = Int64.shift_right_logical
+
+let next64 t =
+  let x = t.s0 and y = t.s1 in
+  let result = Int64.add x y in
+  t.s0 <- y;
+  let x = x ^^ (x <<< 23) in
+  t.s1 <- x ^^ y ^^ (x >>> 17) ^^ (y >>> 26);
+  result
+
+(* Upper 32 bits have the best statistical quality for xorshift+. *)
+let next32 t = Int64.to_int (Int64.shift_right_logical (next64 t) 32)
+
+let copy t = { s0 = t.s0; s1 = t.s1 }

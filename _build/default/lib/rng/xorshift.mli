@@ -1,0 +1,5 @@
+(** Xorshift128+ generator (Vigna, 2014): 128-bit state, three shifts and an
+    addition per output.  Cheap enough for an FPGA datapath, and the default
+    generator used by the time-randomized platform model. *)
+
+include Generator.S

@@ -1,0 +1,1 @@
+lib/stats/anderson_darling.ml: Array Float Format List

@@ -1,0 +1,1 @@
+lib/stats/anderson_darling.mli: Format

@@ -1,0 +1,1 @@
+lib/stats/autocorrelation.ml: Array Descriptive

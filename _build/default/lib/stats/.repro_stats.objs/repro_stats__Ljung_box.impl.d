@@ -1,0 +1,1 @@
+lib/stats/ljung_box.ml: Array Autocorrelation Format Special Stdlib

@@ -1,0 +1,1 @@
+lib/stats/ljung_box.mli: Format

@@ -1,0 +1,1 @@
+lib/stats/runs_test.ml: Array Descriptive Float Format List Special Stdlib

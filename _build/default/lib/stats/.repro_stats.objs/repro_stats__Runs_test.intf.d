@@ -1,0 +1,1 @@
+lib/stats/runs_test.mli: Format

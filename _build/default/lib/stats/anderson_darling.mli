@@ -1,0 +1,27 @@
+(** Anderson-Darling goodness-of-fit test against a fully specified
+    continuous distribution (case 0).
+
+    AD weights the tails far more than Kolmogorov-Smirnov, which makes it
+    the better diagnostic for EVT models whose whole purpose is tail
+    extrapolation.  The statistic is
+
+      A^2 = -n - (1/n) sum_i (2i-1) [ln F(x_(i)) + ln(1 - F(x_(n+1-i)))].
+
+    Acceptance uses the asymptotic case-0 critical values (Stephens 1974):
+    1.933 / 2.492 / 3.070 / 3.857 at the 10% / 5% / 2.5% / 1% levels; the
+    reported [p_value] is a log-linear interpolation of that table, exact
+    enough for gating (it is clamped to [[0.001, 0.5]] outside the table's
+    range and should be read as an order of magnitude, not a precise
+    probability). *)
+
+type result = {
+  statistic : float;  (** A^2 *)
+  p_value : float;  (** interpolated; see above *)
+  accepted : bool;  (** statistic below the critical value for [alpha] *)
+}
+
+(** [test ?alpha xs ~cdf] — [alpha] must be one of 0.10, 0.05, 0.025, 0.01
+    (default 0.05); [cdf] the fully specified model CDF. *)
+val test : ?alpha:float -> float array -> cdf:(float -> float) -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,13 @@
+let acf xs ~lag =
+  let n = Array.length xs in
+  assert (lag >= 1 && lag < n);
+  let mean = Descriptive.mean xs in
+  let c0 = ref 0. and ck = ref 0. in
+  for i = 0 to n - 1 do
+    let d = xs.(i) -. mean in
+    c0 := !c0 +. (d *. d);
+    if i + lag < n then ck := !ck +. (d *. (xs.(i + lag) -. mean))
+  done;
+  if !c0 = 0. then 0. else !ck /. !c0
+
+let acf_up_to xs ~max_lag = Array.init max_lag (fun i -> acf xs ~lag:(i + 1))

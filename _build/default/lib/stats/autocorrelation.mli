@@ -1,0 +1,9 @@
+(** Sample autocorrelation function, the ingredient of the Ljung-Box
+    independence test applied by the paper to the execution-time series. *)
+
+(** [acf xs ~lag] is the sample autocorrelation at a single [lag >= 1]
+    (biased estimator, normalized by the lag-0 autocovariance). *)
+val acf : float array -> lag:int -> float
+
+(** [acf_up_to xs ~max_lag] returns [| r_1; ...; r_max_lag |]. *)
+val acf_up_to : float array -> max_lag:int -> float array

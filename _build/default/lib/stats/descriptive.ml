@@ -1,0 +1,84 @@
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let centered_moment xs k =
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) ** float_of_int k)) 0. xs
+  /. float_of_int (Array.length xs)
+
+let variance xs = centered_moment xs 2
+
+let sample_variance xs =
+  let n = Array.length xs in
+  assert (n >= 2);
+  variance xs *. float_of_int n /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+let sample_std xs = sqrt (sample_variance xs)
+
+let min xs =
+  assert (Array.length xs > 0);
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  assert (Array.length xs > 0);
+  Array.fold_left Float.max xs.(0) xs
+
+let coefficient_of_variation xs = sample_std xs /. mean xs
+
+let skewness xs =
+  let m2 = centered_moment xs 2 and m3 = centered_moment xs 3 in
+  m3 /. (m2 ** 1.5)
+
+let kurtosis_excess xs =
+  let m2 = centered_moment xs 2 and m4 = centered_moment xs 4 in
+  (m4 /. (m2 *. m2)) -. 3.
+
+let quantile xs p =
+  assert (Array.length xs > 0 && p >= 0. && p <= 1.);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = quantile xs 0.5
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  minimum : float;
+  maximum : float;
+  median : float;
+  q1 : float;
+  q3 : float;
+  cv : float;
+}
+
+let summarize xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  {
+    n;
+    mean = mean xs;
+    std = (if n >= 2 then sample_std xs else 0.);
+    minimum = min xs;
+    maximum = max xs;
+    median = median xs;
+    q1 = quantile xs 0.25;
+    q3 = quantile xs 0.75;
+    cv = (if n >= 2 && mean xs <> 0. then coefficient_of_variation xs else 0.);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f std=%.2f min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f cv=%.4f" s.n s.mean
+    s.std s.minimum s.q1 s.median s.q3 s.maximum s.cv

@@ -1,0 +1,49 @@
+(** Descriptive statistics over float arrays.
+
+    All functions expect non-empty input (asserted); [sample_variance]
+    additionally needs at least two observations. *)
+
+val mean : float array -> float
+
+(** Population variance (divides by n). *)
+val variance : float array -> float
+
+(** Unbiased sample variance (divides by n-1). *)
+val sample_variance : float array -> float
+
+val std : float array -> float
+val sample_std : float array -> float
+
+val min : float array -> float
+val max : float array -> float
+
+(** Coefficient of variation: sample std / mean. *)
+val coefficient_of_variation : float array -> float
+
+(** Sample skewness (g1, biased moment estimator). *)
+val skewness : float array -> float
+
+(** Excess kurtosis (g2 = m4/m2^2 - 3). *)
+val kurtosis_excess : float array -> float
+
+(** [quantile xs p] with [p] in [[0, 1]]: linear interpolation between order
+    statistics (R type-7, the common default).  [xs] need not be sorted. *)
+val quantile : float array -> float -> float
+
+val median : float array -> float
+
+(** Everything at once, computed in two passes. *)
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  minimum : float;
+  maximum : float;
+  median : float;
+  q1 : float;
+  q3 : float;
+  cv : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit

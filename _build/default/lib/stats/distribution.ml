@@ -1,0 +1,252 @@
+module Prng = Repro_rng.Prng
+
+module Uniform = struct
+  type t = { lo : float; hi : float }
+
+  let create ~lo ~hi =
+    assert (hi > lo);
+    { lo; hi }
+
+  let pdf t x = if x < t.lo || x > t.hi then 0. else 1. /. (t.hi -. t.lo)
+
+  let cdf t x =
+    if x <= t.lo then 0. else if x >= t.hi then 1. else (x -. t.lo) /. (t.hi -. t.lo)
+
+  let quantile t p =
+    assert (p >= 0. && p <= 1.);
+    t.lo +. (p *. (t.hi -. t.lo))
+
+  let sample t prng = quantile t (Prng.float prng)
+end
+
+module Normal = struct
+  type t = { mu : float; sigma : float }
+
+  let create ~mu ~sigma =
+    assert (sigma > 0.);
+    { mu; sigma }
+
+  let standard = { mu = 0.; sigma = 1. }
+
+  let pdf t x =
+    let z = (x -. t.mu) /. t.sigma in
+    exp (-0.5 *. z *. z) /. (t.sigma *. sqrt (2. *. Float.pi))
+
+  let cdf t x = Special.normal_cdf ((x -. t.mu) /. t.sigma)
+  let quantile t p = t.mu +. (t.sigma *. Special.normal_quantile p)
+  let sample t prng = t.mu +. (t.sigma *. Prng.gaussian prng)
+end
+
+module Exponential = struct
+  type t = { rate : float }
+
+  let create ~rate =
+    assert (rate > 0.);
+    { rate }
+
+  let pdf t x = if x < 0. then 0. else t.rate *. exp (-.t.rate *. x)
+  let cdf t x = if x < 0. then 0. else -.Float.expm1 (-.t.rate *. x)
+
+  let quantile t p =
+    assert (p >= 0. && p < 1.);
+    -.Float.log1p (-.p) /. t.rate
+
+  let sample t prng = Prng.exponential prng /. t.rate
+  let mean t = 1. /. t.rate
+end
+
+module Chi_square = struct
+  type t = { df : int }
+
+  let create ~df =
+    assert (df >= 1);
+    { df }
+
+  let cdf t x = Special.chi_square_cdf ~df:t.df x
+  let survival t x = Special.chi_square_survival ~df:t.df x
+end
+
+module Gumbel = struct
+  type t = { mu : float; beta : float }
+
+  let create ~mu ~beta =
+    assert (beta > 0.);
+    { mu; beta }
+
+  let z t x = (x -. t.mu) /. t.beta
+
+  let pdf t x =
+    let z = z t x in
+    exp (-.z -. exp (-.z)) /. t.beta
+
+  let cdf t x = exp (-.exp (-.z t x))
+
+  let survival t x = -.Float.expm1 (-.exp (-.z t x))
+
+  let quantile t p =
+    assert (p > 0. && p < 1.);
+    t.mu -. (t.beta *. log (-.log p))
+
+  (* For p_exc small, -log(1-p_exc) ~ p_exc; use log1p for accuracy. *)
+  let quantile_of_exceedance t p_exc =
+    assert (p_exc > 0. && p_exc < 1.);
+    t.mu -. (t.beta *. log (-.Float.log1p (-.p_exc)))
+
+  let sample t prng = quantile t (Prng.float_pos prng)
+
+  let euler_mascheroni = 0.5772156649015329
+
+  let mean t = t.mu +. (t.beta *. euler_mascheroni)
+  let std t = t.beta *. Float.pi /. sqrt 6.
+
+  let log_likelihood t xs =
+    Array.fold_left
+      (fun acc x ->
+        let z = z t x in
+        acc -. log t.beta -. z -. exp (-.z))
+      0. xs
+end
+
+module Gev = struct
+  type t = { mu : float; sigma : float; xi : float }
+
+  (* |xi| below this is treated as the Gumbel limit to avoid cancellation. *)
+  let xi_epsilon = 1e-9
+
+  let create ~mu ~sigma ~xi =
+    assert (sigma > 0.);
+    { mu; sigma; xi }
+
+  let as_gumbel t = { Gumbel.mu = t.mu; beta = t.sigma }
+
+  (* s(x) = (1 + xi * (x - mu) / sigma); support requires s > 0. *)
+  let s t x = 1. +. (t.xi *. (x -. t.mu) /. t.sigma)
+
+  let pdf t x =
+    if Float.abs t.xi < xi_epsilon then Gumbel.pdf (as_gumbel t) x
+    else begin
+      let s = s t x in
+      if s <= 0. then 0.
+      else begin
+        let tx = s ** (-1. /. t.xi) in
+        tx ** (t.xi +. 1.) *. exp (-.tx) /. t.sigma
+      end
+    end
+
+  let cdf t x =
+    if Float.abs t.xi < xi_epsilon then Gumbel.cdf (as_gumbel t) x
+    else begin
+      let s = s t x in
+      if s <= 0. then (if t.xi > 0. then 0. else 1.)
+      else exp (-.(s ** (-1. /. t.xi)))
+    end
+
+  let survival t x =
+    if Float.abs t.xi < xi_epsilon then Gumbel.survival (as_gumbel t) x
+    else begin
+      let s = s t x in
+      if s <= 0. then (if t.xi > 0. then 1. else 0.)
+      else -.Float.expm1 (-.(s ** (-1. /. t.xi)))
+    end
+
+  let quantile t p =
+    assert (p > 0. && p < 1.);
+    if Float.abs t.xi < xi_epsilon then Gumbel.quantile (as_gumbel t) p
+    else t.mu +. (t.sigma *. (((-.log p) ** -.t.xi) -. 1.) /. t.xi)
+
+  let quantile_of_exceedance t p_exc =
+    assert (p_exc > 0. && p_exc < 1.);
+    if Float.abs t.xi < xi_epsilon then Gumbel.quantile_of_exceedance (as_gumbel t) p_exc
+    else begin
+      let neg_log_p = -.Float.log1p (-.p_exc) in
+      t.mu +. (t.sigma *. ((neg_log_p ** -.t.xi) -. 1.) /. t.xi)
+    end
+
+  let sample t prng = quantile t (Prng.float_pos prng)
+
+  let log_likelihood t xs =
+    if Float.abs t.xi < xi_epsilon then Gumbel.log_likelihood (as_gumbel t) xs
+    else
+      Array.fold_left
+        (fun acc x ->
+          let s = s t x in
+          if s <= 0. then neg_infinity
+          else begin
+            let log_s = log s in
+            acc -. log t.sigma
+            -. ((1. +. (1. /. t.xi)) *. log_s)
+            -. exp (-.log_s /. t.xi)
+          end)
+        0. xs
+
+  let upper_bound t =
+    if t.xi < -.xi_epsilon then Some (t.mu -. (t.sigma /. t.xi)) else None
+end
+
+module Gpd = struct
+  type t = { u : float; sigma : float; xi : float }
+
+  let xi_epsilon = 1e-9
+
+  let create ~u ~sigma ~xi =
+    assert (sigma > 0.);
+    { u; sigma; xi }
+
+  let pdf t x =
+    let y = x -. t.u in
+    if y < 0. then 0.
+    else if Float.abs t.xi < xi_epsilon then exp (-.y /. t.sigma) /. t.sigma
+    else begin
+      let s = 1. +. (t.xi *. y /. t.sigma) in
+      if s <= 0. then 0. else (s ** (-1. /. t.xi -. 1.)) /. t.sigma
+    end
+
+  let cdf t x =
+    let y = x -. t.u in
+    if y < 0. then 0.
+    else if Float.abs t.xi < xi_epsilon then -.Float.expm1 (-.y /. t.sigma)
+    else begin
+      let s = 1. +. (t.xi *. y /. t.sigma) in
+      if s <= 0. then (if t.xi < 0. then 1. else 0.)
+      else 1. -. (s ** (-1. /. t.xi))
+    end
+
+  let survival t x = 1. -. cdf t x
+
+  let quantile t p =
+    assert (p >= 0. && p < 1.);
+    if Float.abs t.xi < xi_epsilon then t.u -. (t.sigma *. Float.log1p (-.p))
+    else t.u +. (t.sigma *. (((1. -. p) ** -.t.xi) -. 1.) /. t.xi)
+
+  let sample t prng = quantile t (Prng.float prng)
+
+  let log_likelihood t xs =
+    Array.fold_left
+      (fun acc x ->
+        let p = pdf t x in
+        if p <= 0. then neg_infinity else acc +. log p)
+      0. xs
+end
+
+module Weibull = struct
+  type t = { scale : float; shape : float }
+
+  let create ~scale ~shape =
+    assert (scale > 0. && shape > 0.);
+    { scale; shape }
+
+  let pdf t x =
+    if x < 0. then 0.
+    else begin
+      let y = x /. t.scale in
+      t.shape /. t.scale *. (y ** (t.shape -. 1.)) *. exp (-.(y ** t.shape))
+    end
+
+  let cdf t x = if x < 0. then 0. else -.Float.expm1 (-.((x /. t.scale) ** t.shape))
+
+  let quantile t p =
+    assert (p >= 0. && p < 1.);
+    t.scale *. ((-.Float.log1p (-.p)) ** (1. /. t.shape))
+
+  let sample t prng = quantile t (Prng.float prng)
+end

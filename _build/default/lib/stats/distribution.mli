@@ -1,0 +1,114 @@
+(** Parametric distributions used by the analysis: uniform and normal for
+    testing, exponential / Gumbel / GEV / GPD / Weibull as the extreme-value
+    family behind pWCET estimation, chi-square for test p-values.
+
+    Every distribution exposes [pdf], [cdf], [quantile] (inverse CDF) and
+    [sample] (inverse-transform from a {!Repro_rng.Prng.t}). *)
+
+module Uniform : sig
+  type t = { lo : float; hi : float }
+
+  val create : lo:float -> hi:float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Repro_rng.Prng.t -> float
+end
+
+module Normal : sig
+  type t = { mu : float; sigma : float }
+
+  val create : mu:float -> sigma:float -> t
+  val standard : t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Repro_rng.Prng.t -> float
+end
+
+module Exponential : sig
+  type t = { rate : float }
+
+  val create : rate:float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Repro_rng.Prng.t -> float
+  val mean : t -> float
+end
+
+module Chi_square : sig
+  type t = { df : int }
+
+  val create : df:int -> t
+  val cdf : t -> float -> float
+  val survival : t -> float -> float
+end
+
+module Gumbel : sig
+  (** Gumbel (type-I extreme value) with location [mu] and scale [beta]:
+      the limiting distribution of block maxima of light-tailed samples, and
+      the distribution MBPTA fits in the common case (GEV shape xi = 0). *)
+  type t = { mu : float; beta : float }
+
+  val create : mu:float -> beta:float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+
+  (** Survival (exceedance) function 1 - cdf, computed with [expm1] so it
+      stays accurate down to the 1e-15 probabilities of interest. *)
+  val survival : t -> float -> float
+
+  val quantile : t -> float -> float
+
+  (** [quantile_of_exceedance t p] returns the value exceeded with
+      probability [p]; accurate for tiny [p]. *)
+  val quantile_of_exceedance : t -> float -> float
+
+  val sample : t -> Repro_rng.Prng.t -> float
+  val mean : t -> float
+  val std : t -> float
+  val log_likelihood : t -> float array -> float
+end
+
+module Gev : sig
+  (** Generalized extreme value with location [mu], scale [sigma] and shape
+      [xi].  [xi = 0.] is treated as the Gumbel limit. *)
+  type t = { mu : float; sigma : float; xi : float }
+
+  val create : mu:float -> sigma:float -> xi:float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val survival : t -> float -> float
+  val quantile : t -> float -> float
+  val quantile_of_exceedance : t -> float -> float
+  val sample : t -> Repro_rng.Prng.t -> float
+  val log_likelihood : t -> float array -> float
+
+  (** Upper end of the support: finite iff [xi < 0]. *)
+  val upper_bound : t -> float option
+end
+
+module Gpd : sig
+  (** Generalized Pareto for peaks-over-threshold, with threshold [u],
+      scale [sigma] and shape [xi]. *)
+  type t = { u : float; sigma : float; xi : float }
+
+  val create : u:float -> sigma:float -> xi:float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val survival : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Repro_rng.Prng.t -> float
+  val log_likelihood : t -> float array -> float
+end
+
+module Weibull : sig
+  type t = { scale : float; shape : float }
+
+  val create : scale:float -> shape:float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val sample : t -> Repro_rng.Prng.t -> float
+end

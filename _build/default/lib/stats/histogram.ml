@@ -1,0 +1,32 @@
+type t = { lo : float; hi : float; counts : int array; total : int }
+
+let create ~bins xs =
+  assert (bins >= 1 && Array.length xs > 0);
+  let lo = Descriptive.min xs and hi = Descriptive.max xs in
+  let counts = Array.make bins 0 in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = Stdlib.max 0 (Stdlib.min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  { lo; hi; counts; total = Array.length xs }
+
+let bins t = Array.length t.counts
+let total t = t.total
+let count t i = t.counts.(i)
+
+let bounds t i =
+  let n = bins t in
+  let width = if t.hi > t.lo then (t.hi -. t.lo) /. float_of_int n else 1. in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let pp ?(width = 50) ppf t =
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bounds t i in
+      let bar = String.make (c * width / peak) '#' in
+      Format.fprintf ppf "[%10.1f, %10.1f) %6d %s@." lo hi c bar)
+    t.counts

@@ -1,0 +1,22 @@
+(** Fixed-width histograms, used by the reports and the average-performance
+    comparison. *)
+
+type t
+
+(** [create ~bins xs] bins [xs] into [bins] equal-width cells spanning
+    [[min xs, max xs]]. *)
+val create : bins:int -> float array -> t
+
+val bins : t -> int
+val total : t -> int
+
+(** [count t i] observations in cell [i]. *)
+val count : t -> int -> int
+
+(** [bounds t i] = (inclusive lower, exclusive upper — except the last cell,
+    which is inclusive). *)
+val bounds : t -> int -> float * float
+
+(** Render as a unicode-free ASCII bar chart, [width] columns for the largest
+    bar. *)
+val pp : ?width:int -> Format.formatter -> t -> unit

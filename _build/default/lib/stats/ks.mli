@@ -1,0 +1,26 @@
+(** Kolmogorov-Smirnov tests.
+
+    The paper checks identical distribution with the {e two-sample} KS test
+    at the 5% level (p-value 0.45 reported): the sample of execution times is
+    split into two halves which must be drawn from the same distribution.
+    The one-sample variant is used by the EVT machinery as a goodness-of-fit
+    diagnostic. *)
+
+type result = {
+  statistic : float;  (** the sup-distance D *)
+  p_value : float;
+  same_distribution : bool;
+}
+
+(** [two_sample ?alpha xs ys] with the asymptotic Kolmogorov p-value using
+    the effective size n_e = n m / (n + m). *)
+val two_sample : ?alpha:float -> float array -> float array -> result
+
+(** [one_sample ?alpha xs ~cdf] tests [xs] against a continuous model CDF. *)
+val one_sample : ?alpha:float -> float array -> cdf:(float -> float) -> result
+
+(** [split_halves xs] returns the even- and odd-indexed subsamples, the
+    standard MBPTA way of forming the two samples for [two_sample]. *)
+val split_halves : float array -> float array * float array
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,25 @@
+type result = { statistic : float; lags : int; p_value : float; independent : bool }
+
+let test ?(alpha = 0.05) ?lags xs =
+  let n = Array.length xs in
+  assert (n >= 10);
+  let lags =
+    match lags with
+    | Some h ->
+        assert (h >= 1 && h < n);
+        h
+    | None -> Stdlib.min 20 (Stdlib.max 1 (n / 5))
+  in
+  let nf = float_of_int n in
+  let q = ref 0. in
+  for k = 1 to lags do
+    let r = Autocorrelation.acf xs ~lag:k in
+    q := !q +. (r *. r /. (nf -. float_of_int k))
+  done;
+  let statistic = nf *. (nf +. 2.) *. !q in
+  let p_value = Special.chi_square_survival ~df:lags statistic in
+  { statistic; lags; p_value; independent = p_value >= alpha }
+
+let pp_result ppf r =
+  Format.fprintf ppf "Q=%.3f (h=%d) p=%.4f -> %s" r.statistic r.lags r.p_value
+    (if r.independent then "independence not rejected" else "independence REJECTED")

@@ -1,0 +1,38 @@
+type result = { runs : int; expected : float; z : float; p_value : float; random : bool }
+
+let test ?(alpha = 0.05) xs =
+  let n = Array.length xs in
+  assert (n >= 20);
+  let med = Descriptive.median xs in
+  (* Observations equal to the median are dropped, the usual convention. *)
+  let signs =
+    Array.to_list xs |> List.filter_map (fun x -> if x = med then None else Some (x > med))
+  in
+  let signs = Array.of_list signs in
+  let m = Array.length signs in
+  let n_plus = Array.fold_left (fun a s -> if s then a + 1 else a) 0 signs in
+  let n_minus = m - n_plus in
+  if n_plus = 0 || n_minus = 0 then
+    (* Degenerate series (constant, or one-sided around the median): no
+       evidence either way, so randomness cannot be rejected. *)
+    { runs = Stdlib.max 1 m; expected = float_of_int (Stdlib.max 1 m); z = 0.; p_value = 1.; random = true }
+  else begin
+  let runs = ref 1 in
+  for i = 1 to m - 1 do
+    if signs.(i) <> signs.(i - 1) then incr runs
+  done;
+  let np = float_of_int n_plus and nm = float_of_int n_minus in
+  let total = np +. nm in
+  let expected = (2. *. np *. nm /. total) +. 1. in
+  let variance =
+    2. *. np *. nm *. ((2. *. np *. nm) -. total) /. (total *. total *. (total -. 1.))
+  in
+    let z = (float_of_int !runs -. expected) /. sqrt variance in
+    let p_value = Special.erfc (Float.abs z /. sqrt 2.) in
+    { runs = !runs; expected; z; p_value; random = p_value >= alpha }
+  end
+
+let pp_result ppf r =
+  Format.fprintf ppf "runs=%d expected=%.1f z=%.3f p=%.4f -> %s" r.runs r.expected r.z
+    r.p_value
+    (if r.random then "randomness not rejected" else "randomness REJECTED")

@@ -1,0 +1,8 @@
+(** Wald-Wolfowitz runs test on the above/below-median dichotomization of a
+    series: a second, cheaper independence check used alongside Ljung-Box as
+    cross-validation of the i.i.d. hypothesis. *)
+
+type result = { runs : int; expected : float; z : float; p_value : float; random : bool }
+
+val test : ?alpha:float -> float array -> result
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,155 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  assert (x > 0.);
+  if x < 0.5 then
+    (* Reflection formula keeps accuracy near 0. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+(* Series representation of P(a,x), converges quickly for x < a + 1. *)
+let gamma_p_series ~a ~x =
+  let eps = 1e-15 in
+  let rec go ap sum del n =
+    if n > 1000 then sum
+    else begin
+      let ap = ap +. 1. in
+      let del = del *. x /. ap in
+      let sum = sum +. del in
+      if Float.abs del < Float.abs sum *. eps then sum else go ap sum del (n + 1)
+    end
+  in
+  let sum = go a (1. /. a) (1. /. a) 0 in
+  sum *. exp ((-.x) +. (a *. log x) -. log_gamma a)
+
+(* Continued fraction for Q(a,x) (modified Lentz), for x >= a + 1. *)
+let gamma_q_cf ~a ~x =
+  let eps = 1e-15 and fpmin = 1e-300 in
+  let b = ref (x +. 1. -. a) in
+  let c = ref (1. /. fpmin) in
+  let d = ref (1. /. !b) in
+  let h = ref !d in
+  let i = ref 1 in
+  let continue = ref true in
+  while !continue && !i <= 1000 do
+    let an = -.float_of_int !i *. (float_of_int !i -. a) in
+    b := !b +. 2.;
+    d := (an *. !d) +. !b;
+    if Float.abs !d < fpmin then d := fpmin;
+    c := !b +. (an /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1. /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.) < eps then continue := false;
+    incr i
+  done;
+  !h *. exp ((-.x) +. (a *. log x) -. log_gamma a)
+
+let gamma_p ~a ~x =
+  assert (a > 0. && x >= 0.);
+  if x = 0. then 0.
+  else if x < a +. 1. then gamma_p_series ~a ~x
+  else 1. -. gamma_q_cf ~a ~x
+
+let gamma_q ~a ~x =
+  assert (a > 0. && x >= 0.);
+  if x = 0. then 1.
+  else if x < a +. 1. then 1. -. gamma_p_series ~a ~x
+  else gamma_q_cf ~a ~x
+
+let erfc x =
+  (* erfc(x) = Q(1/2, x^2) for x >= 0; reflection for x < 0. *)
+  if x >= 0. then gamma_q ~a:0.5 ~x:(x *. x) else 2. -. gamma_q ~a:0.5 ~x:(x *. x)
+
+let erf x = 1. -. erfc x
+
+let normal_cdf z = 0.5 *. erfc (-.z /. sqrt 2.)
+
+(* Acklam's inverse normal CDF approximation + one Halley refinement. *)
+let normal_quantile p =
+  assert (p > 0. && p < 1.);
+  let a =
+    [| -39.6968302866538; 220.946098424521; -275.928510446969; 138.357751867269;
+       -30.6647980661472; 2.50662827745924 |]
+  and b =
+    [| -54.4760987982241; 161.585836858041; -155.698979859887; 66.8013118877197;
+       -13.2806815528857 |]
+  and c =
+    [| -0.00778489400243029; -0.322396458041136; -2.40075827716184; -2.54973253934373;
+       4.37466414146497; 2.93816398269878 |]
+  and d =
+    [| 0.00778469570904146; 0.32246712907004; 2.445134137143; 3.75440866190742 |]
+  in
+  let p_low = 0.02425 in
+  let tail_num q =
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5)
+  and tail_den q = (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q) +. 1. in
+  let x =
+    if p < p_low then begin
+      let q = sqrt (-2. *. log p) in
+      tail_num q /. tail_den q
+    end
+    else if p <= 1. -. p_low then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      let num =
+        ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+        *. q
+      and den =
+        ((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r) +. 1.
+      in
+      num /. den
+    end
+    else begin
+      let q = sqrt (-2. *. log (1. -. p)) in
+      -.(tail_num q /. tail_den q)
+    end
+  in
+  (* One Halley step against the exact CDF. *)
+  let e = normal_cdf x -. p in
+  let u = e *. sqrt (2. *. Float.pi) *. exp (x *. x /. 2.) in
+  x -. (u /. (1. +. (x *. u /. 2.)))
+
+let chi_square_survival ~df x =
+  assert (df >= 1);
+  if x <= 0. then 1. else gamma_q ~a:(float_of_int df /. 2.) ~x:(x /. 2.)
+
+let chi_square_cdf ~df x = 1. -. chi_square_survival ~df x
+
+let kolmogorov_survival lambda =
+  if lambda <= 0. then 1.
+  else begin
+    let rec sum k acc =
+      if k > 100 then acc
+      else begin
+        let kf = float_of_int k in
+        let term =
+          (if k mod 2 = 1 then 2. else -2.) *. exp (-2. *. kf *. kf *. lambda *. lambda)
+        in
+        let acc' = acc +. term in
+        if Float.abs term < 1e-12 then acc' else sum (k + 1) acc'
+      end
+    in
+    Float.max 0. (Float.min 1. (sum 1 0.))
+  end

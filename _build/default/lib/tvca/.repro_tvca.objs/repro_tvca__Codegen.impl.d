@@ -1,0 +1,1 @@
+lib/tvca/codegen.ml: Array Controller List Printf Repro_isa

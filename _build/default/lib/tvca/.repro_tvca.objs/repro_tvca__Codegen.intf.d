@@ -1,0 +1,1 @@
+lib/tvca/codegen.mli: Controller Repro_isa

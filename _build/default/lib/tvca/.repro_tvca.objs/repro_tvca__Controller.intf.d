@@ -1,0 +1,1 @@
+lib/tvca/controller.mli:

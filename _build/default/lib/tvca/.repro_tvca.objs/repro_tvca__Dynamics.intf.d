@@ -1,0 +1,1 @@
+lib/tvca/dynamics.mli:

@@ -1,0 +1,1 @@
+lib/tvca/experiment.ml: Array Codegen Controller Float Mission Repro_isa Repro_platform Repro_rng

@@ -1,0 +1,1 @@
+lib/tvca/experiment.mli: Codegen Controller Repro_isa Repro_platform

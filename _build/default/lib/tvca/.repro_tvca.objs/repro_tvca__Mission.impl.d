@@ -1,0 +1,1 @@
+lib/tvca/mission.ml: Array Codegen Controller Dynamics Float Repro_isa Repro_rng

@@ -1,0 +1,1 @@
+lib/tvca/mission.mli: Controller Repro_isa

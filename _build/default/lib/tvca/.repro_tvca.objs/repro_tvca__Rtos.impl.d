@@ -1,0 +1,1 @@
+lib/tvca/rtos.ml: Array Float Format List Mission Repro_isa Repro_platform Stdlib

@@ -1,0 +1,1 @@
+lib/tvca/rtos.mli: Format Repro_isa Repro_platform

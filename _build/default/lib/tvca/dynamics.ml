@@ -1,0 +1,44 @@
+type params = {
+  inertia : float;
+  damping : float;
+  stiffness : float;
+  actuator_gain : float;
+}
+
+let default_params = { inertia = 1.2; damping = 0.8; stiffness = 4.0; actuator_gain = 6.0 }
+
+type state = { theta : float; omega : float }
+
+let initial ~theta ~omega = { theta; omega }
+
+(* theta' = omega; omega' = (G u - c omega - k theta + d) / J *)
+let derivative p ~u ~disturbance s =
+  let alpha =
+    ((p.actuator_gain *. u) -. (p.damping *. s.omega) -. (p.stiffness *. s.theta)
+    +. disturbance)
+    /. p.inertia
+  in
+  (s.omega, alpha)
+
+let angular_acceleration p ~u ~disturbance s = snd (derivative p ~u ~disturbance s)
+
+let step p ~dt ~u ~disturbance s =
+  let eval s = derivative p ~u ~disturbance s in
+  let k1t, k1o = eval s in
+  let mid1 = { theta = s.theta +. (dt /. 2. *. k1t); omega = s.omega +. (dt /. 2. *. k1o) } in
+  let k2t, k2o = eval mid1 in
+  let mid2 = { theta = s.theta +. (dt /. 2. *. k2t); omega = s.omega +. (dt /. 2. *. k2o) } in
+  let k3t, k3o = eval mid2 in
+  let end_ = { theta = s.theta +. (dt *. k3t); omega = s.omega +. (dt *. k3o) } in
+  let k4t, k4o = eval end_ in
+  {
+    theta = s.theta +. (dt /. 6. *. (k1t +. (2. *. k2t) +. (2. *. k3t) +. k4t));
+    omega = s.omega +. (dt /. 6. *. (k1o +. (2. *. k2o) +. (2. *. k3o) +. k4o));
+  }
+
+let simulate p ~dt ~steps ~u ~disturbance s0 =
+  let out = Array.make (steps + 1) s0 in
+  for i = 1 to steps do
+    out.(i) <- step p ~dt ~u:(u (i - 1)) ~disturbance:(disturbance (i - 1)) out.(i - 1)
+  done;
+  out

@@ -1,0 +1,44 @@
+(** Plant model of the thrust-vector-control loop: per-axis nozzle attitude
+    dynamics.
+
+    Each axis is a damped second-order rotational system
+      J theta'' = G u - c theta' - k theta + d(t)
+    (inertia [J], actuator gain [G], viscous damping [c], aerodynamic
+    restoring stiffness [k], external disturbance [d]).  Integrated with
+    classic RK4.  This is the {e environment} side of the case study: it
+    produces the sensor readings the on-board software consumes, standing in
+    for the closed-loop model the ESA application was generated from. *)
+
+type params = {
+  inertia : float;
+  damping : float;
+  stiffness : float;
+  actuator_gain : float;
+}
+
+(** Plausible nozzle-dynamics constants; used by the default mission. *)
+val default_params : params
+
+type state = { theta : float;  (** deflection angle, rad *) omega : float  (** rad/s *) }
+
+val initial : theta:float -> omega:float -> state
+
+(** [step params ~dt ~u ~disturbance s] advances one RK4 step with constant
+    command [u] and disturbance torque over the step. *)
+val step : params -> dt:float -> u:float -> disturbance:float -> state -> state
+
+(** Instantaneous angular acceleration at state [s] — what an accelerometer
+    channel observes. *)
+val angular_acceleration : params -> u:float -> disturbance:float -> state -> float
+
+(** [simulate params ~dt ~steps ~u ~disturbance s] — [u i] and
+    [disturbance i] are sampled at each step; returns the trajectory
+    including the initial state ([steps + 1] entries). *)
+val simulate :
+  params ->
+  dt:float ->
+  steps:int ->
+  u:(int -> float) ->
+  disturbance:(int -> float) ->
+  state ->
+  state array

@@ -1,0 +1,72 @@
+module Platform = Repro_platform
+module Isa = Repro_isa
+
+type t = {
+  frames : int;
+  gains : Controller.gains;
+  contenders : float list;
+  config : Platform.Config.t;
+  base_seed : int64;
+  program : Isa.Program.t;
+  layout : Isa.Layout.t;
+}
+
+(* Derive independent per-run seeds for scenario (stream 0) and platform
+   (stream 1): one splitmix stream per run, indexed in counter mode. *)
+let derive_seed base run stream =
+  let sm = Repro_rng.Splitmix.create base in
+  let rec skip k = if k > 0 then (ignore (Repro_rng.Splitmix.next sm); skip (k - 1)) in
+  skip ((run * 2) + stream);
+  Repro_rng.Splitmix.next sm
+
+let create ?(frames = Mission.default_frames) ?(gains = Controller.default_gains)
+    ?(variant = Codegen.Full) ?(contenders = []) ~config ~base_seed () =
+  let program = Codegen.program ~variant ~gains ~frames () in
+  let layout = Isa.Layout.sequential program in
+  { frames; gains; contenders; config; base_seed; program; layout }
+
+let config t = t.config
+let program t = t.program
+let layout t = t.layout
+let with_layout t layout = { t with layout }
+
+let scenario t ~run_index =
+  Mission.generate ~frames:t.frames ~gains:t.gains
+    ~seed:(derive_seed t.base_seed run_index 0) ()
+
+let prepared_memory t ~run_index =
+  let sc = scenario t ~run_index in
+  let memory = Isa.Memory.create t.program in
+  Mission.load_memory sc memory;
+  (sc, memory)
+
+let run t ~run_index =
+  let _, memory = prepared_memory t ~run_index in
+  let core =
+    Platform.Core_sim.create ~contenders:t.contenders ~config:t.config
+      ~seed:(derive_seed t.base_seed run_index 1) ()
+  in
+  Platform.Core_sim.run_program core ~program:t.program ~layout:t.layout ~memory
+
+let measure t ~run_index = float_of_int (Platform.Metrics.cycles (run t ~run_index))
+
+let collect t ~runs = Array.init runs (fun i -> measure t ~run_index:i)
+
+let path_signature t ~run_index =
+  let _, memory = prepared_memory t ~run_index in
+  Isa.Executor.path_signature ~program:t.program ~layout:t.layout ~memory ()
+
+let check_functional t ~run_index =
+  let sc, memory = prepared_memory t ~run_index in
+  let no_timing (_ : Isa.Instr.retired) = () in
+  let (_ : Isa.Executor.stats) =
+    Isa.Executor.run ~program:t.program ~layout:t.layout ~memory ~on_retire:no_timing ()
+  in
+  let got_x = Isa.Memory.read_array memory Codegen.sym_cmd_x in
+  let got_y = Isa.Memory.read_array memory Codegen.sym_cmd_y in
+  let worst = ref 0. in
+  for k = 0 to t.frames - 1 do
+    worst := Float.max !worst (Float.abs (got_x.(k) -. sc.Mission.expected_cmd_x.(k)));
+    worst := Float.max !worst (Float.abs (got_y.(k) -. sc.Mission.expected_cmd_y.(k)))
+  done;
+  !worst

@@ -1,0 +1,51 @@
+(** Measurement harness: executes TVCA runs on a configured platform,
+    following the paper's protocol — for every run the caches are flushed,
+    the platform gets a fresh randomization seed, and a fresh input scenario
+    is generated (runs are then independent by construction, which is what
+    the i.i.d. tests verify downstream).
+
+    A fixed [base_seed] makes a whole measurement campaign reproducible:
+    run [i]'s scenario and platform seeds are pure functions of
+    [(base_seed, i)]. *)
+
+type t
+
+(** [create ?frames ?variant ?contenders ~config ~base_seed ()] prepares the
+    program (built once — the binary does not change across runs) and its
+    layout. *)
+val create :
+  ?frames:int ->
+  ?gains:Controller.gains ->
+  ?variant:Codegen.variant ->
+  ?contenders:float list ->
+  config:Repro_platform.Config.t ->
+  base_seed:int64 ->
+  unit ->
+  t
+
+val config : t -> Repro_platform.Config.t
+val program : t -> Repro_isa.Program.t
+
+(** [run t ~run_index] — one measured run; returns the full metrics. *)
+val run : t -> run_index:int -> Repro_platform.Metrics.t
+
+(** [measure t ~run_index] — execution time (cycles) only. *)
+val measure : t -> run_index:int -> float
+
+(** [collect t ~runs] — the measurement series for a campaign. *)
+val collect : t -> runs:int -> float array
+
+(** [path_signature t ~run_index] — hash of the execution path this run's
+    inputs induce (layout/platform independent). *)
+val path_signature : t -> run_index:int -> int
+
+(** [check_functional t ~run_index] — executes the generated code and
+    compares its commands against the golden controller's; returns the
+    maximum absolute difference (0. means bit-identical). *)
+val check_functional : t -> run_index:int -> float
+
+(** [with_layout t layout] — same experiment, different link layout (for the
+    layout-sensitivity ablation). *)
+val with_layout : t -> Repro_isa.Layout.t -> t
+
+val layout : t -> Repro_isa.Layout.t

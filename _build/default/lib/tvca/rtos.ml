@@ -1,0 +1,180 @@
+module Isa = Repro_isa
+module Platform = Repro_platform
+
+type task_spec = {
+  name : string;
+  entry : string;
+  priority : int;
+  period : int;
+  offset : int;
+}
+
+type task_result = {
+  spec : task_spec;
+  response_times : float array;
+  activations : int;
+  skipped_releases : int;
+}
+
+type t = {
+  per_task : task_result list;
+  total_cycles : int;
+  preemptions : int;
+  idle_cycles : int;
+}
+
+(* Mutable per-task scheduling state. *)
+type task_state = {
+  spec_ : task_spec;
+  mutable job : Isa.Executor.Stepper.t option;  (* in-flight activation *)
+  mutable released_at : int;  (* release time of the in-flight job *)
+  mutable next_release : int;
+  mutable activation : int;  (* index of the next activation to release *)
+  mutable responses : float list;  (* reversed *)
+  mutable skipped : int;
+}
+
+let run ?(context_switch = 40) ?(frames = Mission.default_frames) ~core ~program ~layout
+    ~memory ~tasks ~horizon () =
+  (match
+     List.sort_uniq compare (List.map (fun (s : task_spec) -> s.priority) tasks)
+   with
+  | unique when List.length unique <> List.length tasks ->
+      invalid_arg "Rtos.run: duplicate priorities"
+  | _ -> ());
+  List.iter
+    (fun (s : task_spec) ->
+      if s.period <= 0 || s.offset < 0 then invalid_arg "Rtos.run: bad period/offset";
+      (* validate the entry label up front *)
+      ignore (Isa.Program.label_index program s.entry))
+    tasks;
+  let states =
+    tasks
+    |> List.sort (fun (a : task_spec) b -> compare a.priority b.priority)
+    |> List.map (fun spec_ ->
+           {
+             spec_;
+             job = None;
+             released_at = 0;
+             next_release = spec_.offset;
+             activation = 0;
+             responses = [];
+             skipped = 0;
+           })
+  in
+  let now () = Platform.Core_sim.cycles core in
+  let preemptions = ref 0 in
+  let idle_cycles = ref 0 in
+  let last_running : task_state option ref = ref None in
+  (* Release every job whose time has come; a release finding the previous
+     job still in flight is an overrun: counted and dropped. *)
+  let release_pending () =
+    List.iter
+      (fun st ->
+        while st.next_release <= now () do
+          (match st.job with
+          | Some _ -> st.skipped <- st.skipped + 1
+          | None ->
+              st.job <-
+                Some
+                  (Isa.Executor.Stepper.create ~entry:st.spec_.entry
+                     ~init_regs:[ (10, st.activation mod frames) ]
+                     ~program ~layout ~memory ());
+              st.released_at <- st.next_release;
+              st.activation <- st.activation + 1);
+          st.next_release <- st.next_release + st.spec_.period
+        done)
+      states
+  in
+  let rec earliest_release = function
+    | [] -> max_int
+    | st :: rest -> Stdlib.min st.next_release (earliest_release rest)
+  in
+  let rec highest_ready = function
+    | [] -> None
+    | st :: rest -> ( match st.job with Some _ -> Some st | None -> highest_ready rest)
+  in
+  let continue = ref true in
+  while !continue && now () < horizon do
+    release_pending ();
+    match highest_ready states with
+    | None ->
+        (* idle until the next release (or the horizon) *)
+        let wake = Stdlib.min horizon (earliest_release states) in
+        let gap = Stdlib.max 1 (wake - now ()) in
+        idle_cycles := !idle_cycles + gap;
+        Platform.Core_sim.advance core gap;
+        if wake >= horizon then continue := false
+    | Some st ->
+        (match !last_running with
+        | Some prev when prev != st ->
+            (* the running job changed: charge the context switch, and if the
+               displaced job is still in flight this was a preemption *)
+            if prev.job <> None then incr preemptions;
+            Platform.Core_sim.advance core context_switch
+        | Some _ -> ()
+        | None -> Platform.Core_sim.advance core context_switch);
+        last_running := Some st;
+        (match st.job with
+        | None -> assert false
+        | Some stepper -> (
+            match Isa.Executor.Stepper.step stepper with
+            | Some retired -> Platform.Core_sim.consume core retired
+            | None -> assert false);
+            if Isa.Executor.Stepper.finished stepper then begin
+              st.responses <- float_of_int (now () - st.released_at) :: st.responses;
+              st.job <- None
+            end)
+  done;
+  {
+    per_task =
+      List.map
+        (fun st ->
+          {
+            spec = st.spec_;
+            response_times = Array.of_list (List.rev st.responses);
+            activations = List.length st.responses;
+            skipped_releases = st.skipped;
+          })
+        states;
+    total_cycles = now ();
+    preemptions = !preemptions;
+    idle_cycles = !idle_cycles;
+  }
+
+let tvca_tasks ~period ?(release_jitter = 0) () =
+  [
+    { name = "sensor"; entry = "task_sensor"; priority = 0; period; offset = 0 };
+    {
+      name = "control_x";
+      entry = "task_control_x";
+      priority = 1;
+      period;
+      offset = release_jitter;
+    };
+    {
+      name = "control_y";
+      entry = "task_control_y";
+      priority = 2;
+      period;
+      offset = 2 * release_jitter;
+    };
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d cycles simulated, %d preemptions, %d idle cycles@,"
+    t.total_cycles t.preemptions t.idle_cycles;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s prio %d: %d activations, %d skipped" r.spec.name
+        r.spec.priority r.activations r.skipped_releases;
+      if r.activations > 0 then begin
+        let worst = Array.fold_left Float.max r.response_times.(0) r.response_times in
+        let mean =
+          Array.fold_left ( +. ) 0. r.response_times /. float_of_int r.activations
+        in
+        Format.fprintf ppf ", response mean %.0f / max %.0f" mean worst
+      end;
+      Format.fprintf ppf "@,")
+    t.per_task;
+  Format.fprintf ppf "@]"

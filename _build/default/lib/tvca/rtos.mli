@@ -1,0 +1,67 @@
+(** Preemptive fixed-priority scheduling of the TVCA task set on one core.
+
+    The paper's application "implements a fixed priority scheduler with 3
+    periodic tasks".  This module simulates that scheduler at instruction
+    granularity: each task is an entry point into the (shared-memory)
+    generated program; releases are periodic; at every instruction boundary
+    the highest-priority released, unfinished job runs, so a release
+    preempts lower-priority work mid-job.  The platform clock is the
+    {!Repro_platform.Core_sim} cycle count, so preemption interacts
+    honestly with caches — a preempting task evicts the preempted one's
+    lines, and the victim pays the reload (cache-related preemption delay).
+
+    The per-activation response times this produces are exactly the
+    measurement protocol for task-level probabilistic timing analysis and
+    can be cross-checked against {!Repro_mbpta.Schedulability}'s analytical
+    response-time bounds. *)
+
+type task_spec = {
+  name : string;
+  entry : string;  (** label in the shared program, e.g. ["task_sensor"] *)
+  priority : int;  (** smaller = more urgent *)
+  period : int;  (** release period, cycles *)
+  offset : int;  (** first release, cycles *)
+}
+
+type task_result = {
+  spec : task_spec;
+  response_times : float array;  (** per completed activation, cycles *)
+  activations : int;  (** completed activations *)
+  skipped_releases : int;
+      (** releases that arrived while the previous job of the same task was
+          still pending (counted as overruns and dropped) *)
+}
+
+type t = {
+  per_task : task_result list;
+  total_cycles : int;
+  preemptions : int;  (** times a running job was displaced by a release *)
+  idle_cycles : int;
+}
+
+(** [run ?context_switch ~core ~program ~layout ~memory ~tasks ~horizon ()]
+    — simulates until the platform clock passes [horizon] cycles (jobs in
+    flight at the horizon are abandoned).  Each activation [k] of a task
+    starts at its [entry] with register [r10] preset to
+    [k mod Mission.default_frames] (the frame index the generated code
+    expects).  [context_switch] cycles (default 40) are charged whenever
+    the running job changes.  Raises [Invalid_argument] on duplicate
+    priorities (the fixed-priority order must be total). *)
+val run :
+  ?context_switch:int ->
+  ?frames:int ->
+  core:Repro_platform.Core_sim.t ->
+  program:Repro_isa.Program.t ->
+  layout:Repro_isa.Layout.t ->
+  memory:Repro_isa.Memory.t ->
+  tasks:task_spec list ->
+  horizon:int ->
+  unit ->
+  t
+
+(** The paper's task set over the generated TVCA program: sensor
+    acquisition (highest priority), actuator control X, actuator control Y,
+    all at [period] with staggered offsets [0; jitter; 2 jitter]. *)
+val tvca_tasks : period:int -> ?release_jitter:int -> unit -> task_spec list
+
+val pp : Format.formatter -> t -> unit

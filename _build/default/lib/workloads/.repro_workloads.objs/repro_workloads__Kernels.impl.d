@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Float Int64 List Printf Repro_isa Repro_rng Stdlib

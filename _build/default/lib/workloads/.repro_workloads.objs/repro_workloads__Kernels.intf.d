@@ -1,0 +1,1 @@
+lib/workloads/kernels.mli: Repro_isa Repro_rng Stdlib

@@ -1,0 +1,352 @@
+module I = Repro_isa.Instr
+module B = Repro_isa.Builder
+module Program = Repro_isa.Program
+module Memory = Repro_isa.Memory
+module Prng = Repro_rng.Prng
+
+type t = {
+  name : string;
+  program : Program.t;
+  load_input : Memory.t -> Prng.t -> unit;
+  check : Memory.t -> (unit, string) Stdlib.result;
+}
+
+let compare_arrays ~what expected got =
+  let n = Array.length expected in
+  if Array.length got <> n then Error (what ^ ": length mismatch")
+  else begin
+    let rec go i =
+      if i >= n then Ok ()
+      else if Int64.equal (Int64.bits_of_float expected.(i)) (Int64.bits_of_float got.(i))
+      then go (i + 1)
+      else
+        Error
+          (Printf.sprintf "%s: index %d expected %.17g got %.17g" what i expected.(i)
+             got.(i))
+    in
+    go 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* bubble_sort: n passes of adjacent compare-and-swap (the unoptimized
+   textbook form, so the pass structure is input-independent while every
+   comparison is a data-dependent branch). *)
+
+let bubble_sort ?(n = 32) () =
+  assert (n >= 2);
+  let b = B.create ~name:"bubble_sort" in
+  B.declare_data b ~symbol:"arr" ~elements:n;
+  B.label b "main";
+  B.counted_loop b ~counter:4 ~from_:0 ~below:n (fun () ->
+      B.counted_loop b ~counter:6 ~from_:0 ~below:(n - 1) (fun () ->
+          let skip = B.fresh_label b "no_swap" in
+          B.emit b (I.Addi (8, 6, 1));
+          B.emit b (I.Fld (0, B.at ~index_reg:6 "arr"));
+          B.emit b (I.Fld (1, B.at ~index_reg:8 "arr"));
+          B.emit b (I.Fbge (1, 0, skip));
+          B.emit b (I.Fst (0, B.at ~index_reg:8 "arr"));
+          B.emit b (I.Fst (1, B.at ~index_reg:6 "arr"));
+          B.label b skip));
+  B.emit b I.Halt;
+  let program = B.build b ~entry:"main" in
+  let current = ref [||] in
+  {
+    name = "bubble_sort";
+    program;
+    load_input =
+      (fun memory prng ->
+        let input = Array.init n (fun _ -> Prng.gaussian prng) in
+        current := input;
+        Memory.load_array memory "arr" input);
+    check =
+      (fun memory ->
+        let expected = Array.copy !current in
+        Array.sort compare expected;
+        compare_arrays ~what:"bubble_sort" expected (Memory.read_array memory "arr"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* binary_search: lower-bound search of [lookups] keys in a sorted array;
+   found[k] receives the insertion index.  Midpoint division by two goes
+   through the FP unit (Icvt / *0.5 / Fcvt), mirrored by the golden. *)
+
+let midpoint lo hi = int_of_float (0.5 *. float_of_int (lo + hi))
+
+let binary_search ?(n = 256) ?(lookups = 32) () =
+  assert (n >= 2 && lookups >= 1);
+  let b = B.create ~name:"binary_search" in
+  B.declare_data b ~symbol:"sorted" ~elements:n;
+  B.declare_data b ~symbol:"keys" ~elements:lookups;
+  B.declare_data b ~symbol:"found" ~elements:lookups;
+  B.label b "main";
+  B.counted_loop b ~counter:4 ~from_:0 ~below:lookups (fun () ->
+      let head = B.fresh_label b "bs_head" in
+      let right = B.fresh_label b "bs_right" in
+      let done_ = B.fresh_label b "bs_done" in
+      B.emit b (I.Fld (0, B.at ~index_reg:4 "keys"));
+      B.emit b (I.Li (6, 0));
+      B.emit b (I.Li (7, n));
+      B.label b head;
+      B.emit b (I.Bge (6, 7, done_));
+      B.emit b (I.Add (8, 6, 7));
+      B.emit b (I.Icvt (2, 8));
+      B.emit b (I.Fli (3, 0.5));
+      B.emit b (I.Fmul (2, 2, 3));
+      B.emit b (I.Fcvt (8, 2));
+      B.emit b (I.Fld (1, B.at ~index_reg:8 "sorted"));
+      B.emit b (I.Fblt (1, 0, right));
+      B.emit b (I.Addi (7, 8, 0));
+      B.emit b (I.Jmp head);
+      B.label b right;
+      B.emit b (I.Addi (6, 8, 1));
+      B.emit b (I.Jmp head);
+      B.label b done_;
+      B.emit b (I.Icvt (4, 6));
+      B.emit b (I.Fst (4, B.at ~index_reg:4 "found")));
+  B.emit b I.Halt;
+  let program = B.build b ~entry:"main" in
+  let current = ref ([||], [||]) in
+  let golden sorted keys =
+    Array.map
+      (fun key ->
+        let lo = ref 0 and hi = ref (Array.length sorted) in
+        while !lo < !hi do
+          let mid = midpoint !lo !hi in
+          if sorted.(mid) < key then lo := mid + 1 else hi := mid
+        done;
+        float_of_int !lo)
+      keys
+  in
+  {
+    name = "binary_search";
+    program;
+    load_input =
+      (fun memory prng ->
+        let sorted = Array.init n (fun _ -> 100. *. Prng.float prng) in
+        Array.sort compare sorted;
+        let keys = Array.init lookups (fun _ -> 100. *. Prng.float prng) in
+        current := (sorted, keys);
+        Memory.load_array memory "sorted" sorted;
+        Memory.load_array memory "keys" keys);
+    check =
+      (fun memory ->
+        let sorted, keys = !current in
+        compare_arrays ~what:"binary_search" (golden sorted keys)
+          (Memory.read_array memory "found"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* matrix_multiply: C = A * B over n x n row-major matrices. *)
+
+let matrix_multiply ?(n = 16) () =
+  assert (n >= 2);
+  let b = B.create ~name:"matrix_multiply" in
+  List.iter (fun s -> B.declare_data b ~symbol:s ~elements:(n * n)) [ "a"; "bm"; "c" ];
+  B.label b "main";
+  B.counted_loop b ~counter:4 ~from_:0 ~below:n (fun () ->
+      B.counted_loop b ~counter:6 ~from_:0 ~below:n (fun () ->
+          B.emit b (I.Fli (0, 0.));
+          B.counted_loop b ~counter:8 ~from_:0 ~below:n (fun () ->
+              B.emit b (I.Li (3, n));
+              B.emit b (I.Mul (10, 4, 3));
+              B.emit b (I.Add (10, 10, 8));
+              B.emit b (I.Fld (1, B.at ~index_reg:10 "a"));
+              B.emit b (I.Mul (11, 8, 3));
+              B.emit b (I.Add (11, 11, 6));
+              B.emit b (I.Fld (2, B.at ~index_reg:11 "bm"));
+              B.emit b (I.Fmul (1, 1, 2));
+              B.emit b (I.Fadd (0, 0, 1)));
+          B.emit b (I.Li (3, n));
+          B.emit b (I.Mul (10, 4, 3));
+          B.emit b (I.Add (10, 10, 6));
+          B.emit b (I.Fst (0, B.at ~index_reg:10 "c"))));
+  B.emit b I.Halt;
+  let program = B.build b ~entry:"main" in
+  let current = ref ([||], [||]) in
+  let golden a bm =
+    let c = Array.make (n * n) 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for k = 0 to n - 1 do
+          acc := !acc +. (a.((i * n) + k) *. bm.((k * n) + j))
+        done;
+        c.((i * n) + j) <- !acc
+      done
+    done;
+    c
+  in
+  {
+    name = "matrix_multiply";
+    program;
+    load_input =
+      (fun memory prng ->
+        let a = Array.init (n * n) (fun _ -> Prng.gaussian prng) in
+        let bm = Array.init (n * n) (fun _ -> Prng.gaussian prng) in
+        current := (a, bm);
+        Memory.load_array memory "a" a;
+        Memory.load_array memory "bm" bm);
+    check =
+      (fun memory ->
+        let a, bm = !current in
+        compare_arrays ~what:"matrix_multiply" (golden a bm) (Memory.read_array memory "c"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* fir_filter: out[i] = sum_t coeffs[t] * input[i + t]. *)
+
+let fir_filter ?(taps = 16) ?(n = 256) () =
+  assert (taps >= 1 && n > taps);
+  let outputs = n - taps + 1 in
+  let b = B.create ~name:"fir_filter" in
+  B.declare_data b ~symbol:"input" ~elements:n;
+  B.declare_data b ~symbol:"coeffs" ~elements:taps;
+  B.declare_data b ~symbol:"output" ~elements:outputs;
+  B.label b "main";
+  B.counted_loop b ~counter:4 ~from_:0 ~below:outputs (fun () ->
+      B.emit b (I.Fli (0, 0.));
+      B.counted_loop b ~counter:6 ~from_:0 ~below:taps (fun () ->
+          B.emit b (I.Add (8, 4, 6));
+          B.emit b (I.Fld (1, B.at ~index_reg:8 "input"));
+          B.emit b (I.Fld (2, B.at ~index_reg:6 "coeffs"));
+          B.emit b (I.Fmul (1, 1, 2));
+          B.emit b (I.Fadd (0, 0, 1)));
+      B.emit b (I.Fst (0, B.at ~index_reg:4 "output")));
+  B.emit b I.Halt;
+  let program = B.build b ~entry:"main" in
+  let current = ref ([||], [||]) in
+  let golden input coeffs =
+    Array.init outputs (fun i ->
+        let acc = ref 0. in
+        for t = 0 to taps - 1 do
+          acc := !acc +. (input.(i + t) *. coeffs.(t))
+        done;
+        !acc)
+  in
+  {
+    name = "fir_filter";
+    program;
+    load_input =
+      (fun memory prng ->
+        let input = Array.init n (fun _ -> Prng.gaussian prng) in
+        let coeffs = Array.init taps (fun _ -> Prng.gaussian prng) in
+        current := (input, coeffs);
+        Memory.load_array memory "input" input;
+        Memory.load_array memory "coeffs" coeffs);
+    check =
+      (fun memory ->
+        let input, coeffs = !current in
+        compare_arrays ~what:"fir_filter" (golden input coeffs)
+          (Memory.read_array memory "output"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* newton_roots: [iterations] Newton steps for sqrt(v), one FDIV each —
+   the value-dependent-latency workload. *)
+
+let newton_roots ?(n = 64) ?(iterations = 8) () =
+  assert (n >= 1 && iterations >= 1);
+  let b = B.create ~name:"newton_roots" in
+  B.declare_data b ~symbol:"values" ~elements:n;
+  B.declare_data b ~symbol:"roots" ~elements:n;
+  B.label b "main";
+  B.counted_loop b ~counter:4 ~from_:0 ~below:n (fun () ->
+      B.emit b (I.Fld (0, B.at ~index_reg:4 "values"));
+      B.emit b (I.Fmov (1, 0));
+      B.counted_loop b ~counter:6 ~from_:0 ~below:iterations (fun () ->
+          B.emit b (I.Fdiv (2, 0, 1));
+          B.emit b (I.Fadd (2, 1, 2));
+          B.emit b (I.Fli (3, 0.5));
+          B.emit b (I.Fmul (1, 3, 2)));
+      B.emit b (I.Fst (1, B.at ~index_reg:4 "roots")));
+  B.emit b I.Halt;
+  let program = B.build b ~entry:"main" in
+  let current = ref [||] in
+  let golden values =
+    Array.map
+      (fun v ->
+        let x = ref v in
+        for _ = 1 to iterations do
+          x := 0.5 *. (!x +. (v /. !x))
+        done;
+        !x)
+      values
+  in
+  {
+    name = "newton_roots";
+    program;
+    load_input =
+      (fun memory prng ->
+        let values = Array.init n (fun _ -> 0.1 +. Float.abs (Prng.gaussian prng)) in
+        current := values;
+        Memory.load_array memory "values" values);
+    check =
+      (fun memory ->
+        compare_arrays ~what:"newton_roots" (golden !current)
+          (Memory.read_array memory "roots"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* histogram: counts[truncate (v * bins)] += 1, with clamp — every store
+   address is data-dependent. *)
+
+(* Default bins span 32KB — twice the DL1 — so which lines are hot (and
+   which DRAM rows are touched) genuinely depends on the sample values. *)
+let histogram ?(bins = 4096) ?(n = 2048) () =
+  assert (bins >= 2 && n >= 1);
+  let b = B.create ~name:"histogram" in
+  B.declare_data b ~symbol:"samples" ~elements:n;
+  B.declare_data b ~symbol:"counts" ~elements:bins;
+  B.label b "main";
+  B.counted_loop b ~counter:4 ~from_:0 ~below:n (fun () ->
+      let ok = B.fresh_label b "bin_ok" in
+      B.emit b (I.Fld (0, B.at ~index_reg:4 "samples"));
+      B.emit b (I.Fli (1, float_of_int bins));
+      B.emit b (I.Fmul (0, 0, 1));
+      B.emit b (I.Fcvt (6, 0));
+      B.emit b (I.Li (7, bins));
+      B.emit b (I.Blt (6, 7, ok));
+      B.emit b (I.Li (6, bins - 1));
+      B.label b ok;
+      B.emit b (I.Fld (2, B.at ~index_reg:6 "counts"));
+      B.emit b (I.Fli (3, 1.));
+      B.emit b (I.Fadd (2, 2, 3));
+      B.emit b (I.Fst (2, B.at ~index_reg:6 "counts")));
+  B.emit b I.Halt;
+  let program = B.build b ~entry:"main" in
+  let current = ref [||] in
+  let golden samples =
+    let counts = Array.make bins 0. in
+    Array.iter
+      (fun v ->
+        let idx = int_of_float (v *. float_of_int bins) in
+        let idx = if idx >= bins then bins - 1 else idx in
+        counts.(idx) <- counts.(idx) +. 1.)
+      samples;
+    counts
+  in
+  {
+    name = "histogram";
+    program;
+    load_input =
+      (fun memory prng ->
+        let samples = Array.init n (fun _ -> Prng.float prng) in
+        current := samples;
+        Memory.load_array memory "samples" samples;
+        (* counts start from zero every run *)
+        Memory.load_array memory "counts" (Array.make bins 0.));
+    check =
+      (fun memory ->
+        compare_arrays ~what:"histogram" (golden !current)
+          (Memory.read_array memory "counts"));
+  }
+
+let all () =
+  [
+    bubble_sort ();
+    binary_search ();
+    matrix_multiply ();
+    fir_filter ();
+    newton_roots ();
+    histogram ();
+  ]

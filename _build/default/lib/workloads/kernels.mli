@@ -1,0 +1,39 @@
+(** Classic WCET benchmark kernels (in the tradition of the Malardalen /
+    TACLe suites) for exercising the platform and the analysis beyond the
+    TVCA case study.
+
+    Each kernel provides the generated program, a randomized input loader,
+    and a golden OCaml reference so functional equivalence is testable —
+    the same discipline as the TVCA code generator.  The kernels span the
+    jitter sources the paper cares about:
+
+    - [bubble_sort]: data-dependent branches (one per comparison), the
+      canonical path-explosion workload;
+    - [binary_search]: short data-dependent paths over a large array;
+    - [matrix_multiply]: regular loop nest, cache-capacity pressure;
+    - [fir_filter]: streaming access, almost jitterless on any platform;
+    - [newton_roots]: FDIV/FSQRT-heavy iteration with value-dependent
+      latency (the FPU jitter source);
+    - [histogram]: data-dependent store addresses over a table larger than
+      the data cache (single-path, yet timing depends on the values). *)
+
+type t = {
+  name : string;
+  program : Repro_isa.Program.t;
+  (** [load_input memory prng] fills the input symbols for one run. *)
+  load_input : Repro_isa.Memory.t -> Repro_rng.Prng.t -> unit;
+  (** [check memory] — after execution: [Ok ()] when outputs match the
+      golden reference for the inputs currently in memory, [Error what]
+      otherwise.  Must be called before the next [load_input]. *)
+  check : Repro_isa.Memory.t -> (unit, string) Stdlib.result;
+}
+
+val bubble_sort : ?n:int -> unit -> t
+val binary_search : ?n:int -> ?lookups:int -> unit -> t
+val matrix_multiply : ?n:int -> unit -> t
+val fir_filter : ?taps:int -> ?n:int -> unit -> t
+val newton_roots : ?n:int -> ?iterations:int -> unit -> t
+val histogram : ?bins:int -> ?n:int -> unit -> t
+
+(** The whole suite at default sizes. *)
+val all : unit -> t list

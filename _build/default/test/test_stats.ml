@@ -1,0 +1,590 @@
+(* Tests for repro_stats: special-function reference values, descriptive
+   statistics, ECDF, distributions (closed-form values, quantile/cdf
+   round-trips, sampling moments), independence/identical-distribution
+   tests under H0 and H1, and the optimization toolkit. *)
+
+module Prng = Repro_rng.Prng
+module S = Repro_stats
+
+let checkb = Alcotest.check Alcotest.bool
+
+let close ?(tol = 1e-9) what expected got =
+  if Float.abs (expected -. got) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" what expected got
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Special functions *)
+
+let test_log_gamma () =
+  close "log_gamma 1" 0. (S.Special.log_gamma 1.);
+  close "log_gamma 2" 0. (S.Special.log_gamma 2.);
+  close ~tol:1e-10 "log_gamma 5" (log 24.) (S.Special.log_gamma 5.);
+  close ~tol:1e-10 "log_gamma 0.5" (log (sqrt Float.pi)) (S.Special.log_gamma 0.5);
+  (* ln Gamma(10.5) = ln(9.5 * 8.5 * ... * 0.5 * sqrt pi) *)
+  let reference =
+    List.fold_left (fun a x -> a +. log x) (log (sqrt Float.pi))
+      [ 0.5; 1.5; 2.5; 3.5; 4.5; 5.5; 6.5; 7.5; 8.5; 9.5 ]
+  in
+  close ~tol:1e-9 "log_gamma 10.5" reference (S.Special.log_gamma 10.5)
+
+let test_gamma_p_exponential () =
+  (* P(1, x) = 1 - exp(-x) *)
+  List.iter
+    (fun x -> close ~tol:1e-10 "P(1,x)" (1. -. exp (-.x)) (S.Special.gamma_p ~a:1. ~x))
+    [ 0.; 0.1; 1.; 2.5; 10. ]
+
+let test_gamma_p_q_complement =
+  qtest
+    (QCheck.Test.make ~name:"P + Q = 1" ~count:300
+       QCheck.(pair (float_range 0.05 20.) (float_range 0. 40.))
+       (fun (a, x) ->
+         Float.abs (S.Special.gamma_p ~a ~x +. S.Special.gamma_q ~a ~x -. 1.) < 1e-9))
+
+let test_erf_values () =
+  close ~tol:1e-7 "erf 1" 0.8427007929497149 (S.Special.erf 1.);
+  close ~tol:1e-7 "erf -1" (-0.8427007929497149) (S.Special.erf (-1.));
+  close "erf 0" 0. (S.Special.erf 0.)
+
+let test_normal_cdf_values () =
+  close ~tol:1e-7 "Phi 0" 0.5 (S.Special.normal_cdf 0.);
+  close ~tol:1e-7 "Phi 1.96" 0.9750021048517795 (S.Special.normal_cdf 1.96);
+  close ~tol:1e-7 "Phi -1.96" 0.0249978951482205 (S.Special.normal_cdf (-1.96))
+
+let test_normal_quantile_inverse =
+  qtest
+    (QCheck.Test.make ~name:"normal quantile inverts cdf" ~count:300
+       (QCheck.float_range (-5.) 5.)
+       (fun z ->
+         let p = S.Special.normal_cdf z in
+         p <= 0. || p >= 1. || Float.abs (S.Special.normal_quantile p -. z) < 1e-6))
+
+let test_chi_square_df1 () =
+  (* For df=1: survival(x) = 2 (1 - Phi(sqrt x)). *)
+  List.iter
+    (fun x ->
+      close ~tol:1e-8 "chi2 df1"
+        (2. *. (1. -. S.Special.normal_cdf (sqrt x)))
+        (S.Special.chi_square_survival ~df:1 x))
+    [ 0.5; 1.; 3.84; 10. ]
+
+let test_chi_square_df2 () =
+  (* For df=2 the chi-square is exponential with rate 1/2. *)
+  List.iter
+    (fun x ->
+      close ~tol:1e-10 "chi2 df2" (exp (-.x /. 2.)) (S.Special.chi_square_survival ~df:2 x))
+    [ 0.1; 1.; 5.99; 20. ]
+
+let test_kolmogorov_survival () =
+  close ~tol:2e-3 "K median" 0.5 (S.Special.kolmogorov_survival 0.82757);
+  close ~tol:2e-3 "K 5% critical" 0.05 (S.Special.kolmogorov_survival 1.3581);
+  close "K at 0" 1. (S.Special.kolmogorov_survival 0.);
+  checkb "monotone" true
+    (S.Special.kolmogorov_survival 0.5 > S.Special.kolmogorov_survival 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Descriptive *)
+
+let test_descriptive_basics () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  close "mean" 5. (S.Descriptive.mean xs);
+  close "population variance" 4. (S.Descriptive.variance xs);
+  close ~tol:1e-12 "sample variance" (32. /. 7.) (S.Descriptive.sample_variance xs);
+  close "min" 2. (S.Descriptive.min xs);
+  close "max" 9. (S.Descriptive.max xs);
+  close "median" 4.5 (S.Descriptive.median xs)
+
+let test_quantile_interpolation () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  close "q0" 1. (S.Descriptive.quantile xs 0.);
+  close "q1" 4. (S.Descriptive.quantile xs 1.);
+  close "q50" 2.5 (S.Descriptive.quantile xs 0.5);
+  close ~tol:1e-12 "q25" 1.75 (S.Descriptive.quantile xs 0.25)
+
+let test_skewness_symmetric () =
+  let xs = [| -3.; -1.; 0.; 1.; 3. |] in
+  close ~tol:1e-12 "symmetric skew 0" 0. (S.Descriptive.skewness xs)
+
+let test_kurtosis_normal () =
+  let g = Prng.create 3L in
+  let xs = Array.init 40_000 (fun _ -> Prng.gaussian g) in
+  checkb "excess kurtosis near 0" true (Float.abs (S.Descriptive.kurtosis_excess xs) < 0.15)
+
+let test_summary_consistency =
+  qtest
+    (QCheck.Test.make ~name:"summary fields consistent" ~count:200
+       QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1e3) 1e3))
+       (fun xs ->
+         let a = Array.of_list xs in
+         let s = S.Descriptive.summarize a in
+         s.S.Descriptive.minimum <= s.S.Descriptive.q1
+         && s.S.Descriptive.q1 <= s.S.Descriptive.median
+         && s.S.Descriptive.median <= s.S.Descriptive.q3
+         && s.S.Descriptive.q3 <= s.S.Descriptive.maximum
+         && s.S.Descriptive.n = Array.length a))
+
+(* ------------------------------------------------------------------ *)
+(* ECDF *)
+
+let test_ecdf_basics () =
+  let e = S.Ecdf.of_sample [| 3.; 1.; 2. |] in
+  close "cdf below" 0. (S.Ecdf.cdf e 0.5);
+  close ~tol:1e-12 "cdf mid" (2. /. 3.) (S.Ecdf.cdf e 2.);
+  close "cdf top" 1. (S.Ecdf.cdf e 3.);
+  close ~tol:1e-12 "ccdf mid" (1. /. 3.) (S.Ecdf.ccdf e 2.)
+
+let test_ecdf_ties () =
+  let e = S.Ecdf.of_sample [| 1.; 1.; 1.; 2. |] in
+  close "ties counted" 0.75 (S.Ecdf.cdf e 1.);
+  let points = S.Ecdf.points e in
+  Alcotest.(check int) "two distinct points" 2 (List.length points)
+
+let test_ecdf_monotone =
+  qtest
+    (QCheck.Test.make ~name:"ecdf cdf is monotone" ~count:200
+       QCheck.(
+         pair
+           (list_of_size (Gen.int_range 1 60) (float_range (-100.) 100.))
+           (pair (float_range (-150.) 150.) (float_range (-150.) 150.)))
+       (fun (xs, (a, b)) ->
+         let e = S.Ecdf.of_sample (Array.of_list xs) in
+         let lo = Float.min a b and hi = Float.max a b in
+         S.Ecdf.cdf e lo <= S.Ecdf.cdf e hi))
+
+let test_ecdf_ccdf_points_positive () =
+  let e = S.Ecdf.of_sample (Array.init 100 float_of_int) in
+  List.iter
+    (fun (_, p) -> checkb "exceedance in (0,1)" true (p > 0. && p < 1.))
+    (S.Ecdf.ccdf_points e)
+
+(* ------------------------------------------------------------------ *)
+(* Distributions *)
+
+let prng () = Prng.create 4242L
+
+let test_normal_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"normal quantile/cdf roundtrip" ~count:200
+       QCheck.(pair (float_range 0.01 0.99) (float_range 0.1 10.))
+       (fun (p, sigma) ->
+         let d = S.Distribution.Normal.create ~mu:3. ~sigma in
+         Float.abs (S.Distribution.Normal.cdf d (S.Distribution.Normal.quantile d p) -. p)
+         < 1e-6))
+
+let test_gumbel_closed_form () =
+  let d = S.Distribution.Gumbel.create ~mu:0. ~beta:1. in
+  close ~tol:1e-12 "cdf at 0" (exp (-1.)) (S.Distribution.Gumbel.cdf d 0.);
+  close ~tol:1e-9 "median" (-.log (log 2.)) (S.Distribution.Gumbel.quantile d 0.5);
+  close ~tol:1e-9 "mean" 0.5772156649015329 (S.Distribution.Gumbel.mean d);
+  close ~tol:1e-9 "std" (Float.pi /. sqrt 6.) (S.Distribution.Gumbel.std d)
+
+let test_gumbel_survival_tail () =
+  (* survival must stay meaningful at 1e-15-scale probabilities *)
+  let d = S.Distribution.Gumbel.create ~mu:0. ~beta:1. in
+  let v = S.Distribution.Gumbel.quantile_of_exceedance d 1e-15 in
+  let back = S.Distribution.Gumbel.survival d v in
+  checkb "tail roundtrip" true (Float.abs ((back /. 1e-15) -. 1.) < 1e-3)
+
+let test_gumbel_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"gumbel quantile/cdf roundtrip" ~count:300
+       QCheck.(
+         triple (float_range 0.01 0.99) (float_range (-100.) 100.) (float_range 0.1 50.))
+       (fun (p, mu, beta) ->
+         let d = S.Distribution.Gumbel.create ~mu ~beta in
+         Float.abs (S.Distribution.Gumbel.cdf d (S.Distribution.Gumbel.quantile d p) -. p)
+         < 1e-9))
+
+let test_gev_gumbel_limit () =
+  (* xi -> 0 must agree with the Gumbel special case *)
+  let gumbel = S.Distribution.Gumbel.create ~mu:10. ~beta:2. in
+  let gev = S.Distribution.Gev.create ~mu:10. ~sigma:2. ~xi:1e-12 in
+  List.iter
+    (fun x ->
+      close ~tol:1e-9 "cdf agree" (S.Distribution.Gumbel.cdf gumbel x)
+        (S.Distribution.Gev.cdf gev x))
+    [ 5.; 10.; 15.; 30. ]
+
+let test_gev_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"gev quantile/cdf roundtrip" ~count:300
+       QCheck.(
+         triple (float_range 0.01 0.99) (float_range (-0.45) 0.45) (float_range 0.1 20.))
+       (fun (p, xi, sigma) ->
+         let d = S.Distribution.Gev.create ~mu:0. ~sigma ~xi in
+         Float.abs (S.Distribution.Gev.cdf d (S.Distribution.Gev.quantile d p) -. p) < 1e-8))
+
+let test_gev_upper_bound () =
+  let bounded = S.Distribution.Gev.create ~mu:0. ~sigma:1. ~xi:(-0.5) in
+  (match S.Distribution.Gev.upper_bound bounded with
+  | Some b ->
+      close ~tol:1e-12 "bound" 2. b;
+      close "cdf at bound" 1. (S.Distribution.Gev.cdf bounded 2.1)
+  | None -> Alcotest.fail "expected finite upper bound");
+  checkb "unbounded for xi>=0" true
+    (S.Distribution.Gev.upper_bound (S.Distribution.Gev.create ~mu:0. ~sigma:1. ~xi:0.1)
+    = None)
+
+let test_gpd_exponential_case () =
+  (* xi = 0 reduces to a shifted exponential *)
+  let d = S.Distribution.Gpd.create ~u:5. ~sigma:2. ~xi:0. in
+  close ~tol:1e-12 "cdf" (1. -. exp (-1.)) (S.Distribution.Gpd.cdf d 7.);
+  close ~tol:1e-9 "quantile" (5. +. (2. *. log 2.)) (S.Distribution.Gpd.quantile d 0.5)
+
+let test_gpd_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"gpd quantile/cdf roundtrip" ~count:300
+       QCheck.(
+         triple (float_range 0.01 0.99) (float_range (-0.45) 0.45) (float_range 0.1 20.))
+       (fun (p, xi, sigma) ->
+         let d = S.Distribution.Gpd.create ~u:0. ~sigma ~xi in
+         Float.abs (S.Distribution.Gpd.cdf d (S.Distribution.Gpd.quantile d p) -. p) < 1e-8))
+
+let test_weibull_closed_form () =
+  let d = S.Distribution.Weibull.create ~scale:2. ~shape:1. in
+  (* shape 1 is exponential with mean = scale *)
+  close ~tol:1e-12 "cdf" (1. -. exp (-1.5)) (S.Distribution.Weibull.cdf d 3.)
+
+let test_sampling_matches_cdf () =
+  (* KS one-sample of each sampler against its own cdf *)
+  let g = prng () in
+  let n = 4000 in
+  let check_dist name cdf sample =
+    let xs = Array.init n (fun _ -> sample ()) in
+    let r = S.Ks.one_sample ~alpha:0.001 xs ~cdf in
+    checkb (name ^ " sampler matches cdf") true r.S.Ks.same_distribution
+  in
+  let gum = S.Distribution.Gumbel.create ~mu:3. ~beta:2. in
+  check_dist "gumbel" (S.Distribution.Gumbel.cdf gum) (fun () ->
+      S.Distribution.Gumbel.sample gum g);
+  let gev = S.Distribution.Gev.create ~mu:0. ~sigma:1. ~xi:0.2 in
+  check_dist "gev" (S.Distribution.Gev.cdf gev) (fun () -> S.Distribution.Gev.sample gev g);
+  let gpd = S.Distribution.Gpd.create ~u:0. ~sigma:1. ~xi:(-0.2) in
+  check_dist "gpd" (S.Distribution.Gpd.cdf gpd) (fun () -> S.Distribution.Gpd.sample gpd g);
+  let nor = S.Distribution.Normal.create ~mu:(-2.) ~sigma:3. in
+  check_dist "normal" (S.Distribution.Normal.cdf nor) (fun () ->
+      S.Distribution.Normal.sample nor g);
+  let expo = S.Distribution.Exponential.create ~rate:0.5 in
+  check_dist "exponential" (S.Distribution.Exponential.cdf expo) (fun () ->
+      S.Distribution.Exponential.sample expo g);
+  let wei = S.Distribution.Weibull.create ~scale:1.5 ~shape:2.5 in
+  check_dist "weibull" (S.Distribution.Weibull.cdf wei) (fun () ->
+      S.Distribution.Weibull.sample wei g)
+
+(* ------------------------------------------------------------------ *)
+(* Autocorrelation / Ljung-Box *)
+
+let test_acf_white_noise () =
+  let g = prng () in
+  let xs = Array.init 5000 (fun _ -> Prng.gaussian g) in
+  let r1 = S.Autocorrelation.acf xs ~lag:1 in
+  checkb "white noise acf ~ 0" true (Float.abs r1 < 0.05)
+
+let test_acf_of_ar1 () =
+  (* AR(1) with phi = 0.8 has acf(1) ~ 0.8 *)
+  let g = prng () in
+  let n = 20000 in
+  let xs = Array.make n 0. in
+  for i = 1 to n - 1 do
+    xs.(i) <- (0.8 *. xs.(i - 1)) +. Prng.gaussian g
+  done;
+  checkb "ar1 acf near phi" true (Float.abs (S.Autocorrelation.acf xs ~lag:1 -. 0.8) < 0.05)
+
+let test_acf_up_to_length () =
+  let xs = Array.init 100 float_of_int in
+  Alcotest.(check int) "lags" 10 (Array.length (S.Autocorrelation.acf_up_to xs ~max_lag:10))
+
+let test_ljung_box_white_noise () =
+  let g = prng () in
+  let rejections = ref 0 in
+  for _ = 1 to 40 do
+    let xs = Array.init 500 (fun _ -> Prng.gaussian g) in
+    let r = S.Ljung_box.test ~alpha:0.05 xs in
+    if not r.S.Ljung_box.independent then incr rejections
+  done;
+  (* 5% nominal level: allow up to 20% empirical in 40 trials *)
+  checkb "few false rejections" true (!rejections <= 8)
+
+let test_ljung_box_rejects_ar1 () =
+  let g = prng () in
+  let n = 1000 in
+  let xs = Array.make n 0. in
+  for i = 1 to n - 1 do
+    xs.(i) <- (0.7 *. xs.(i - 1)) +. Prng.gaussian g
+  done;
+  let r = S.Ljung_box.test ~alpha:0.05 xs in
+  checkb "dependent series rejected" false r.S.Ljung_box.independent
+
+let test_ljung_box_p_uniform () =
+  (* p-values under H0 should not pile up near 0 *)
+  let g = prng () in
+  let small = ref 0 in
+  let trials = 60 in
+  for _ = 1 to trials do
+    let xs = Array.init 400 (fun _ -> Prng.gaussian g) in
+    let r = S.Ljung_box.test xs in
+    if r.S.Ljung_box.p_value < 0.1 then incr small
+  done;
+  checkb "p-values roughly uniform" true (!small <= trials / 3)
+
+(* ------------------------------------------------------------------ *)
+(* KS tests *)
+
+let test_ks_same_distribution () =
+  let g = prng () in
+  let xs = Array.init 1500 (fun _ -> Prng.gaussian g) in
+  let ys = Array.init 1500 (fun _ -> Prng.gaussian g) in
+  let r = S.Ks.two_sample ~alpha:0.01 xs ys in
+  checkb "same distribution accepted" true r.S.Ks.same_distribution
+
+let test_ks_detects_shift () =
+  let g = prng () in
+  let xs = Array.init 1000 (fun _ -> Prng.gaussian g) in
+  let ys = Array.init 1000 (fun _ -> Prng.gaussian g +. 0.5) in
+  let r = S.Ks.two_sample ~alpha:0.05 xs ys in
+  checkb "shift detected" false r.S.Ks.same_distribution
+
+let test_ks_statistic_disjoint () =
+  (* completely disjoint samples have D = 1 *)
+  let xs = [| 1.; 2.; 3. |] and ys = [| 10.; 11.; 12. |] in
+  let r = S.Ks.two_sample xs ys in
+  close "D = 1" 1. r.S.Ks.statistic
+
+let test_ks_one_sample_uniform () =
+  let g = prng () in
+  let xs = Array.init 2000 (fun _ -> Prng.float g) in
+  let r =
+    S.Ks.one_sample ~alpha:0.01 xs ~cdf:(fun x ->
+        if x < 0. then 0. else if x > 1. then 1. else x)
+  in
+  checkb "uniform sample accepted" true r.S.Ks.same_distribution
+
+let test_ks_one_sample_wrong_model () =
+  let g = prng () in
+  let xs = Array.init 2000 (fun _ -> Prng.float g) in
+  let r = S.Ks.one_sample ~alpha:0.05 xs ~cdf:S.Special.normal_cdf in
+  checkb "wrong model rejected" false r.S.Ks.same_distribution
+
+let test_split_halves () =
+  let a, b = S.Ks.split_halves [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check (array (float 0.))) "evens" [| 1.; 3.; 5. |] a;
+  Alcotest.(check (array (float 0.))) "odds" [| 2.; 4. |] b
+
+let test_ks_symmetry =
+  qtest
+    (QCheck.Test.make ~name:"two-sample KS is symmetric" ~count:100
+       QCheck.(
+         pair
+           (list_of_size (Gen.int_range 2 40) (float_range 0. 10.))
+           (list_of_size (Gen.int_range 2 40) (float_range 0. 10.)))
+       (fun (xs, ys) ->
+         let a = Array.of_list xs and b = Array.of_list ys in
+         let r1 = S.Ks.two_sample a b and r2 = S.Ks.two_sample b a in
+         Float.abs (r1.S.Ks.statistic -. r2.S.Ks.statistic) < 1e-12))
+
+(* ------------------------------------------------------------------ *)
+(* Anderson-Darling *)
+
+let test_ad_accepts_true_model () =
+  let g = prng () in
+  let xs = Array.init 2000 (fun _ -> Prng.float g) in
+  let r =
+    S.Anderson_darling.test xs ~cdf:(fun x ->
+        if x < 0. then 0. else if x > 1. then 1. else x)
+  in
+  checkb "uniform vs uniform accepted" true r.S.Anderson_darling.accepted
+
+let test_ad_rejects_wrong_model () =
+  let g = prng () in
+  let xs = Array.init 2000 (fun _ -> Prng.float g) in
+  let r = S.Anderson_darling.test xs ~cdf:S.Special.normal_cdf in
+  checkb "uniform vs normal rejected" false r.S.Anderson_darling.accepted;
+  checkb "tiny p" true (r.S.Anderson_darling.p_value <= 0.01)
+
+let test_ad_more_tail_sensitive_than_ks () =
+  (* contaminate only the extreme tail: AD should flag it at least as
+     strongly as KS (relative p-values) *)
+  let g = prng () in
+  let xs =
+    Array.init 2000 (fun i ->
+        if i < 12 then 0.999999 +. (1e-7 *. Prng.float g) else Prng.float g)
+  in
+  let cdf x = if x < 0. then 0. else if x > 1. then 1. else x in
+  let ad = S.Anderson_darling.test xs ~cdf in
+  checkb "tail contamination caught by AD" false ad.S.Anderson_darling.accepted
+
+let test_ad_alpha_validation () =
+  checkb "bad alpha rejected" true
+    (try
+       ignore (S.Anderson_darling.test ~alpha:0.2 [| 1.; 2.; 3.; 4.; 5. |] ~cdf:(fun x -> x /. 6.));
+       false
+     with Invalid_argument _ -> true)
+
+let test_ad_statistic_reference () =
+  (* A2 for the perfectly spaced uniform sample is small and positive *)
+  let xs = Array.init 99 (fun i -> float_of_int (i + 1) /. 100.) in
+  let r = S.Anderson_darling.test xs ~cdf:(fun x -> x) in
+  checkb "near-perfect fit has tiny statistic" true
+    (r.S.Anderson_darling.statistic < 0.3 && r.S.Anderson_darling.accepted)
+
+(* ------------------------------------------------------------------ *)
+(* Runs test *)
+
+let test_runs_random_series () =
+  let g = prng () in
+  let xs = Array.init 1000 (fun _ -> Prng.gaussian g) in
+  let r = S.Runs_test.test ~alpha:0.01 xs in
+  checkb "random accepted" true r.S.Runs_test.random
+
+let test_runs_rejects_trend () =
+  let xs = Array.init 200 float_of_int in
+  let r = S.Runs_test.test ~alpha:0.05 xs in
+  checkb "monotone trend rejected" false r.S.Runs_test.random
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_counts () =
+  let h = S.Histogram.create ~bins:4 [| 0.; 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "total" 5 (S.Histogram.total h);
+  let sum = ref 0 in
+  for i = 0 to S.Histogram.bins h - 1 do
+    sum := !sum + S.Histogram.count h i
+  done;
+  Alcotest.(check int) "counts sum to total" 5 !sum
+
+let test_histogram_bounds_cover =
+  qtest
+    (QCheck.Test.make ~name:"histogram bounds tile the range" ~count:100
+       QCheck.(list_of_size (Gen.int_range 2 80) (float_range (-50.) 50.))
+       (fun xs ->
+         let a = Array.of_list xs in
+         let h = S.Histogram.create ~bins:8 a in
+         let ok = ref true in
+         for i = 0 to S.Histogram.bins h - 2 do
+           let _, hi = S.Histogram.bounds h i in
+           let lo', _ = S.Histogram.bounds h (i + 1) in
+           if Float.abs (hi -. lo') > 1e-9 then ok := false
+         done;
+         !ok))
+
+(* ------------------------------------------------------------------ *)
+(* Optimization *)
+
+let test_golden_section_parabola () =
+  let xmin =
+    S.Optimize.golden_section ~f:(fun x -> (x -. 3.) ** 2.) ~lo:(-10.) ~hi:10. ()
+  in
+  close ~tol:1e-6 "parabola min" 3. xmin
+
+let test_nelder_mead_quadratic () =
+  let f v = ((v.(0) -. 1.) ** 2.) +. (2. *. ((v.(1) +. 2.) ** 2.)) in
+  let best, value = S.Optimize.nelder_mead ~f ~start:[| 0.; 0. |] () in
+  checkb "x near 1" true (Float.abs (best.(0) -. 1.) < 1e-3);
+  checkb "y near -2" true (Float.abs (best.(1) +. 2.) < 1e-3);
+  checkb "value near 0" true (value < 1e-6)
+
+let test_nelder_mead_with_barrier () =
+  (* objective returning infinity outside the feasible region *)
+  let f v = if v.(0) <= 0. then infinity else v.(0) -. log v.(0) in
+  let best, _ = S.Optimize.nelder_mead ~f ~start:[| 2. |] () in
+  close ~tol:1e-3 "barrier min at 1" 1. best.(0)
+
+let test_linear_fit_recovers () =
+  let xs = Array.init 50 float_of_int in
+  let ys = Array.map (fun x -> 2.5 +. (1.5 *. x)) xs in
+  let intercept, slope, r2 = S.Optimize.linear_fit xs ys in
+  close ~tol:1e-9 "intercept" 2.5 intercept;
+  close ~tol:1e-9 "slope" 1.5 slope;
+  close ~tol:1e-9 "r2" 1. r2
+
+let () =
+  Alcotest.run "repro_stats"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "log_gamma" `Quick test_log_gamma;
+          Alcotest.test_case "gamma_p exponential" `Quick test_gamma_p_exponential;
+          test_gamma_p_q_complement;
+          Alcotest.test_case "erf" `Quick test_erf_values;
+          Alcotest.test_case "normal cdf" `Quick test_normal_cdf_values;
+          test_normal_quantile_inverse;
+          Alcotest.test_case "chi-square df=1" `Quick test_chi_square_df1;
+          Alcotest.test_case "chi-square df=2" `Quick test_chi_square_df2;
+          Alcotest.test_case "kolmogorov survival" `Quick test_kolmogorov_survival;
+        ] );
+      ( "descriptive",
+        [
+          Alcotest.test_case "basics" `Quick test_descriptive_basics;
+          Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
+          Alcotest.test_case "symmetric skewness" `Quick test_skewness_symmetric;
+          Alcotest.test_case "normal kurtosis" `Quick test_kurtosis_normal;
+          test_summary_consistency;
+        ] );
+      ( "ecdf",
+        [
+          Alcotest.test_case "basics" `Quick test_ecdf_basics;
+          Alcotest.test_case "ties" `Quick test_ecdf_ties;
+          test_ecdf_monotone;
+          Alcotest.test_case "ccdf points positive" `Quick test_ecdf_ccdf_points_positive;
+        ] );
+      ( "distributions",
+        [
+          test_normal_roundtrip;
+          Alcotest.test_case "gumbel closed form" `Quick test_gumbel_closed_form;
+          Alcotest.test_case "gumbel deep tail" `Quick test_gumbel_survival_tail;
+          test_gumbel_roundtrip;
+          Alcotest.test_case "gev gumbel limit" `Quick test_gev_gumbel_limit;
+          test_gev_roundtrip;
+          Alcotest.test_case "gev upper bound" `Quick test_gev_upper_bound;
+          Alcotest.test_case "gpd exponential case" `Quick test_gpd_exponential_case;
+          test_gpd_roundtrip;
+          Alcotest.test_case "weibull closed form" `Quick test_weibull_closed_form;
+          Alcotest.test_case "samplers match cdf" `Slow test_sampling_matches_cdf;
+        ] );
+      ( "independence",
+        [
+          Alcotest.test_case "white noise acf" `Quick test_acf_white_noise;
+          Alcotest.test_case "ar1 acf" `Quick test_acf_of_ar1;
+          Alcotest.test_case "acf_up_to length" `Quick test_acf_up_to_length;
+          Alcotest.test_case "ljung-box under H0" `Slow test_ljung_box_white_noise;
+          Alcotest.test_case "ljung-box rejects AR(1)" `Quick test_ljung_box_rejects_ar1;
+          Alcotest.test_case "ljung-box p uniform" `Slow test_ljung_box_p_uniform;
+        ] );
+      ( "ks",
+        [
+          Alcotest.test_case "same distribution" `Quick test_ks_same_distribution;
+          Alcotest.test_case "detects shift" `Quick test_ks_detects_shift;
+          Alcotest.test_case "disjoint D=1" `Quick test_ks_statistic_disjoint;
+          Alcotest.test_case "one-sample uniform" `Quick test_ks_one_sample_uniform;
+          Alcotest.test_case "one-sample wrong model" `Quick test_ks_one_sample_wrong_model;
+          Alcotest.test_case "split halves" `Quick test_split_halves;
+          test_ks_symmetry;
+        ] );
+      ( "anderson-darling",
+        [
+          Alcotest.test_case "accepts true model" `Quick test_ad_accepts_true_model;
+          Alcotest.test_case "rejects wrong model" `Quick test_ad_rejects_wrong_model;
+          Alcotest.test_case "tail sensitivity" `Quick test_ad_more_tail_sensitive_than_ks;
+          Alcotest.test_case "alpha validation" `Quick test_ad_alpha_validation;
+          Alcotest.test_case "reference statistic" `Quick test_ad_statistic_reference;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "random series" `Quick test_runs_random_series;
+          Alcotest.test_case "rejects trend" `Quick test_runs_rejects_trend;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts" `Quick test_histogram_counts;
+          test_histogram_bounds_cover;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "golden section" `Quick test_golden_section_parabola;
+          Alcotest.test_case "nelder-mead quadratic" `Quick test_nelder_mead_quadratic;
+          Alcotest.test_case "nelder-mead barrier" `Quick test_nelder_mead_with_barrier;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit_recovers;
+        ] );
+    ]
