@@ -57,7 +57,13 @@ let campaign =
          M.Campaign.runs = !runs;
        }
      in
-     let first = M.Campaign.run input in
+     let run_exn input =
+       match M.Campaign.run input with
+       | Ok c -> c
+       | Error f ->
+           Format.kasprintf failwith "campaign failed: %a" M.Protocol.pp_failure f
+     in
+     let first = run_exn input in
      match first.M.Campaign.analysis with
      | Ok _ -> first
      | Error f ->
@@ -65,7 +71,7 @@ let campaign =
            "@.NOTE: the gated protocol rejected this sample (%a);@.      rerunning with \
             gates off so all sections print.@."
            M.Protocol.pp_failure f;
-         M.Campaign.run
+         run_exn
            {
              input with
              M.Campaign.options =

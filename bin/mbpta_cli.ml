@@ -64,7 +64,24 @@ let options_of ~tail ~no_gates =
 
 (* ------------------------------ analyze ------------------------------ *)
 
-let analyze runs seed frames tail no_gates factor csv_dir =
+(* Map the experiment's classified fault outcomes onto the supervisor's
+   outcome type (the tvca and mbpta libraries deliberately do not know
+   about each other; this glue is the only place both sides meet). *)
+let resilience_outcome_of = function
+  | T.Experiment.Completed { metrics; _ } ->
+      M.Resilience.Completed (float_of_int (P.Metrics.cycles metrics))
+  | T.Experiment.Watchdog { cycles; budget; _ } ->
+      M.Resilience.Timeout
+        { detail = Printf.sprintf "watchdog fired at %d cycles (budget %d)" cycles budget }
+  | T.Experiment.Runaway { program; _ } ->
+      M.Resilience.Timeout { detail = "runaway execution of " ^ program }
+  | T.Experiment.Crashed { detail; _ } -> M.Resilience.Crashed { detail }
+  | T.Experiment.Corrupted { worst_error; _ } ->
+      M.Resilience.Corrupted
+        { detail = Printf.sprintf "worst output error %g" worst_error }
+
+let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budget
+    max_retries min_survival =
   let det = experiment ~config:P.Config.deterministic ~seed ~frames in
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
   let input =
@@ -76,25 +93,51 @@ let analyze runs seed frames tail no_gates factor csv_dir =
       engineering_factor = factor;
     }
   in
-  let campaign = M.Campaign.run input in
-  print_endline (M.Campaign.render campaign);
-  (match csv_dir with
-  | None -> ()
-  | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let write name contents = M.Export.to_file ~path:(Filename.concat dir name) contents in
-      write "det_samples.csv" (M.Export.samples_csv ~label:"DET" campaign.M.Campaign.det_sample);
-      write "rand_samples.csv"
-        (M.Export.samples_csv ~label:"RAND" campaign.M.Campaign.rand_sample);
-      write "rand_ecdf.csv" (M.Export.ecdf_csv campaign.M.Campaign.rand_sample);
-      (match campaign.M.Campaign.analysis with
-      | Ok a -> write "pwcet_curve.csv" (M.Export.curve_csv a.M.Protocol.curve)
-      | Error _ -> ());
-      (match campaign.M.Campaign.comparison with
-      | Some c -> write "comparison.csv" (M.Export.comparison_csv c)
-      | None -> ());
-      Format.printf "CSV data written to %s/@." dir);
-  0
+  if seu_rate < 0. then begin
+    Format.eprintf "mbpta_cli: --seu-rate must be >= 0 (got %g)@." seu_rate;
+    exit 2
+  end;
+  let result =
+    if seu_rate > 0. || watchdog_budget <> None then begin
+      let fault = T.Experiment.fault_config ~seu_rate ?watchdog_budget () in
+      let measure exp ~run_index ~attempt =
+        resilience_outcome_of (T.Experiment.run_faulty exp ~fault ~attempt ~run_index ())
+      in
+      let policy = { M.Resilience.default_policy with max_retries; min_survival } in
+      M.Campaign.run_resilient
+        (M.Campaign.resilient_input ~policy ~base:input ~measure_det_outcome:(measure det)
+           ~measure_rand_outcome:(measure rand) ())
+    end
+    else M.Campaign.run input
+  in
+  match result with
+  | Error f ->
+      Format.eprintf "campaign failed: %a@." M.Protocol.pp_failure f;
+      1
+  | Ok campaign ->
+      print_endline (M.Campaign.render campaign);
+      (match csv_dir with
+      | None -> ()
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let write name contents =
+            M.Export.to_file ~path:(Filename.concat dir name) contents
+          in
+          write "det_samples.csv"
+            (M.Export.samples_csv ~label:"DET" campaign.M.Campaign.det_sample);
+          write "rand_samples.csv"
+            (M.Export.samples_csv ~label:"RAND" campaign.M.Campaign.rand_sample);
+          write "rand_ecdf.csv" (M.Export.ecdf_csv campaign.M.Campaign.rand_sample);
+          (match campaign.M.Campaign.analysis with
+          | Ok a -> write "pwcet_curve.csv" (M.Export.curve_csv a.M.Protocol.curve)
+          | Error _ -> ());
+          (match campaign.M.Campaign.comparison with
+          | Some c -> write "comparison.csv" (M.Export.comparison_csv c)
+          | None -> ());
+          Format.printf "CSV data written to %s/@." dir);
+      (* measurements succeeded (samples are printed/exported either way),
+         but a failed analysis is still a failed campaign to the caller *)
+      (match campaign.M.Campaign.analysis with Ok _ -> 0 | Error _ -> 1)
 
 let analyze_cmd =
   let factor =
@@ -105,12 +148,32 @@ let analyze_cmd =
     let doc = "Also write samples/ECDF/curve/comparison CSV files to $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
   in
+  let seu_rate =
+    let doc =
+      "Inject single-event upsets at $(docv) expected upsets per million retired \
+       instructions (0 disables injection; the pipeline is then bit-identical to the \
+       fault-free one)."
+    in
+    Arg.(value & opt float 0. & info [ "seu-rate" ] ~docv:"RATE" ~doc)
+  in
+  let watchdog_budget =
+    let doc = "Watchdog cycle budget per run; a run exceeding it is a timeout." in
+    Arg.(value & opt (some int) None & info [ "watchdog-budget" ] ~docv:"CYCLES" ~doc)
+  in
+  let max_retries =
+    let doc = "Retries allowed per faulted run before it is quarantined." in
+    Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let min_survival =
+    let doc = "Fraction of runs that must survive for the campaign to proceed." in
+    Arg.(value & opt float 0.9 & info [ "min-survival" ] ~docv:"FRAC" ~doc)
+  in
   let doc = "run the full measurement campaign and print the report" in
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
       const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg $ factor
-      $ csv_dir)
+      $ csv_dir $ seu_rate $ watchdog_budget $ max_retries $ min_survival)
 
 (* -------------------------------- iid -------------------------------- *)
 

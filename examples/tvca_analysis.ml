@@ -35,5 +35,6 @@ let () =
       M.Campaign.runs;
     }
   in
-  let campaign = M.Campaign.run input in
-  print_endline (M.Campaign.render campaign)
+  match M.Campaign.run input with
+  | Ok campaign -> print_endline (M.Campaign.render campaign)
+  | Error f -> Format.printf "campaign failed: %a@." M.Protocol.pp_failure f

@@ -15,32 +15,78 @@ let default_input ~measure_det ~measure_rand =
     engineering_factor = 1.5;
   }
 
+type resilient_input = {
+  base : input;
+  policy : Resilience.policy;
+  measure_det_outcome : run_index:int -> attempt:int -> Resilience.outcome;
+  measure_rand_outcome : run_index:int -> attempt:int -> Resilience.outcome;
+}
+
+let resilient_input ?(policy = Resilience.default_policy) ~base ~measure_det_outcome
+    ~measure_rand_outcome () =
+  { base; policy; measure_det_outcome; measure_rand_outcome }
+
 type t = {
   det_sample : float array;
   rand_sample : float array;
   analysis : (Protocol.analysis, Protocol.failure) Stdlib.result;
   comparison : comparison option;
+  det_resilience : Resilience.report option;
+  rand_resilience : Resilience.report option;
 }
 
 and comparison = Report.comparison
 
-let run input =
-  assert (input.runs >= 1);
-  let det_sample = Array.init input.runs input.measure_det in
-  let rand_sample = Array.init input.runs input.measure_rand in
-  let analysis = Protocol.analyze ~options:input.options rand_sample in
+let finish ~options ~engineering_factor ~det_sample ~rand_sample ~det_resilience
+    ~rand_resilience =
+  let analysis = Protocol.analyze ~options rand_sample in
   let comparison =
     match analysis with
-    | Ok a ->
-        Some
-          (Report.compare ~engineering_factor:input.engineering_factor ~analysis:a
-             ~det_sample ())
+    | Ok a -> Some (Report.compare ~engineering_factor ~analysis:a ~det_sample ())
     | Error _ -> None
   in
-  { det_sample; rand_sample; analysis; comparison }
+  { det_sample; rand_sample; analysis; comparison; det_resilience; rand_resilience }
+
+let run input =
+  if input.runs < 1 then Error (Protocol.Not_enough_runs { have = input.runs; need = 1 })
+  else begin
+    let det_sample = Array.init input.runs input.measure_det in
+    let rand_sample = Array.init input.runs input.measure_rand in
+    Ok
+      (finish ~options:input.options ~engineering_factor:input.engineering_factor
+         ~det_sample ~rand_sample ~det_resilience:None ~rand_resilience:None)
+  end
+
+let failure_of_resilience_error : Resilience.error -> Protocol.failure = function
+  | Resilience.Too_few_survivors { survivors; required; total } ->
+      Protocol.Faulted_runs { survivors; required; total }
+  | Resilience.Retry_budget_exhausted { spent; limit; runs_completed } ->
+      Protocol.Budget_exhausted { spent; limit; runs_completed }
+  | Resilience.Invalid_policy reason ->
+      Protocol.Invalid_sample { index = -1; value = Float.nan; reason }
+
+let run_resilient input =
+  let { base; policy; measure_det_outcome; measure_rand_outcome } = input in
+  let supervise measure =
+    Resilience.supervise ~policy ~runs:base.runs ~measure
+    |> Result.map_error failure_of_resilience_error
+  in
+  match supervise measure_det_outcome with
+  | Error _ as e -> e
+  | Ok det_report -> (
+      match supervise measure_rand_outcome with
+      | Error _ as e -> e
+      | Ok rand_report ->
+          Ok
+            (finish ~options:base.options ~engineering_factor:base.engineering_factor
+               ~det_sample:det_report.Resilience.sample
+               ~rand_sample:rand_report.Resilience.sample
+               ~det_resilience:(Some det_report) ~rand_resilience:(Some rand_report)))
 
 let render t =
   match (t.analysis, t.comparison) with
-  | Ok analysis, Some comparison -> Report.render ~analysis ~comparison
+  | Ok analysis, Some comparison ->
+      Report.render ~analysis ~comparison ?det_resilience:t.det_resilience
+        ?rand_resilience:t.rand_resilience ()
   | Ok analysis, None -> Format.asprintf "%a" Protocol.pp_analysis analysis
   | Error f, _ -> Format.asprintf "campaign failed: %a" Protocol.pp_failure f

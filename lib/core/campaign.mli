@@ -5,7 +5,16 @@
     Workload-agnostic: the harness supplies [measure_det] and [measure_rand]
     (run index to cycles; the harness owns reseeding/flushing), keeping this
     library independent of any particular platform or application — like a
-    timing-analysis tool attached to a target. *)
+    timing-analysis tool attached to a target.
+
+    Two drivers share all analysis code.  {!run} is the fault-free fast
+    path: it computes every run directly (identical to the original seed
+    pipeline).  {!run_resilient} supervises each measurement through
+    {!Resilience}: outcomes are classified, transient failures retried
+    under a deterministic reseed policy, irrecoverable runs quarantined,
+    and the campaign proceeds on the surviving sample when the policy's
+    survival threshold is met.  Both return a typed [result] — campaign
+    failure is a {!Protocol.failure}, never an exception. *)
 
 type input = {
   runs : int;  (** the paper uses 3,000 *)
@@ -17,16 +26,45 @@ type input = {
 
 val default_input : measure_det:(int -> float) -> measure_rand:(int -> float) -> input
 
+(** Resilient campaign: outcome-typed measurement functions plus a
+    {!Resilience.policy}.  [measure_*_outcome ~run_index ~attempt] performs
+    attempt [attempt] of run [run_index] ([attempt = 0] is the first try;
+    the harness derives retry seeds from it deterministically). *)
+type resilient_input = {
+  base : input;  (** [base.measure_det]/[base.measure_rand] are unused here *)
+  policy : Resilience.policy;
+  measure_det_outcome : run_index:int -> attempt:int -> Resilience.outcome;
+  measure_rand_outcome : run_index:int -> attempt:int -> Resilience.outcome;
+}
+
+val resilient_input :
+  ?policy:Resilience.policy ->
+  base:input ->
+  measure_det_outcome:(run_index:int -> attempt:int -> Resilience.outcome) ->
+  measure_rand_outcome:(run_index:int -> attempt:int -> Resilience.outcome) ->
+  unit ->
+  resilient_input
+
 type t = {
   det_sample : float array;
   rand_sample : float array;
   analysis : (Protocol.analysis, Protocol.failure) Stdlib.result;
   comparison : comparison option;
+  det_resilience : Resilience.report option;  (** [Some] under {!run_resilient} *)
+  rand_resilience : Resilience.report option;
 }
 
 and comparison = Report.comparison
 
-val run : input -> t
+(** Fault-free campaign.  [Error (Not_enough_runs _)] when [input.runs < 1];
+    the per-run analysis verdicts stay inside [t.analysis]. *)
+val run : input -> (t, Protocol.failure) Stdlib.result
 
-(** Render the whole campaign as a text report (all four experiments). *)
+(** Supervised campaign on a fault-prone platform; fails with
+    {!Protocol.Faulted_runs} (survival threshold missed) or
+    {!Protocol.Budget_exhausted} (campaign retry budget gone). *)
+val run_resilient : resilient_input -> (t, Protocol.failure) Stdlib.result
+
+(** Render the whole campaign as a text report (all four experiments, plus
+    the fault/retry summary when the campaign ran resiliently). *)
 val render : t -> string

@@ -41,6 +41,9 @@ type failure =
   | Not_enough_runs of { have : int; need : int }
   | Iid_rejected of Iid.result
   | Not_converged of Evt.Convergence.result
+  | Invalid_sample of { index : int; value : float; reason : string }
+  | Faulted_runs of { survivors : int; required : int; total : int }
+  | Budget_exhausted of { spent : int; limit : int; runs_completed : int }
 
 let pp_failure ppf = function
   | Not_enough_runs { have; need } ->
@@ -48,8 +51,39 @@ let pp_failure ppf = function
   | Iid_rejected iid -> Format.fprintf ppf "i.i.d. hypothesis rejected:@ %a" Iid.pp iid
   | Not_converged c ->
       Format.fprintf ppf "convergence criterion not met:@ %a" Evt.Convergence.pp_result c
+  | Invalid_sample { index; value; reason } ->
+      (* index < 0 marks a configuration problem rather than a bad
+         observation (e.g. an invalid resilience policy) *)
+      if index < 0 then Format.fprintf ppf "invalid campaign input: %s" reason
+      else Format.fprintf ppf "invalid sample: observation %d is %s (%h)" index reason value
+  | Faulted_runs { survivors; required; total } ->
+      Format.fprintf ppf
+        "too many faulted runs: only %d of %d survived, need at least %d" survivors total
+        required
+  | Budget_exhausted { spent; limit; runs_completed } ->
+      Format.fprintf ppf "retry budget exhausted: %d of %d retries spent after %d runs"
+        spent limit runs_completed
 
 let min_runs = 100
+
+(* Execution times are finite non-negative cycle counts; anything else in
+   the vector means the harness fed us a corrupted or uninitialized
+   measurement.  Catch it here with a typed failure instead of letting a
+   NaN poison the order statistics and the fits downstream. *)
+let validate_sample xs =
+  let n = Array.length xs in
+  let rec go i =
+    if i >= n then None
+    else
+      let v = xs.(i) in
+      if Float.is_nan v then Some (Invalid_sample { index = i; value = v; reason = "NaN" })
+      else if Float.abs v = Float.infinity then
+        Some (Invalid_sample { index = i; value = v; reason = "infinite" })
+      else if v < 0. then
+        Some (Invalid_sample { index = i; value = v; reason = "negative" })
+      else go (i + 1)
+  in
+  go 0
 
 let fit_curve (options : options) xs =
   let block_size =
@@ -110,7 +144,11 @@ let fit_curve (options : options) xs =
 let analyze ?(options = default_options) xs =
   let n = Array.length xs in
   if n < min_runs then Error (Not_enough_runs { have = n; need = min_runs })
-  else begin
+  else
+    match validate_sample xs with
+    | Some failure -> Error failure
+    | None ->
+  begin
     let iid = Iid.check ~alpha:options.alpha xs in
     if options.gate_on_iid && not iid.Iid.accepted then Error (Iid_rejected iid)
     else begin

@@ -54,10 +54,22 @@ type analysis = {
           (e.g. a jitterless platform producing near-constant times) *)
 }
 
+(** Everything that can stop the protocol (or a whole campaign) from
+    producing a pWCET curve.  One closed taxonomy so every layer — fitting,
+    i.i.d. gating, fault-tolerant measurement — reports through the same
+    typed channel instead of raising. *)
 type failure =
   | Not_enough_runs of { have : int; need : int }
   | Iid_rejected of Iid.result
   | Not_converged of Repro_evt.Convergence.result
+  | Invalid_sample of { index : int; value : float; reason : string }
+      (** an observation is NaN, infinite or negative — a corrupted
+          measurement must be rejected, not fitted *)
+  | Faulted_runs of { survivors : int; required : int; total : int }
+      (** resilient campaign: too many runs were quarantined for the
+          surviving sample to meet the {!Resilience.policy} threshold *)
+  | Budget_exhausted of { spent : int; limit : int; runs_completed : int }
+      (** resilient campaign: the campaign-wide retry budget ran out *)
 
 val pp_failure : Format.formatter -> failure -> unit
 

@@ -42,6 +42,14 @@ let pp_comparison ppf c =
     c.pwcet_at;
   Format.fprintf ppf "@]"
 
-let render ~analysis ~comparison =
-  Format.asprintf "%a@.@.%a@.@.%s" Protocol.pp_analysis analysis pp_comparison comparison
+let pp_resilience_section ppf (label, report) =
+  match report with
+  | None -> ()
+  | Some r -> Format.fprintf ppf "@.@.%s %a" label Resilience.pp_report r
+
+let render ~analysis ~comparison ?det_resilience ?rand_resilience () =
+  Format.asprintf "%a@.@.%a@.@.%s%a%a" Protocol.pp_analysis analysis pp_comparison
+    comparison
     (Ascii_plot.exceedance_plot analysis.Protocol.curve)
+    pp_resilience_section ("DET", det_resilience)
+    pp_resilience_section ("RAND", rand_resilience)

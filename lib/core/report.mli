@@ -24,5 +24,12 @@ val compare :
 val pp_comparison : Format.formatter -> comparison -> unit
 
 (** Full text report: i.i.d. verdicts, the pWCET table, the comparison and
-    the Figure 2 plot. *)
-val render : analysis:Protocol.analysis -> comparison:comparison -> string
+    the Figure 2 plot; when the campaign ran under {!Resilience}
+    supervision, a fault/retry summary table per platform is appended. *)
+val render :
+  analysis:Protocol.analysis ->
+  comparison:comparison ->
+  ?det_resilience:Resilience.report ->
+  ?rand_resilience:Resilience.report ->
+  unit ->
+  string

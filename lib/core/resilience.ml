@@ -1,0 +1,132 @@
+type outcome =
+  | Completed of float
+  | Timeout of { detail : string }
+  | Crashed of { detail : string }
+  | Corrupted of { detail : string }
+
+type policy = { max_retries : int; max_total_retries : int option; min_survival : float }
+
+let default_policy = { max_retries = 2; max_total_retries = None; min_survival = 0.9 }
+
+type attempt = { attempt : int; outcome : outcome }
+type record = { run_index : int; attempts : attempt list; survived : bool }
+
+type report = {
+  sample : float array;
+  records : record list;
+  total_runs : int;
+  survivors : int;
+  retried_runs : int;
+  dropped_runs : int;
+  total_retries : int;
+}
+
+type error =
+  | Too_few_survivors of { survivors : int; required : int; total : int }
+  | Retry_budget_exhausted of { spent : int; limit : int; runs_completed : int }
+  | Invalid_policy of string
+
+exception Budget_gone of { spent : int; limit : int; runs_completed : int }
+
+let required_survivors ~policy ~runs =
+  int_of_float (ceil (policy.min_survival *. float_of_int runs))
+
+let supervise ~policy ~runs ~measure =
+  if runs < 1 then Error (Invalid_policy "runs must be >= 1")
+  else if policy.max_retries < 0 then Error (Invalid_policy "max_retries must be >= 0")
+  else if not (policy.min_survival >= 0. && policy.min_survival <= 1.) then
+    Error (Invalid_policy "min_survival must lie in [0, 1]")
+  else begin
+    let sample = ref [] (* survivors, newest first *) in
+    let records = ref [] in
+    let survivors = ref 0 in
+    let retried_runs = ref 0 in
+    let dropped_runs = ref 0 in
+    let total_retries = ref 0 in
+    let spend_retry ~runs_completed =
+      total_retries := !total_retries + 1;
+      match policy.max_total_retries with
+      | Some limit when !total_retries > limit ->
+          raise (Budget_gone { spent = limit; limit; runs_completed })
+      | Some _ | None -> ()
+    in
+    let run_one run_index =
+      let rec attempts_loop attempt acc =
+        let outcome = measure ~run_index ~attempt in
+        let acc = { attempt; outcome } :: acc in
+        match outcome with
+        | Completed time -> (List.rev acc, Some time)
+        | Timeout _ | Crashed _ | Corrupted _ ->
+            if attempt >= policy.max_retries then (List.rev acc, None)
+            else begin
+              spend_retry ~runs_completed:run_index;
+              attempts_loop (attempt + 1) acc
+            end
+      in
+      let attempts, time = attempts_loop 0 [] in
+      (match time with
+      | Some v ->
+          incr survivors;
+          sample := v :: !sample
+      | None -> incr dropped_runs);
+      if List.length attempts > 1 then incr retried_runs;
+      (* log only runs that faulted at least once *)
+      if time = None || List.length attempts > 1 then
+        records := { run_index; attempts; survived = time <> None } :: !records
+    in
+    match
+      for i = 0 to runs - 1 do
+        run_one i
+      done
+    with
+    | exception Budget_gone { spent; limit; runs_completed } ->
+        Error (Retry_budget_exhausted { spent; limit; runs_completed })
+    | () ->
+        let required = required_survivors ~policy ~runs in
+        if !survivors < required then
+          Error (Too_few_survivors { survivors = !survivors; required; total = runs })
+        else
+          Ok
+            {
+              sample = Array.of_list (List.rev !sample);
+              records = List.rev !records;
+              total_runs = runs;
+              survivors = !survivors;
+              retried_runs = !retried_runs;
+              dropped_runs = !dropped_runs;
+              total_retries = !total_retries;
+            }
+  end
+
+let pp_outcome ppf = function
+  | Completed v -> Format.fprintf ppf "completed (%.0f cycles)" v
+  | Timeout { detail } -> Format.fprintf ppf "timeout: %s" detail
+  | Crashed { detail } -> Format.fprintf ppf "crashed: %s" detail
+  | Corrupted { detail } -> Format.fprintf ppf "corrupted: %s" detail
+
+let pp_error ppf = function
+  | Too_few_survivors { survivors; required; total } ->
+      Format.fprintf ppf "too few surviving runs: %d of %d (need %d)" survivors total
+        required
+  | Retry_budget_exhausted { spent; limit; runs_completed } ->
+      Format.fprintf ppf "campaign retry budget exhausted: %d of %d spent after %d runs"
+        spent limit runs_completed
+  | Invalid_policy reason -> Format.fprintf ppf "invalid resilience policy: %s" reason
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fault/retry summary: %d runs, %d survived, %d retried, %d dropped, %d retries \
+     spent"
+    r.total_runs r.survivors r.retried_runs r.dropped_runs r.total_retries;
+  if r.records <> [] then begin
+    Format.fprintf ppf "@,faulted runs:";
+    List.iter
+      (fun rec_ ->
+        Format.fprintf ppf "@,  run %5d  %-12s" rec_.run_index
+          (if rec_.survived then "recovered" else "quarantined");
+        List.iter
+          (fun a -> Format.fprintf ppf "  [%d] %a" a.attempt pp_outcome a.outcome)
+          rec_.attempts)
+      r.records
+  end;
+  Format.fprintf ppf "@]"

@@ -10,7 +10,8 @@ type tail_model =
 type t = { model : tail_model; block_size : int; ecdf : Stats.Ecdf.t }
 
 let create ~model ~block_size ~sample =
-  assert (block_size >= 1);
+  if block_size < 1 then invalid_arg "Pwcet.create: block_size must be >= 1";
+  if Array.length sample = 0 then invalid_arg "Pwcet.create: empty sample";
   (match model with
   | Pot_tail _ ->
       if block_size <> 1 then
@@ -47,7 +48,8 @@ let exceedance_probability t v =
   end
 
 let estimate t ~cutoff_probability =
-  assert (cutoff_probability > 0. && cutoff_probability < 1.);
+  if not (cutoff_probability > 0. && cutoff_probability < 1.) then
+    invalid_arg "Pwcet.estimate: cutoff_probability must lie in (0, 1)";
   let p_block =
     if t.block_size = 1 then cutoff_probability
     else

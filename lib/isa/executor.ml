@@ -151,6 +151,21 @@ module Stepper = struct
 
   let finished t = not t.running
 
+  let corrupt_int_register t ~reg ~bit =
+    if reg < 0 || reg >= Instr.register_count then
+      invalid_arg "Stepper.corrupt_int_register: register out of range";
+    (* Model 32-bit architectural registers: flip one of the low 32 bits. *)
+    t.regs.(reg) <- t.regs.(reg) lxor (1 lsl (bit land 31))
+
+  let corrupt_float_register t ~reg ~bit =
+    if reg < 0 || reg >= Instr.register_count then
+      invalid_arg "Stepper.corrupt_float_register: register out of range";
+    (* Flip one bit of the IEEE-754 image; upsets in the exponent or sign
+       can turn a value into inf/NaN, exactly as on real hardware. *)
+    let bits = Int64.bits_of_float t.fregs.(reg) in
+    t.fregs.(reg) <-
+      Int64.float_of_bits (Int64.logxor bits (Int64.shift_left 1L (bit land 63)))
+
   let stats t =
     {
       retired = t.retired;

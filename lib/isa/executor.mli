@@ -50,6 +50,19 @@ module Stepper : sig
 
   val finished : t -> bool
   val stats : t -> stats
+
+  (** {2 SEU injection hooks}
+
+      [corrupt_int_register t ~reg ~bit] flips one of the low 32 bits of an
+      integer register (the model's registers are architecturally 32-bit);
+      [corrupt_float_register] flips one bit of the IEEE-754 image of a
+      float register (which can produce inf/NaN, as on real hardware).
+      Driven by the platform fault injector between steps; a corrupted
+      register may change the execution path, trap (out-of-bounds access),
+      diverge ({!Runaway}), or silently corrupt the program's output. *)
+
+  val corrupt_int_register : t -> reg:int -> bit:int -> unit
+  val corrupt_float_register : t -> reg:int -> bit:int -> unit
 end
 
 (** [run ?max_instructions ~program ~layout ~memory ~on_retire ()] executes

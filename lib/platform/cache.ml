@@ -130,6 +130,24 @@ let flush t =
   (* A flush models a run boundary: draw a fresh placement salt. *)
   t.seed_material <- Prng.bits32 t.prng
 
+(* ---- SEU injection hooks (driven by Fault) ---- *)
+
+let inject_tag_flip t ~set ~way ~bit =
+  if set < 0 || set >= t.sets || way < 0 || way >= t.ways then
+    invalid_arg "Cache.inject_tag_flip: site out of range";
+  let tag = t.tags.(set).(way) in
+  if tag >= 0 then
+    (* Flipping a tag bit re-labels the stored line: the original line will
+       now miss, and the aliased line would falsely hit.  Keep the result
+       non-negative so it never collides with the invalid sentinel. *)
+    t.tags.(set).(way) <- tag lxor (1 lsl (bit land 29)) land max_int
+
+let inject_valid_flip t ~set ~way ~garbage_line =
+  if set < 0 || set >= t.sets || way < 0 || way >= t.ways then
+    invalid_arg "Cache.inject_valid_flip: site out of range";
+  if t.tags.(set).(way) >= 0 then t.tags.(set).(way) <- -1
+  else t.tags.(set).(way) <- abs garbage_line
+
 type stats = { hits : int; misses : int; write_throughs : int }
 
 let stats (t : t) = { hits = t.hits; misses = t.misses; write_throughs = t.write_throughs }

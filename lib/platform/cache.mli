@@ -43,6 +43,19 @@ val set_of_addr : t -> int -> int
 val sets : t -> int
 val ways : t -> int
 
+(** {2 SEU injection hooks}
+
+    Driven by {!Fault}; both model a single-event upset in the tag array of
+    one way.  A tag-bit flip on a valid line re-labels the stored line (the
+    original line misses from now on, an aliased line would falsely hit); a
+    flip on an invalid way is absorbed (no architectural state held).  A
+    valid-bit flip invalidates a valid line, or revives an invalid way with
+    [garbage_line] — a stale/garbage tag, as after an upset in the valid
+    bit. *)
+
+val inject_tag_flip : t -> set:int -> way:int -> bit:int -> unit
+val inject_valid_flip : t -> set:int -> way:int -> garbage_line:int -> unit
+
 type stats = { hits : int; misses : int; write_throughs : int }
 
 val stats : t -> stats

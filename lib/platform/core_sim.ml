@@ -1,6 +1,8 @@
 module Prng = Repro_rng.Prng
 module Instr = Repro_isa.Instr
 
+exception Budget_exceeded of { cycles : int; budget : int }
+
 type t = {
   config : Config.t;
   il1 : Cache.t;
@@ -12,6 +14,7 @@ type t = {
   dram : Dram.t;
   prng : Prng.t;
   mutable cycles : int;
+  mutable faults_injected : int;
 }
 
 let create ?(contenders = []) ~config ~seed () =
@@ -34,6 +37,7 @@ let create ?(contenders = []) ~config ~seed () =
         ~row_bytes:config.Config.dram_row_bytes ~latencies:lat;
     prng;
     cycles = 0;
+    faults_injected = 0;
   }
 
 let config t = t.config
@@ -50,7 +54,8 @@ let reset_run t =
   Dram.flush t.dram;
   Dram.reset_stats t.dram;
   Bus.reset t.bus;
-  t.cycles <- 0
+  t.cycles <- 0;
+  t.faults_injected <- 0
 
 (* A memory transaction that reached the bus: arbitration + DRAM. *)
 let memory_transaction t ~addr =
@@ -115,13 +120,58 @@ let snapshot t ~instructions ~fp_long_ops ~taken_branches =
     dram_row_misses = dram.Dram.row_misses;
     fp_long_ops;
     taken_branches;
+    faults_injected = t.faults_injected;
   }
+
+let snapshot_of_stats t (stats : Repro_isa.Executor.stats) =
+  snapshot t ~instructions:stats.Repro_isa.Executor.retired
+    ~fp_long_ops:stats.Repro_isa.Executor.fp_long_ops
+    ~taken_branches:stats.Repro_isa.Executor.taken_branches
 
 let run_program t ~program ~layout ~memory =
   reset_run t;
   let stats =
     Repro_isa.Executor.run ~program ~layout ~memory ~on_retire:(consume t) ()
   in
-  snapshot t ~instructions:stats.Repro_isa.Executor.retired
-    ~fp_long_ops:stats.Repro_isa.Executor.fp_long_ops
-    ~taken_branches:stats.Repro_isa.Executor.taken_branches
+  snapshot_of_stats t stats
+
+let run_program_faulty t ?injector ?watchdog_budget ~program ~layout ~memory () =
+  reset_run t;
+  let module Stepper = Repro_isa.Executor.Stepper in
+  let stepper = Stepper.create ~program ~layout ~memory () in
+  let targets =
+    match injector with
+    | None -> None
+    | Some _ ->
+        Some
+          {
+            Fault.il1 = t.il1;
+            dl1 = t.dl1;
+            itlb = t.itlb;
+            dtlb = t.dtlb;
+            corrupt_int_register =
+              (fun ~reg ~bit -> Stepper.corrupt_int_register stepper ~reg ~bit);
+            corrupt_float_register =
+              (fun ~reg ~bit -> Stepper.corrupt_float_register stepper ~reg ~bit);
+          }
+  in
+  let retired = ref 0 in
+  let rec go () =
+    match Stepper.step stepper with
+    | None -> ()
+    | Some r ->
+        consume t r;
+        incr retired;
+        (match watchdog_budget with
+        | Some budget when t.cycles > budget ->
+            raise (Budget_exceeded { cycles = t.cycles; budget })
+        | Some _ | None -> ());
+        (match (injector, targets) with
+        | Some inj, Some tg ->
+            Fault.step inj ~retired:!retired tg;
+            t.faults_injected <- Fault.count inj
+        | _ -> ());
+        go ()
+  in
+  go ();
+  snapshot_of_stats t (Stepper.stats stepper)

@@ -9,6 +9,11 @@
 
 type t
 
+exception Budget_exceeded of { cycles : int; budget : int }
+(** raised by {!run_program_faulty} when the watchdog cycle budget is
+    exceeded — the bounded-interference analogue of a flight computer's
+    watchdog timer firing on a diverged task *)
+
 (** [create ?contenders ~config ~seed ()] — [seed] drives all platform
     randomization for this instance (placement, replacement, bus
     interference sampling); [contenders] are co-runner bus pressures for
@@ -37,6 +42,27 @@ val run_program :
   program:Repro_isa.Program.t ->
   layout:Repro_isa.Layout.t ->
   memory:Repro_isa.Memory.t ->
+  Metrics.t
+
+(** [run_program_faulty t ?injector ?watchdog_budget ~program ~layout
+    ~memory ()] — like {!run_program} but steps the executor one instruction
+    at a time so that (a) the SEU [injector], when given, can strike cache
+    tags, TLB entries and executor registers between instructions, and
+    (b) the [watchdog_budget] (in cycles) is enforced, raising
+    {!Budget_exceeded} the moment it is crossed.  With no injector and no
+    budget the cycle count is identical to {!run_program} (same consume
+    sequence).  May also propagate {!Repro_isa.Executor.Runaway} or
+    [Invalid_argument] (out-of-bounds access) when an injected register
+    upset derails the program — the resilience supervisor upstream
+    classifies these. *)
+val run_program_faulty :
+  t ->
+  ?injector:Fault.t ->
+  ?watchdog_budget:int ->
+  program:Repro_isa.Program.t ->
+  layout:Repro_isa.Layout.t ->
+  memory:Repro_isa.Memory.t ->
+  unit ->
   Metrics.t
 
 (** Metrics accumulated since the last [reset_run] (for callers driving

@@ -12,6 +12,7 @@ type t = {
   dram_row_misses : int;
   fp_long_ops : int;
   taken_branches : int;
+  faults_injected : int;
 }
 
 let cycles t = t.cycles
@@ -32,4 +33,5 @@ let pp ppf t =
      fp_long=%d taken=%d"
     t.cycles t.instructions (cpi t) (il1_miss_rate t) (dl1_miss_rate t) t.itlb_misses
     t.dtlb_misses t.bus_transactions t.dram_row_hits t.dram_row_misses t.fp_long_ops
-    t.taken_branches
+    t.taken_branches;
+  if t.faults_injected > 0 then Format.fprintf ppf " seu=%d" t.faults_injected

@@ -16,6 +16,8 @@ type t = {
   dram_row_misses : int;
   fp_long_ops : int;
   taken_branches : int;
+  faults_injected : int;
+      (** SEUs injected into this run by {!Fault} (0 on a fault-free run) *)
 }
 
 val cycles : t -> int

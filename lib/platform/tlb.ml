@@ -16,7 +16,8 @@ type t = {
 }
 
 let create ~entries ~page_bytes ~replacement ~prng =
-  assert (entries >= 1 && page_bytes >= 1);
+  if entries < 1 || page_bytes < 1 then
+    invalid_arg "Tlb.create: entries and page_bytes must be >= 1";
   {
     entries;
     page_bytes;
@@ -79,6 +80,15 @@ let flush t =
   Array.fill t.recency 0 t.entries 0;
   t.rr <- 0;
   t.clock <- 0
+
+let entries t = t.entries
+
+(* SEU hook: flip one bit of a stored page number.  An upset in an invalid
+   entry has no architectural state to corrupt and is absorbed. *)
+let inject_entry_flip t ~entry ~bit =
+  if entry < 0 || entry >= t.entries then invalid_arg "Tlb.inject_entry_flip: out of range";
+  let page = t.pages.(entry) in
+  if page >= 0 then t.pages.(entry) <- page lxor (1 lsl (bit land 29)) land max_int
 
 type stats = { hits : int; misses : int }
 

@@ -19,6 +19,13 @@ val access : t -> addr:int -> outcome
 
 val flush : t -> unit
 
+val entries : t -> int
+
+(** SEU hook (driven by {!Fault}): flip one bit of the page number stored in
+    [entry].  The stale translation makes the original page miss again; an
+    upset in an invalid entry is absorbed. *)
+val inject_entry_flip : t -> entry:int -> bit:int -> unit
+
 type stats = { hits : int; misses : int }
 
 val stats : t -> stats

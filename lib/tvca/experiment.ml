@@ -19,6 +19,25 @@ let derive_seed base run stream =
   skip ((run * 2) + stream);
   Repro_rng.Splitmix.next sm
 
+(* Fault-injection stream: a salted family so the scenario/platform streams
+   above are untouched (bit-identical seeds when injection is off). *)
+let fault_salt = 0x5851F42D4C957F2DL
+
+let derive_fault_seed base run = derive_seed (Int64.logxor base fault_salt) run 0
+
+(* Retry reseed policy: attempt 0 is the canonical run; attempt [a > 0]
+   re-derives the platform and fault streams from a salted base while the
+   scenario (the run's input) stays fixed — a retry repeats the same
+   measurement under fresh randomization, deterministically. *)
+let retry_salt = 0x14057B7EF767814FL
+
+let attempt_base base ~attempt =
+  if attempt = 0 then base
+  else
+    Repro_rng.Splitmix.next
+      (Repro_rng.Splitmix.create
+         (Int64.logxor base (Int64.mul (Int64.of_int attempt) retry_salt)))
+
 let create ?(frames = Mission.default_frames) ?(gains = Controller.default_gains)
     ?(variant = Codegen.Full) ?(contenders = []) ~config ~base_seed () =
   let program = Codegen.program ~variant ~gains ~frames () in
@@ -49,6 +68,94 @@ let run t ~run_index =
   Platform.Core_sim.run_program core ~program:t.program ~layout:t.layout ~memory
 
 let measure t ~run_index = float_of_int (Platform.Metrics.cycles (run t ~run_index))
+
+(* ---- fault-injected, supervised runs ---- *)
+
+type fault_config = {
+  seu_rate : float;
+  watchdog_budget : int option;
+  output_tolerance : float;
+}
+
+let fault_config ?(seu_rate = 0.) ?watchdog_budget ?(output_tolerance = 1e-9) () =
+  if seu_rate < 0. then invalid_arg "Experiment.fault_config: seu_rate must be >= 0";
+  (match watchdog_budget with
+  | Some b when b < 1 -> invalid_arg "Experiment.fault_config: watchdog_budget must be >= 1"
+  | Some _ | None -> ());
+  { seu_rate; watchdog_budget; output_tolerance }
+
+type fault_outcome =
+  | Completed of { metrics : Platform.Metrics.t; faults : Platform.Fault.record list }
+  | Watchdog of { cycles : int; budget : int; faults : Platform.Fault.record list }
+  | Runaway of { program : string; faults : Platform.Fault.record list }
+  | Crashed of { detail : string; faults : Platform.Fault.record list }
+  | Corrupted of { worst_error : float; faults : Platform.Fault.record list }
+
+let output_error t sc memory =
+  let got_x = Isa.Memory.read_array memory Codegen.sym_cmd_x in
+  let got_y = Isa.Memory.read_array memory Codegen.sym_cmd_y in
+  let worst = ref 0. in
+  for k = 0 to t.frames - 1 do
+    let err_x = Float.abs (got_x.(k) -. sc.Mission.expected_cmd_x.(k)) in
+    let err_y = Float.abs (got_y.(k) -. sc.Mission.expected_cmd_y.(k)) in
+    let err = Float.max err_x err_y in
+    (* a NaN output is corrupt however it compares *)
+    if Float.is_nan err then worst := Float.infinity
+    else worst := Float.max !worst err
+  done;
+  !worst
+
+let run_faulty t ~fault ?(attempt = 0) ~run_index () =
+  if attempt < 0 then invalid_arg "Experiment.run_faulty: attempt must be >= 0";
+  let sc, memory = prepared_memory t ~run_index in
+  let abase = attempt_base t.base_seed ~attempt in
+  let core =
+    Platform.Core_sim.create ~contenders:t.contenders ~config:t.config
+      ~seed:(derive_seed abase run_index 1) ()
+  in
+  let injector =
+    Platform.Fault.create ~rate:fault.seu_rate ~seed:(derive_fault_seed abase run_index)
+  in
+  let faults () = Platform.Fault.records injector in
+  match
+    Platform.Core_sim.run_program_faulty core ~injector
+      ?watchdog_budget:fault.watchdog_budget ~program:t.program ~layout:t.layout ~memory
+      ()
+  with
+  | exception Platform.Core_sim.Budget_exceeded { cycles; budget } ->
+      Watchdog { cycles; budget; faults = faults () }
+  | exception Isa.Executor.Runaway program -> Runaway { program; faults = faults () }
+  | exception Invalid_argument detail -> Crashed { detail; faults = faults () }
+  | exception Isa.Executor.Stack_overflow_ program ->
+      Crashed { detail = "stack overflow in " ^ program; faults = faults () }
+  | metrics ->
+      let worst_error = output_error t sc memory in
+      if worst_error > fault.output_tolerance then
+        Corrupted { worst_error; faults = faults () }
+      else Completed { metrics; faults = faults () }
+
+let fault_records = function
+  | Completed { faults; _ }
+  | Watchdog { faults; _ }
+  | Runaway { faults; _ }
+  | Crashed { faults; _ }
+  | Corrupted { faults; _ } ->
+      faults
+
+let pp_fault_outcome ppf = function
+  | Completed { metrics; faults } ->
+      Format.fprintf ppf "completed in %d cycles (%d SEUs)"
+        (Platform.Metrics.cycles metrics) (List.length faults)
+  | Watchdog { cycles; budget; faults } ->
+      Format.fprintf ppf "watchdog fired at %d cycles (budget %d, %d SEUs)" cycles budget
+        (List.length faults)
+  | Runaway { program; faults } ->
+      Format.fprintf ppf "runaway execution of %s (%d SEUs)" program (List.length faults)
+  | Crashed { detail; faults } ->
+      Format.fprintf ppf "crashed: %s (%d SEUs)" detail (List.length faults)
+  | Corrupted { worst_error; faults } ->
+      Format.fprintf ppf "output corrupted (worst error %g, %d SEUs)" worst_error
+        (List.length faults)
 
 let collect t ~runs = Array.init runs (fun i -> measure t ~run_index:i)
 

@@ -32,6 +32,47 @@ val run : t -> run_index:int -> Repro_platform.Metrics.t
 (** [measure t ~run_index] — execution time (cycles) only. *)
 val measure : t -> run_index:int -> float
 
+(** {2 Fault-injected runs}
+
+    The paper's platform flies in space, where single-event upsets are the
+    dominant hazard.  [run_faulty] repeats a run under a seed-deterministic
+    SEU injector ({!Repro_platform.Fault}) and a cycle-budget watchdog, and
+    classifies the result.  All per-run fault randomness derives from
+    [(base_seed, run_index, attempt)]: same inputs, same fault sites, same
+    outcome.  With [seu_rate = 0.] and no watchdog the measured cycles are
+    bit-identical to {!run}. *)
+
+type fault_config = {
+  seu_rate : float;  (** expected upsets per million retired instructions *)
+  watchdog_budget : int option;  (** cycle budget; [None] = no watchdog *)
+  output_tolerance : float;
+      (** max absolute command error before a run counts as corrupted *)
+}
+
+(** Validating constructor (rejects negative rates and non-positive
+    budgets); defaults: no upsets, no watchdog, tolerance [1e-9]. *)
+val fault_config :
+  ?seu_rate:float -> ?watchdog_budget:int -> ?output_tolerance:float -> unit -> fault_config
+
+type fault_outcome =
+  | Completed of { metrics : Repro_platform.Metrics.t; faults : Repro_platform.Fault.record list }
+  | Watchdog of { cycles : int; budget : int; faults : Repro_platform.Fault.record list }
+  | Runaway of { program : string; faults : Repro_platform.Fault.record list }
+  | Crashed of { detail : string; faults : Repro_platform.Fault.record list }
+  | Corrupted of { worst_error : float; faults : Repro_platform.Fault.record list }
+
+(** [run_faulty t ~fault ?attempt ~run_index ()] — attempt [attempt]
+    (default 0) of run [run_index].  The run's input scenario is fixed
+    across attempts; platform and fault seeds are re-derived per attempt, so
+    a retry is the same measurement under fresh randomization.  Never
+    raises on fault-induced misbehavior — divergence, traps and corrupted
+    output all come back classified. *)
+val run_faulty :
+  t -> fault:fault_config -> ?attempt:int -> run_index:int -> unit -> fault_outcome
+
+val fault_records : fault_outcome -> Repro_platform.Fault.record list
+val pp_fault_outcome : Format.formatter -> fault_outcome -> unit
+
 (** [collect t ~runs] — the measurement series for a campaign. *)
 val collect : t -> runs:int -> float array
 
