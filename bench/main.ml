@@ -1,9 +1,14 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (DESIGN.md experiment index E1-E4) plus the ablations A1-A4,
+   runs the campaign-throughput / hot-path benchmarks (section P1; results
+   optionally emitted as machine-readable JSON for the perf trajectory),
    then runs Bechamel micro-benchmarks of the pipeline's own cost.
 
    Usage:  dune exec bench/main.exe [-- --runs N] [-- --skip-micro]
-   Default N is 3000 (the paper's run count). *)
+                                    [-- --smoke] [-- --json PATH]
+   Default N is 3000 (the paper's run count).  [--smoke] runs only the P1
+   perf section at a reduced run count (the CI mode); [--json PATH] writes
+   the P1 results to PATH (e.g. BENCH_pr2.json). *)
 
 module P = Repro_platform
 module T = Repro_tvca
@@ -15,6 +20,8 @@ module D = S.Descriptive
 
 let runs = ref 3000
 let skip_micro = ref false
+let smoke = ref false
+let json_out = ref None
 
 let () =
   let rec parse = function
@@ -25,9 +32,17 @@ let () =
     | "--skip-micro" :: rest ->
         skip_micro := true;
         parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv))
+
+let () = if !smoke then runs := Stdlib.min !runs 240
 
 let section title =
   Format.printf "@.=====================================================================@.";
@@ -379,6 +394,166 @@ let a7_block_size () =
   Format.printf "max-stable (EVT-amenable) measurement distribution.@."
 
 (* ------------------------------------------------------------------ *)
+(* P1: campaign throughput on the domain pool + simulator hot-path
+   latency.  These are the numbers BENCH_pr2.json records so the perf
+   trajectory of the project starts here. *)
+
+type throughput_row = {
+  jobs : int;
+  seconds : float;
+  runs_per_sec : float;
+  speedup : float;  (* vs jobs = 1 *)
+}
+
+type perf_results = {
+  campaign_runs : int;
+  domain_count : int;
+  throughput : throughput_row list;
+  per_run_us_det : float;
+  per_run_us_rand : float;
+  cache_access_ns_det : float;
+  cache_access_ns_rand : float;
+  tlb_access_ns : float;
+  samples_identical_across_jobs : bool;
+}
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Direct hot-path probe: hammer one structure with a strided read/write
+   mix large enough to live beyond the cold-start transient. *)
+let cache_access_ns ~placement ~replacement =
+  let config = { P.Config.geometry = P.Config.leon3_geometry; placement; replacement } in
+  let c = P.Cache.create ~config ~prng:(Repro_rng.Prng.create 7L) in
+  let n = 2_000_000 in
+  let (), dt =
+    time_it (fun () ->
+        for i = 0 to n - 1 do
+          ignore (P.Cache.access c ~addr:(i * 37 land 0xFFFFF) ~write:(i land 7 = 0))
+        done)
+  in
+  dt *. 1e9 /. float_of_int n
+
+let tlb_access_ns () =
+  let t =
+    P.Tlb.create ~entries:64 ~page_bytes:4096 ~replacement:P.Config.Random_replacement
+      ~prng:(Repro_rng.Prng.create 11L)
+  in
+  let n = 2_000_000 in
+  let (), dt =
+    time_it (fun () ->
+        for i = 0 to n - 1 do
+          ignore (P.Tlb.access t ~addr:(i * 4099 land 0xFFFFFF))
+        done)
+  in
+  dt *. 1e9 /. float_of_int n
+
+let p1_parallel_perf () =
+  section "P1  Campaign throughput (domain pool) and simulator hot-path latency";
+  let n = Stdlib.max 60 (Stdlib.min !runs 600) in
+  let measure_rand i = T.Experiment.measure rand_experiment ~run_index:i in
+  let measure_det i = T.Experiment.measure det_experiment ~run_index:i in
+  let domain_count = M.Parallel.default_jobs () in
+  Format.printf "campaign of %d RAND runs per job count; %d core(s) recommended@.@." n
+    domain_count;
+  Format.printf "%8s %12s %14s %10s@." "jobs" "seconds" "runs/sec" "speedup";
+  let reference = ref None in
+  let throughput =
+    List.map
+      (fun jobs ->
+        let sample, seconds = time_it (fun () -> M.Parallel.init ~jobs n measure_rand) in
+        (match !reference with
+        | None -> reference := Some sample
+        | Some r ->
+            if not (r = sample) then
+              failwith "P1: samples differ across job counts — determinism broken");
+        let runs_per_sec = float_of_int n /. seconds in
+        { jobs; seconds; runs_per_sec; speedup = 0. })
+      [ 1; 2; 4; 8 ]
+  in
+  let base = (List.hd throughput).runs_per_sec in
+  let throughput =
+    List.map (fun r -> { r with speedup = r.runs_per_sec /. base }) throughput
+  in
+  List.iter
+    (fun r ->
+      Format.printf "%8d %12.3f %14.1f %9.2fx@." r.jobs r.seconds r.runs_per_sec r.speedup)
+    throughput;
+  (* Per-run sequential cost, both platforms. *)
+  let k = Stdlib.max 20 (n / 4) in
+  let _, det_dt =
+    time_it (fun () ->
+        for i = 0 to k - 1 do
+          ignore (measure_det i)
+        done)
+  in
+  let _, rand_dt =
+    time_it (fun () ->
+        for i = 0 to k - 1 do
+          ignore (measure_rand i)
+        done)
+  in
+  let per_run_us_det = det_dt *. 1e6 /. float_of_int k in
+  let per_run_us_rand = rand_dt *. 1e6 /. float_of_int k in
+  Format.printf "@.per measured run (sequential): DET %.1f us, RAND %.1f us@."
+    per_run_us_det per_run_us_rand;
+  (* Hot-path latency: one cache/TLB access. *)
+  let cache_access_ns_det =
+    cache_access_ns ~placement:P.Config.Modulo ~replacement:P.Config.Lru
+  in
+  let cache_access_ns_rand =
+    cache_access_ns ~placement:P.Config.Random_modulo
+      ~replacement:P.Config.Random_replacement
+  in
+  let tlb_ns = tlb_access_ns () in
+  Format.printf
+    "per access: cache DET(modulo+LRU) %.1f ns, cache RAND(rm+random) %.1f ns, TLB %.1f ns@."
+    cache_access_ns_det cache_access_ns_rand tlb_ns;
+  {
+    campaign_runs = n;
+    domain_count;
+    throughput;
+    per_run_us_det;
+    per_run_us_rand;
+    cache_access_ns_det;
+    cache_access_ns_rand;
+    tlb_access_ns = tlb_ns;
+    samples_identical_across_jobs = true;
+  }
+
+let json_of_perf r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"bench_pr2/v1\",\n";
+  add "  \"smoke\": %b,\n" !smoke;
+  add "  \"campaign_runs\": %d,\n" r.campaign_runs;
+  add "  \"recommended_domain_count\": %d,\n" r.domain_count;
+  add "  \"samples_identical_across_jobs\": %b,\n" r.samples_identical_across_jobs;
+  add "  \"campaign_throughput\": [\n";
+  List.iteri
+    (fun i t ->
+      add "    {\"jobs\": %d, \"seconds\": %.6f, \"runs_per_sec\": %.2f, \"speedup_vs_jobs1\": %.3f}%s\n"
+        t.jobs t.seconds t.runs_per_sec t.speedup
+        (if i = List.length r.throughput - 1 then "" else ","))
+    r.throughput;
+  add "  ],\n";
+  add "  \"per_run_us\": {\"det\": %.2f, \"rand\": %.2f},\n" r.per_run_us_det
+    r.per_run_us_rand;
+  add "  \"per_access_ns\": {\"cache_det\": %.2f, \"cache_rand\": %.2f, \"tlb\": %.2f}\n"
+    r.cache_access_ns_det r.cache_access_ns_rand r.tlb_access_ns;
+  add "}\n";
+  Buffer.contents b
+
+let write_json path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Format.printf "@.perf results written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the cost of the tooling itself. *)
 
 let micro () =
@@ -429,16 +604,22 @@ let () =
   Format.printf
     "MBPTA-on-time-randomized-platform reproduction benchmark (runs per config: %d)@."
     !runs;
-  e1_iid ();
-  e2_pwcet_curve ();
-  e3_comparison ();
-  e4_average_performance ();
-  a1_placement ();
-  a2_fpu ();
-  a3_convergence ();
-  a4_multicore ();
-  a5_det_unsound ();
-  a6_gate_calibration ();
-  a7_block_size ();
-  if not !skip_micro then micro ();
+  if not !smoke then begin
+    e1_iid ();
+    e2_pwcet_curve ();
+    e3_comparison ();
+    e4_average_performance ();
+    a1_placement ();
+    a2_fpu ();
+    a3_convergence ();
+    a4_multicore ();
+    a5_det_unsound ();
+    a6_gate_calibration ();
+    a7_block_size ()
+  end;
+  let perf = p1_parallel_perf () in
+  (match !json_out with
+  | Some path -> write_json path (json_of_perf perf)
+  | None -> ());
+  if (not !skip_micro) && not !smoke then micro ();
   Format.printf "@.done.@."

@@ -51,6 +51,27 @@ let no_gates_arg =
   let doc = "Report the i.i.d./convergence verdicts but do not fail on them." in
   Arg.(value & flag & info [ "no-gates" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Measurement runs execute on $(docv) domains (0 = one per core).  Per-run seed \
+     derivation makes the samples and the analysis bit-identical at any job count; \
+     --jobs 1 is the sequential reference."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let resolve_jobs = function
+  | 0 -> M.Parallel.default_jobs ()
+  | j when j >= 1 -> j
+  | j ->
+      Format.eprintf "mbpta_cli: --jobs must be >= 0 (got %d)@." j;
+      exit 2
+
+(* Parallel counterpart of [Experiment.collect] for the single-platform
+   subcommands; sound because [Experiment.measure] is a pure function of the
+   run index. *)
+let collect_par ~jobs exp ~runs =
+  M.Parallel.init ~jobs runs (fun i -> T.Experiment.measure exp ~run_index:i)
+
 let experiment ~config ~seed ~frames =
   T.Experiment.create ~frames ~config ~base_seed:seed ()
 
@@ -81,7 +102,8 @@ let resilience_outcome_of = function
         { detail = Printf.sprintf "worst output error %g" worst_error }
 
 let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budget
-    max_retries min_survival =
+    max_retries min_survival jobs =
+  let jobs = resolve_jobs jobs in
   let det = experiment ~config:P.Config.deterministic ~seed ~frames in
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
   let input =
@@ -104,11 +126,11 @@ let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budg
         resilience_outcome_of (T.Experiment.run_faulty exp ~fault ~attempt ~run_index ())
       in
       let policy = { M.Resilience.default_policy with max_retries; min_survival } in
-      M.Campaign.run_resilient
+      M.Campaign.run_resilient ~jobs
         (M.Campaign.resilient_input ~policy ~base:input ~measure_det_outcome:(measure det)
            ~measure_rand_outcome:(measure rand) ())
     end
-    else M.Campaign.run input
+    else M.Campaign.run ~jobs input
   in
   match result with
   | Error f ->
@@ -173,25 +195,25 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg $ factor
-      $ csv_dir $ seu_rate $ watchdog_budget $ max_retries $ min_survival)
+      $ csv_dir $ seu_rate $ watchdog_budget $ max_retries $ min_survival $ jobs_arg)
 
 (* -------------------------------- iid -------------------------------- *)
 
-let iid runs seed frames =
+let iid runs seed frames jobs =
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let xs = T.Experiment.collect rand ~runs in
+  let xs = collect_par ~jobs:(resolve_jobs jobs) rand ~runs in
   Format.printf "%a@." M.Iid.pp (M.Iid.check xs);
   0
 
 let iid_cmd =
   let doc = "collect runs on the randomized platform and verify i.i.d." in
-  Cmd.v (Cmd.info "iid" ~doc) Term.(const iid $ runs_arg $ seed_arg $ frames_arg)
+  Cmd.v (Cmd.info "iid" ~doc) Term.(const iid $ runs_arg $ seed_arg $ frames_arg $ jobs_arg)
 
 (* ---------------------------- convergence ---------------------------- *)
 
-let convergence runs seed frames probability =
+let convergence runs seed frames probability jobs =
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let xs = T.Experiment.collect rand ~runs in
+  let xs = collect_par ~jobs:(resolve_jobs jobs) rand ~runs in
   let c = E.Convergence.study ~probability xs in
   Format.printf "%a@.@." E.Convergence.pp_result c;
   print_string (M.Ascii_plot.convergence_plot c.E.Convergence.history);
@@ -205,14 +227,17 @@ let convergence_cmd =
   let doc = "study how the pWCET estimate stabilizes as runs accumulate" in
   Cmd.v
     (Cmd.info "convergence" ~doc)
-    Term.(const convergence $ runs_arg $ seed_arg $ frames_arg $ probability)
+    Term.(const convergence $ runs_arg $ seed_arg $ frames_arg $ probability $ jobs_arg)
 
 (* ------------------------------- paths -------------------------------- *)
 
-let paths runs seed frames =
+let paths runs seed frames jobs =
+  let jobs = resolve_jobs jobs in
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let measurements = T.Experiment.collect rand ~runs in
-  let signatures = Array.init runs (fun i -> T.Experiment.path_signature rand ~run_index:i) in
+  let measurements = collect_par ~jobs rand ~runs in
+  let signatures =
+    M.Parallel.init ~jobs runs (fun i -> T.Experiment.path_signature rand ~run_index:i)
+  in
   let options =
     { M.Protocol.default_options with M.Protocol.check_convergence = false }
   in
@@ -230,7 +255,8 @@ let paths runs seed frames =
 
 let paths_cmd =
   let doc = "group runs by execution path and analyze each path separately" in
-  Cmd.v (Cmd.info "paths" ~doc) Term.(const paths $ runs_arg $ seed_arg $ frames_arg)
+  Cmd.v (Cmd.info "paths" ~doc)
+    Term.(const paths $ runs_arg $ seed_arg $ frames_arg $ jobs_arg)
 
 (* ------------------------------ qualify ------------------------------ *)
 

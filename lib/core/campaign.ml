@@ -47,11 +47,14 @@ let finish ~options ~engineering_factor ~det_sample ~rand_sample ~det_resilience
   in
   { det_sample; rand_sample; analysis; comparison; det_resilience; rand_resilience }
 
-let run input =
+let run ?jobs input =
   if input.runs < 1 then Error (Protocol.Not_enough_runs { have = input.runs; need = 1 })
   else begin
-    let det_sample = Array.init input.runs input.measure_det in
-    let rand_sample = Array.init input.runs input.measure_rand in
+    (* Runs are independent by construction (per-run seed derivation), so
+       both platforms' samples fan out over the domain pool; [jobs] only
+       changes wall-clock time, never a bit of the result. *)
+    let det_sample = Parallel.init ?jobs input.runs input.measure_det in
+    let rand_sample = Parallel.init ?jobs input.runs input.measure_rand in
     Ok
       (finish ~options:input.options ~engineering_factor:input.engineering_factor
          ~det_sample ~rand_sample ~det_resilience:None ~rand_resilience:None)
@@ -65,10 +68,10 @@ let failure_of_resilience_error : Resilience.error -> Protocol.failure = functio
   | Resilience.Invalid_policy reason ->
       Protocol.Invalid_sample { index = -1; value = Float.nan; reason }
 
-let run_resilient input =
+let run_resilient ?jobs input =
   let { base; policy; measure_det_outcome; measure_rand_outcome } = input in
   let supervise measure =
-    Resilience.supervise ~policy ~runs:base.runs ~measure
+    Resilience.supervise ?jobs ~policy ~runs:base.runs ~measure ()
     |> Result.map_error failure_of_resilience_error
   in
   match supervise measure_det_outcome with

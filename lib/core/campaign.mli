@@ -57,13 +57,25 @@ type t = {
 and comparison = Report.comparison
 
 (** Fault-free campaign.  [Error (Not_enough_runs _)] when [input.runs < 1];
-    the per-run analysis verdicts stay inside [t.analysis]. *)
-val run : input -> (t, Protocol.failure) Stdlib.result
+    the per-run analysis verdicts stay inside [t.analysis].
+
+    Measurements execute on a chunked domain pool ({!Parallel}; [jobs]
+    defaults to [Domain.recommended_domain_count ()]).  [measure_det] and
+    [measure_rand] must return a pure function of the run index — the
+    contract {!Repro_tvca.Experiment} satisfies by deriving each run's seeds
+    and platform instance from [(base_seed, run_index)] — and then the
+    samples and analysis are {e bit-identical} at every [jobs] value.  For a
+    stateful measurement source (e.g. a shared synthetic generator), pass
+    [~jobs:1] or use {!Protocol.collect_and_analyze}, which is strictly
+    sequential. *)
+val run : ?jobs:int -> input -> (t, Protocol.failure) Stdlib.result
 
 (** Supervised campaign on a fault-prone platform; fails with
     {!Protocol.Faulted_runs} (survival threshold missed) or
-    {!Protocol.Budget_exhausted} (campaign retry budget gone). *)
-val run_resilient : resilient_input -> (t, Protocol.failure) Stdlib.result
+    {!Protocol.Budget_exhausted} (campaign retry budget gone).  [jobs] as in
+    {!run}; see {!Resilience.supervise} for the parallel budget
+    semantics. *)
+val run_resilient : ?jobs:int -> resilient_input -> (t, Protocol.failure) Stdlib.result
 
 (** Render the whole campaign as a text report (all four experiments, plus
     the fault/retry summary when the campaign ran resiliently). *)

@@ -1,0 +1,35 @@
+(** Deterministic domain-parallel execution layer for measurement campaigns.
+
+    Built on OCaml 5 [Domain] only (no external dependencies) and
+    deliberately work-stealing-free: the index range is split into [jobs]
+    contiguous chunks {e before} any domain starts, each chunk is evaluated
+    in ascending index order on its own domain, and results are written back
+    at their original offsets.
+
+    {b Determinism contract.}  If [f i] is a pure function of [i] — which
+    the campaign layer guarantees by deriving every run's PRNG seed and
+    platform instance from [(campaign_seed, run_index, attempt)] — then
+    [init ~jobs n f] returns a bit-identical array for every [jobs] and
+    every OS scheduling order.  [jobs = 1] is the sequential reference: it
+    spawns no domains and calls [f] with strictly ascending indices, so even
+    a stateful [f] behaves exactly as the pre-parallel code did. *)
+
+(** [Domain.recommended_domain_count ()] — the default job count used
+    throughout the campaign layer. *)
+val default_jobs : unit -> int
+
+(** [chunks ~jobs n] — the static sharding: at most [jobs] contiguous
+    [(offset, length)] chunks covering [0 .. n-1] exactly once, all
+    non-empty, lengths differing by at most one.  Exposed for tests and for
+    harnesses that want to shard other per-run state the same way. *)
+val chunks : jobs:int -> int -> (int * int) list
+
+(** [init ?jobs n f] — [Array.init n f] evaluated on a chunked domain pool
+    ([jobs] defaults to {!default_jobs}).  If any [f i] raises, the
+    exception of the lowest-indexed failing chunk is re-raised after all
+    domains have been joined (deterministic error propagation).  Raises
+    [Invalid_argument] on [n < 0] or [jobs < 1]. *)
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+
+(** [map ?jobs f a] — [Array.map] on the same pool. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -185,7 +185,9 @@ let analyze ?(options = default_options) xs =
   end
 
 let collect_and_analyze ?options ~runs ~measure () =
-  let xs = Array.init runs measure in
+  (* Explicit ascending loop: [Array.init]'s evaluation order is
+     unspecified, and stateful measurement sources rely on run order. *)
+  let xs = Parallel.init ~jobs:1 runs measure in
   analyze ?options xs
 
 let standard_cutoffs = [ 1e-6; 1e-7; 1e-8; 1e-9; 1e-10; 1e-11; 1e-12; 1e-13; 1e-14; 1e-15 ]

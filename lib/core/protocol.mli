@@ -79,7 +79,10 @@ val analyze : ?options:options -> float array -> (analysis, failure) Stdlib.resu
 (** [collect_and_analyze ?options ~runs ~measure ()] drives the measurement
     protocol itself: performs [runs] measurements by calling [measure i]
     (the harness is responsible for reseeding/flushing per run) and
-    analyzes them. *)
+    analyzes them.  Collection is {e strictly sequential} in ascending run
+    order — this is the entry point for stateful measurement sources (e.g.
+    a shared synthetic generator); a pure [measure] can use
+    {!Campaign.run}'s domain-parallel collection instead. *)
 val collect_and_analyze :
   ?options:options ->
   runs:int ->

@@ -31,12 +31,39 @@ exception Budget_gone of { spent : int; limit : int; runs_completed : int }
 let required_survivors ~policy ~runs =
   int_of_float (ceil (policy.min_survival *. float_of_int runs))
 
-let supervise ~policy ~runs ~measure =
+(* One run, measured to completion or quarantine.  A pure function of
+   [run_index] as long as [measure] honours the determinism contract
+   (outcome a pure function of [(run_index, attempt)]) — which is what lets
+   the supervisor fan runs out over domains and still produce bit-identical
+   reports at any job count. *)
+let measure_run ~policy ~measure run_index =
+  let rec attempts_loop attempt acc =
+    let outcome = measure ~run_index ~attempt in
+    let acc = { attempt; outcome } :: acc in
+    match outcome with
+    | Completed time -> (List.rev acc, Some time)
+    | Timeout _ | Crashed _ | Corrupted _ ->
+        if attempt >= policy.max_retries then (List.rev acc, None)
+        else attempts_loop (attempt + 1) acc
+  in
+  attempts_loop 0 []
+
+let supervise ?jobs ~policy ~runs ~measure () =
   if runs < 1 then Error (Invalid_policy "runs must be >= 1")
   else if policy.max_retries < 0 then Error (Invalid_policy "max_retries must be >= 0")
   else if not (policy.min_survival >= 0. && policy.min_survival <= 1.) then
     Error (Invalid_policy "min_survival must lie in [0, 1]")
   else begin
+    (* Phase 1 — measurement, embarrassingly parallel: each run retries
+       locally up to [max_retries] with no global coordination. *)
+    let outcomes = Parallel.init ?jobs runs (measure_run ~policy ~measure) in
+    (* Phase 2 — sequential replay of the campaign accounting, in run order.
+       The campaign-wide retry budget is inherently sequential (whether run
+       [i] may retry depends on retries spent by runs [< i]); replaying it
+       over the already-measured attempt trails reproduces the sequential
+       supervisor's result exactly.  When the budget dies mid-campaign,
+       later runs were measured needlessly — wasted work in a case that
+       aborts the campaign anyway, never a different answer. *)
     let sample = ref [] (* survivors, newest first *) in
     let records = ref [] in
     let survivors = ref 0 in
@@ -50,20 +77,12 @@ let supervise ~policy ~runs ~measure =
           raise (Budget_gone { spent = limit; limit; runs_completed })
       | Some _ | None -> ()
     in
-    let run_one run_index =
-      let rec attempts_loop attempt acc =
-        let outcome = measure ~run_index ~attempt in
-        let acc = { attempt; outcome } :: acc in
-        match outcome with
-        | Completed time -> (List.rev acc, Some time)
-        | Timeout _ | Crashed _ | Corrupted _ ->
-            if attempt >= policy.max_retries then (List.rev acc, None)
-            else begin
-              spend_retry ~runs_completed:run_index;
-              attempts_loop (attempt + 1) acc
-            end
-      in
-      let attempts, time = attempts_loop 0 [] in
+    let account run_index (attempts, time) =
+      (* every attempt beyond the first was preceded by one retry spend *)
+      List.iter
+        (fun { attempt; _ } ->
+          if attempt > 0 then spend_retry ~runs_completed:run_index)
+        attempts;
       (match time with
       | Some v ->
           incr survivors;
@@ -74,11 +93,7 @@ let supervise ~policy ~runs ~measure =
       if time = None || List.length attempts > 1 then
         records := { run_index; attempts; survived = time <> None } :: !records
     in
-    match
-      for i = 0 to runs - 1 do
-        run_one i
-      done
-    with
+    match Array.iteri account outcomes with
     | exception Budget_gone { spent; limit; runs_completed } ->
         Error (Retry_budget_exhausted { spent; limit; runs_completed })
     | () ->

@@ -60,13 +60,27 @@ type error =
   | Retry_budget_exhausted of { spent : int; limit : int; runs_completed : int }
   | Invalid_policy of string
 
-(** [supervise ~policy ~runs ~measure] drives the whole campaign.  Rejects
-    [runs < 1], [max_retries < 0] and [min_survival] outside [[0, 1]] with
-    [Invalid_policy] (a real guard, not an [assert]). *)
+(** [supervise ?jobs ~policy ~runs ~measure] drives the whole campaign.
+    Rejects [runs < 1], [max_retries < 0] and [min_survival] outside
+    [[0, 1]] with [Invalid_policy] (a real guard, not an [assert]).
+
+    Runs execute on a chunked domain pool ({!Parallel}; [jobs] defaults to
+    [Domain.recommended_domain_count ()]).  Provided [measure] obeys the
+    determinism contract — its outcome is a pure function of
+    [(run_index, attempt)], which {!Repro_tvca.Experiment}'s seed derivation
+    guarantees — the report is {e bit-identical} for every [jobs] value;
+    [jobs:1] spawns no domains and is the sequential reference.  The
+    campaign-wide retry budget keeps its sequential meaning: it is replayed
+    over the attempt trails in run order, so [Retry_budget_exhausted] carries
+    the same fields at any job count (under [jobs > 1], runs past the point
+    of exhaustion may have been measured speculatively — wasted work, never
+    a different answer). *)
 val supervise :
+  ?jobs:int ->
   policy:policy ->
   runs:int ->
   measure:(run_index:int -> attempt:int -> outcome) ->
+  unit ->
   (report, error) Stdlib.result
 
 val pp_outcome : Format.formatter -> outcome -> unit

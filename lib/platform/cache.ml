@@ -2,17 +2,30 @@ module Prng = Repro_rng.Prng
 
 type outcome = Hit | Miss
 
+(* Hot-path layout: [tags] and [recency] are single flat [int array]s
+   indexed by [set * ways + way] (one bounds check and no nested-array
+   indirection per probe), the power-of-two geometry is kept as shifts and
+   masks so the per-access path divides nothing, and the placement /
+   replacement modes are hoisted out of [config] into immediate fields so
+   each access dispatches on one word.  [find_slot] returns a sentinel int
+   instead of an [option]: the lookup path allocates nothing. *)
 type t = {
   config : Config.cache_config;
   sets : int;
   ways : int;
   line_bytes : int;
-  tags : int array array;  (* sets x ways; full line number, -1 = invalid *)
-  recency : int array array;  (* sets x ways; last-use stamp for LRU *)
+  line_shift : int;  (* line_bytes = 1 lsl line_shift *)
+  set_mask : int;  (* sets - 1 *)
+  set_shift : int;  (* sets = 1 lsl set_shift *)
+  placement : Config.placement;
+  replacement : Config.replacement;
+  tags : int array;  (* sets*ways, flat; full line number, -1 = invalid *)
+  recency : int array;  (* sets*ways, flat; last-use stamp for LRU *)
   rr : int array;  (* per-set round-robin pointer *)
   mutable clock : int;
   prng : Prng.t;
   mutable seed_material : int;  (* per-flush salt for randomized placement *)
+  mutable accesses : int;
   mutable hits : int;
   mutable misses : int;
   mutable write_throughs : int;
@@ -25,20 +38,31 @@ let mix a b =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.to_int (Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
 
+let log2_exact n =
+  let rec go s = if 1 lsl s = n then s else go (s + 1) in
+  go 0
+
 let create ~config ~prng =
   let sets = Config.sets config.Config.geometry in
   let ways = config.Config.geometry.Config.ways in
+  let line_bytes = config.Config.geometry.Config.line_bytes in
   {
     config;
     sets;
     ways;
-    line_bytes = config.Config.geometry.Config.line_bytes;
-    tags = Array.init sets (fun _ -> Array.make ways (-1));
-    recency = Array.init sets (fun _ -> Array.make ways 0);
+    line_bytes;
+    line_shift = log2_exact line_bytes;
+    set_mask = sets - 1;
+    set_shift = log2_exact sets;
+    placement = config.Config.placement;
+    replacement = config.Config.replacement;
+    tags = Array.make (sets * ways) (-1);
+    recency = Array.make (sets * ways) 0;
     rr = Array.make sets 0;
     clock = 0;
     prng;
     seed_material = Prng.bits32 prng;
+    accesses = 0;
     hits = 0;
     misses = 0;
     write_throughs = 0;
@@ -47,84 +71,92 @@ let create ~config ~prng =
 let sets t = t.sets
 let ways t = t.ways
 
-let line_of_addr t addr = addr / t.line_bytes
+let line_of_addr t addr = addr lsr t.line_shift
 
 let set_of_line t line =
-  match t.config.Config.placement with
-  | Config.Modulo -> line land (t.sets - 1)
+  match t.placement with
+  | Config.Modulo -> line land t.set_mask
   | Config.Random_modulo ->
       (* Rotate the conventional index by a hash of the tag: lines within the
          same window (equal tag) keep distinct sets. *)
-      let index = line land (t.sets - 1) in
-      let tag = line / t.sets in
-      (index + mix tag t.seed_material) land (t.sets - 1)
-  | Config.Hash_random -> mix line t.seed_material land (t.sets - 1)
+      let index = line land t.set_mask in
+      let tag = line lsr t.set_shift in
+      (index + mix tag t.seed_material) land t.set_mask
+  | Config.Hash_random -> mix line t.seed_material land t.set_mask
 
 let set_of_addr t addr = set_of_line t (line_of_addr t addr)
 
-let find_way t set line =
-  let tags = t.tags.(set) in
-  let rec go w = if w >= t.ways then None else if tags.(w) = line then Some w else go (w + 1) in
-  go 0
-
-let touch t set way =
-  t.clock <- t.clock + 1;
-  t.recency.(set).(way) <- t.clock
-
-let victim_way t set =
-  let tags = t.tags.(set) in
-  (* Prefer an invalid way. *)
-  let rec find_invalid w =
-    if w >= t.ways then None else if tags.(w) = -1 then Some w else find_invalid (w + 1)
+(* Flat index of [line] within the set starting at [base = set * ways], or
+   -1 when absent.  No allocation; bounds are established by construction. *)
+let find_slot t ~base line =
+  let tags = t.tags in
+  let stop = base + t.ways in
+  let rec go i =
+    if i >= stop then -1 else if Array.unsafe_get tags i = line then i else go (i + 1)
   in
-  match find_invalid 0 with
-  | Some w -> w
-  | None -> begin
-      match t.config.Config.replacement with
-      | Config.Lru ->
-          let best = ref 0 in
-          for w = 1 to t.ways - 1 do
-            if t.recency.(set).(w) < t.recency.(set).(!best) then best := w
-          done;
-          !best
-      | Config.Random_replacement -> Prng.int_below t.prng t.ways
-      | Config.Round_robin ->
-          let w = t.rr.(set) in
-          t.rr.(set) <- (w + 1) mod t.ways;
-          w
-    end
+  go base
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  Array.unsafe_set t.recency slot t.clock
+
+(* Victim slot in the set starting at [base]: prefer an invalid way. *)
+let victim_slot t ~set ~base =
+  let tags = t.tags in
+  let stop = base + t.ways in
+  let rec find_invalid i =
+    if i >= stop then -1 else if Array.unsafe_get tags i = -1 then i else find_invalid (i + 1)
+  in
+  let invalid = find_invalid base in
+  if invalid >= 0 then invalid
+  else begin
+    match t.replacement with
+    | Config.Lru ->
+        let recency = t.recency in
+        let best = ref base in
+        for i = base + 1 to stop - 1 do
+          if Array.unsafe_get recency i < Array.unsafe_get recency !best then best := i
+        done;
+        !best
+    | Config.Random_replacement -> base + Prng.int_below t.prng t.ways
+    | Config.Round_robin ->
+        let w = t.rr.(set) in
+        t.rr.(set) <- (w + 1) mod t.ways;
+        base + w
+  end
 
 let access t ~addr ~write =
-  let line = line_of_addr t addr in
+  let line = addr lsr t.line_shift in
   let set = set_of_line t line in
-  match find_way t set line with
-  | Some way ->
-      t.hits <- t.hits + 1;
-      if write then t.write_throughs <- t.write_throughs + 1;
-      touch t set way;
-      Hit
-  | None ->
-      t.misses <- t.misses + 1;
-      if write then begin
-        (* no-write-allocate: the write goes straight through. *)
-        t.write_throughs <- t.write_throughs + 1;
-        Miss
-      end
-      else begin
-        let way = victim_way t set in
-        t.tags.(set).(way) <- line;
-        touch t set way;
-        Miss
-      end
+  let base = set * t.ways in
+  t.accesses <- t.accesses + 1;
+  if write then t.write_throughs <- t.write_throughs + 1;
+  let slot = find_slot t ~base line in
+  if slot >= 0 then begin
+    t.hits <- t.hits + 1;
+    touch t slot;
+    Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* no-write-allocate: a write miss goes straight through, only a read
+       miss allocates (and refreshes recency). *)
+    if not write then begin
+      let slot = victim_slot t ~set ~base in
+      Array.unsafe_set t.tags slot line;
+      touch t slot
+    end;
+    Miss
+  end
 
 let probe t ~addr =
   let line = line_of_addr t addr in
   let set = set_of_line t line in
-  match find_way t set line with Some _ -> Hit | None -> Miss
+  if find_slot t ~base:(set * t.ways) line >= 0 then Hit else Miss
 
 let flush t =
-  Array.iter (fun ws -> Array.fill ws 0 (Array.length ws) (-1)) t.tags;
-  Array.iter (fun ws -> Array.fill ws 0 (Array.length ws) 0) t.recency;
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.recency 0 (Array.length t.recency) 0;
   Array.fill t.rr 0 t.sets 0;
   t.clock <- 0;
   (* A flush models a run boundary: draw a fresh placement salt. *)
@@ -135,24 +167,40 @@ let flush t =
 let inject_tag_flip t ~set ~way ~bit =
   if set < 0 || set >= t.sets || way < 0 || way >= t.ways then
     invalid_arg "Cache.inject_tag_flip: site out of range";
-  let tag = t.tags.(set).(way) in
+  let slot = (set * t.ways) + way in
+  let tag = t.tags.(slot) in
   if tag >= 0 then
     (* Flipping a tag bit re-labels the stored line: the original line will
        now miss, and the aliased line would falsely hit.  Keep the result
        non-negative so it never collides with the invalid sentinel. *)
-    t.tags.(set).(way) <- tag lxor (1 lsl (bit land 29)) land max_int
+    t.tags.(slot) <- tag lxor (1 lsl (bit land 29)) land max_int
 
 let inject_valid_flip t ~set ~way ~garbage_line =
   if set < 0 || set >= t.sets || way < 0 || way >= t.ways then
     invalid_arg "Cache.inject_valid_flip: site out of range";
-  if t.tags.(set).(way) >= 0 then t.tags.(set).(way) <- -1
-  else t.tags.(set).(way) <- abs garbage_line
+  let slot = (set * t.ways) + way in
+  if t.tags.(slot) >= 0 then t.tags.(slot) <- -1 else t.tags.(slot) <- abs garbage_line
 
-type stats = { hits : int; misses : int; write_throughs : int }
+type stats = { accesses : int; hits : int; misses : int; write_throughs : int }
 
-let stats (t : t) = { hits = t.hits; misses = t.misses; write_throughs = t.write_throughs }
+(* Counter invariants: every access is exactly one hit or one miss, and
+   write-throughs count write accesses only (a subset of all accesses).
+   Violations would mean the no-write-allocate path double-counted — guard
+   for it here instead of letting a skewed miss ratio poison downstream
+   timing statistics silently. *)
+let stats (t : t) =
+  if t.hits + t.misses <> t.accesses then
+    invalid_arg
+      (Printf.sprintf "Cache.stats: counter invariant violated (%d hits + %d misses <> %d accesses)"
+         t.hits t.misses t.accesses);
+  if t.write_throughs > t.accesses then
+    invalid_arg
+      (Printf.sprintf "Cache.stats: counter invariant violated (%d write-throughs > %d accesses)"
+         t.write_throughs t.accesses);
+  { accesses = t.accesses; hits = t.hits; misses = t.misses; write_throughs = t.write_throughs }
 
 let reset_stats (t : t) =
+  t.accesses <- 0;
   t.hits <- 0;
   t.misses <- 0;
   t.write_throughs <- 0

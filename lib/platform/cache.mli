@@ -56,7 +56,15 @@ val ways : t -> int
 val inject_tag_flip : t -> set:int -> way:int -> bit:int -> unit
 val inject_valid_flip : t -> set:int -> way:int -> garbage_line:int -> unit
 
-type stats = { hits : int; misses : int; write_throughs : int }
+type stats = { accesses : int; hits : int; misses : int; write_throughs : int }
 
+(** [stats t] — counters since creation or the last {!reset_stats}.
+    Guaranteed invariants, checked by a real guard (raises
+    [Invalid_argument] if the accounting ever skews, e.g. a double-counted
+    no-write-allocate miss): [hits + misses = accesses] and
+    [write_throughs <= accesses] ([write_throughs] counts write accesses
+    only — every write is a write-through regardless of hit/miss, since the
+    model is write-through no-write-allocate). *)
 val stats : t -> stats
+
 val reset_stats : t -> unit

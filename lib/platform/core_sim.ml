@@ -13,6 +13,14 @@ type t = {
   bus : Bus.t;
   dram : Dram.t;
   prng : Prng.t;
+  (* Per-access latencies hoisted out of [config.latencies] into immediate
+     fields: the consume/data_access hot path reads them once per event
+     instead of chasing two records per memory reference. *)
+  lat_l1_hit : int;
+  lat_tlb_miss_walk : int;
+  lat_store_buffer : int;
+  lat_branch_taken : int;
+  lat_int_mul : int;
   mutable cycles : int;
   mutable faults_injected : int;
 }
@@ -36,6 +44,11 @@ let create ?(contenders = []) ~config ~seed () =
       Dram.create ~mode:config.Config.dram ~banks:config.Config.dram_banks
         ~row_bytes:config.Config.dram_row_bytes ~latencies:lat;
     prng;
+    lat_l1_hit = lat.Config.l1_hit;
+    lat_tlb_miss_walk = lat.Config.tlb_miss_walk;
+    lat_store_buffer = lat.Config.store_buffer;
+    lat_branch_taken = lat.Config.branch_taken;
+    lat_int_mul = lat.Config.int_mul;
     cycles = 0;
     faults_injected = 0;
   }
@@ -64,15 +77,15 @@ let memory_transaction t ~addr =
 let data_access t ~addr ~write =
   (match Tlb.access t.dtlb ~addr with
   | Tlb.Hit -> ()
-  | Tlb.Miss -> t.cycles <- t.cycles + t.config.Config.latencies.Config.tlb_miss_walk);
+  | Tlb.Miss -> t.cycles <- t.cycles + t.lat_tlb_miss_walk);
   match Cache.access t.dl1 ~addr ~write with
   | Cache.Hit ->
-      t.cycles <- t.cycles + t.config.Config.latencies.Config.l1_hit;
+      t.cycles <- t.cycles + t.lat_l1_hit;
       if write then
         (* write-through: the store drains via the store buffer *)
-        t.cycles <- t.cycles + t.config.Config.latencies.Config.store_buffer
+        t.cycles <- t.cycles + t.lat_store_buffer
   | Cache.Miss ->
-      if write then t.cycles <- t.cycles + t.config.Config.latencies.Config.store_buffer
+      if write then t.cycles <- t.cycles + t.lat_store_buffer
       else memory_transaction t ~addr
 
 let consume t (r : Instr.retired) =
@@ -81,19 +94,18 @@ let consume t (r : Instr.retired) =
   (* Fetch: ITLB then IL1. *)
   (match Tlb.access t.itlb ~addr:r.Instr.fetch_addr with
   | Tlb.Hit -> ()
-  | Tlb.Miss -> t.cycles <- t.cycles + t.config.Config.latencies.Config.tlb_miss_walk);
+  | Tlb.Miss -> t.cycles <- t.cycles + t.lat_tlb_miss_walk);
   (match Cache.access t.il1 ~addr:r.Instr.fetch_addr ~write:false with
-  | Cache.Hit -> t.cycles <- t.cycles + t.config.Config.latencies.Config.l1_hit
+  | Cache.Hit -> t.cycles <- t.cycles + t.lat_l1_hit
   | Cache.Miss -> memory_transaction t ~addr:r.Instr.fetch_addr);
   match r.Instr.work with
   | Instr.Int_alu -> ()
-  | Instr.Int_mul -> t.cycles <- t.cycles + t.config.Config.latencies.Config.int_mul
+  | Instr.Int_mul -> t.cycles <- t.cycles + t.lat_int_mul
   | Instr.Mem_read addr -> data_access t ~addr ~write:false
   | Instr.Mem_write addr -> data_access t ~addr ~write:true
   | Instr.Fp_short op -> t.cycles <- t.cycles + Fpu.latency t.fpu op ~x:0. ~y:0.
   | Instr.Fp_long (op, x, y) -> t.cycles <- t.cycles + Fpu.latency t.fpu op ~x ~y
-  | Instr.Ctrl taken ->
-      if taken then t.cycles <- t.cycles + t.config.Config.latencies.Config.branch_taken
+  | Instr.Ctrl taken -> if taken then t.cycles <- t.cycles + t.lat_branch_taken
   | Instr.No_op -> ()
 
 let advance t n =

@@ -5,6 +5,7 @@ type outcome = Hit | Miss
 type t = {
   entries : int;
   page_bytes : int;
+  page_shift : int;  (* >= 0 when page_bytes is a power of two, else -1 *)
   replacement : Config.replacement;
   pages : int array;  (* page number, -1 = invalid *)
   recency : int array;
@@ -15,12 +16,20 @@ type t = {
   mutable misses : int;
 }
 
+let shift_of_page_bytes page_bytes =
+  if page_bytes land (page_bytes - 1) <> 0 then -1
+  else begin
+    let rec go s = if 1 lsl s = page_bytes then s else go (s + 1) in
+    go 0
+  end
+
 let create ~entries ~page_bytes ~replacement ~prng =
   if entries < 1 || page_bytes < 1 then
     invalid_arg "Tlb.create: entries and page_bytes must be >= 1";
   {
     entries;
     page_bytes;
+    page_shift = shift_of_page_bytes page_bytes;
     replacement;
     pages = Array.make entries (-1);
     recency = Array.make entries 0;
@@ -31,49 +40,62 @@ let create ~entries ~page_bytes ~replacement ~prng =
     misses = 0;
   }
 
-let find t page =
+(* Power-of-two page sizes (every real platform, and the reference LEON3's
+   4 KiB pages) translate with a shift; the division only survives as a
+   fallback for exotic geometries. *)
+let page_of_addr t addr =
+  if t.page_shift >= 0 then addr lsr t.page_shift else addr / t.page_bytes
+
+(* Index of [page], or -1 when absent — sentinel instead of an [option], so
+   the per-access lookup allocates nothing. *)
+let find_slot t page =
+  let pages = t.pages in
+  let stop = t.entries in
   let rec go i =
-    if i >= t.entries then None else if t.pages.(i) = page then Some i else go (i + 1)
+    if i >= stop then -1 else if Array.unsafe_get pages i = page then i else go (i + 1)
   in
   go 0
 
 let victim t =
+  let pages = t.pages in
+  let stop = t.entries in
   let rec find_invalid i =
-    if i >= t.entries then None
-    else if t.pages.(i) = -1 then Some i
-    else find_invalid (i + 1)
+    if i >= stop then -1 else if Array.unsafe_get pages i = -1 then i else find_invalid (i + 1)
   in
-  match find_invalid 0 with
-  | Some i -> i
-  | None -> begin
-      match t.replacement with
-      | Config.Lru ->
-          let best = ref 0 in
-          for i = 1 to t.entries - 1 do
-            if t.recency.(i) < t.recency.(!best) then best := i
-          done;
-          !best
-      | Config.Random_replacement -> Prng.int_below t.prng t.entries
-      | Config.Round_robin ->
-          let i = t.rr in
-          t.rr <- (i + 1) mod t.entries;
-          i
-    end
+  let invalid = find_invalid 0 in
+  if invalid >= 0 then invalid
+  else begin
+    match t.replacement with
+    | Config.Lru ->
+        let recency = t.recency in
+        let best = ref 0 in
+        for i = 1 to stop - 1 do
+          if Array.unsafe_get recency i < Array.unsafe_get recency !best then best := i
+        done;
+        !best
+    | Config.Random_replacement -> Prng.int_below t.prng t.entries
+    | Config.Round_robin ->
+        let i = t.rr in
+        t.rr <- (i + 1) mod t.entries;
+        i
+  end
 
 let access t ~addr =
-  let page = addr / t.page_bytes in
+  let page = page_of_addr t addr in
   t.clock <- t.clock + 1;
-  match find t page with
-  | Some i ->
-      t.hits <- t.hits + 1;
-      t.recency.(i) <- t.clock;
-      Hit
-  | None ->
-      t.misses <- t.misses + 1;
-      let i = victim t in
-      t.pages.(i) <- page;
-      t.recency.(i) <- t.clock;
-      Miss
+  let slot = find_slot t page in
+  if slot >= 0 then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_set t.recency slot t.clock;
+    Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let slot = victim t in
+    Array.unsafe_set t.pages slot page;
+    Array.unsafe_set t.recency slot t.clock;
+    Miss
+  end
 
 let flush t =
   Array.fill t.pages 0 t.entries (-1);

@@ -11,6 +11,17 @@ type t = {
   layout : Isa.Layout.t;
 }
 
+(* ---- per-run seed derivation -----------------------------------------
+
+   Every seed below is a {e pure function} of [(base_seed, run_index,
+   attempt)]: derivation creates a fresh Splitmix stream per call and never
+   threads a shared mutable [Prng.t] across runs.  This is the property the
+   parallel campaign layer ({!Repro_mbpta.Parallel}) relies on — runs can
+   execute in any order, on any domain, and still see exactly the seeds the
+   sequential campaign would have handed them.  When auditing a new
+   measurement site, route it through {!scenario_seed}, {!platform_seed} or
+   {!fault_seed} instead of drawing from a long-lived generator. *)
+
 (* Derive independent per-run seeds for scenario (stream 0) and platform
    (stream 1): one splitmix stream per run, indexed in counter mode. *)
 let derive_seed base run stream =
@@ -49,9 +60,17 @@ let program t = t.program
 let layout t = t.layout
 let with_layout t layout = { t with layout }
 
+(* The three published seed families (see the audit note above). *)
+let scenario_seed t ~run_index = derive_seed t.base_seed run_index 0
+
+let platform_seed t ~run_index ~attempt =
+  derive_seed (attempt_base t.base_seed ~attempt) run_index 1
+
+let fault_seed t ~run_index ~attempt =
+  derive_fault_seed (attempt_base t.base_seed ~attempt) run_index
+
 let scenario t ~run_index =
-  Mission.generate ~frames:t.frames ~gains:t.gains
-    ~seed:(derive_seed t.base_seed run_index 0) ()
+  Mission.generate ~frames:t.frames ~gains:t.gains ~seed:(scenario_seed t ~run_index) ()
 
 let prepared_memory t ~run_index =
   let sc = scenario t ~run_index in
@@ -63,7 +82,7 @@ let run t ~run_index =
   let _, memory = prepared_memory t ~run_index in
   let core =
     Platform.Core_sim.create ~contenders:t.contenders ~config:t.config
-      ~seed:(derive_seed t.base_seed run_index 1) ()
+      ~seed:(platform_seed t ~run_index ~attempt:0) ()
   in
   Platform.Core_sim.run_program core ~program:t.program ~layout:t.layout ~memory
 
@@ -108,13 +127,12 @@ let output_error t sc memory =
 let run_faulty t ~fault ?(attempt = 0) ~run_index () =
   if attempt < 0 then invalid_arg "Experiment.run_faulty: attempt must be >= 0";
   let sc, memory = prepared_memory t ~run_index in
-  let abase = attempt_base t.base_seed ~attempt in
   let core =
     Platform.Core_sim.create ~contenders:t.contenders ~config:t.config
-      ~seed:(derive_seed abase run_index 1) ()
+      ~seed:(platform_seed t ~run_index ~attempt) ()
   in
   let injector =
-    Platform.Fault.create ~rate:fault.seu_rate ~seed:(derive_fault_seed abase run_index)
+    Platform.Fault.create ~rate:fault.seu_rate ~seed:(fault_seed t ~run_index ~attempt)
   in
   let faults () = Platform.Fault.records injector in
   match

@@ -26,6 +26,29 @@ val create :
 val config : t -> Repro_platform.Config.t
 val program : t -> Repro_isa.Program.t
 
+(** {2 Per-run seed derivation}
+
+    Every measurement's randomness derives from exactly three seed
+    families, each a {e pure function} of [(base_seed, run_index, attempt)]
+    — no shared mutable generator is ever threaded across runs.  That
+    purity is the determinism contract the parallel campaign layer
+    ({!Repro_mbpta.Parallel}, [Campaign.run ?jobs]) rests on: runs may
+    execute in any order on any domain and the produced samples are
+    bit-identical to the sequential campaign's.
+
+    - {!scenario_seed} drives the run's input generation; it does {e not}
+      depend on [attempt] — a retry repeats the same measurement scenario;
+    - {!platform_seed} drives cache/TLB randomization; re-derived per
+      attempt so a retry runs under fresh (but deterministic)
+      randomization;
+    - {!fault_seed} drives SEU injection; a salted family, so seeds (and
+      hence all timing) are bit-identical to the fault-free pipeline when
+      injection is off. *)
+
+val scenario_seed : t -> run_index:int -> int64
+val platform_seed : t -> run_index:int -> attempt:int -> int64
+val fault_seed : t -> run_index:int -> attempt:int -> int64
+
 (** [run t ~run_index] — one measured run; returns the full metrics. *)
 val run : t -> run_index:int -> Repro_platform.Metrics.t
 

@@ -95,6 +95,32 @@ let test_write_through_no_allocate () =
   let s = P.Cache.stats c in
   checki "write-throughs" 2 s.P.Cache.write_throughs
 
+(* Regression: a write miss must count exactly one access, one miss and one
+   write-through — never a double-counted access or a dropped write-through.
+   The invariant [hits + misses = accesses] and [write_throughs = writes] is
+   checked over a mixed read/write stream under every policy pair. *)
+let test_stats_invariant_mixed_stream =
+  qtest
+    (QCheck.Test.make ~count:100 ~name:"stats invariant on mixed read/write stream"
+       QCheck.(
+         triple (int_range 0 8) (int_range 0 2)
+           (small_list (pair (int_range 0 0x7FFF) bool)))
+       (fun (pl, rp, stream) ->
+         let placement = List.nth all_placements (pl mod 3) in
+         let replacement = List.nth all_replacements rp in
+         let c = make_cache ~placement ~replacement () in
+         let writes = ref 0 in
+         List.iter
+           (fun (addr, write) ->
+             if write then incr writes;
+             ignore (P.Cache.access c ~addr ~write))
+           stream;
+         (* [stats] itself raises if hits + misses <> accesses *)
+         let s = P.Cache.stats c in
+         s.P.Cache.accesses = List.length stream
+         && s.P.Cache.hits + s.P.Cache.misses = s.P.Cache.accesses
+         && s.P.Cache.write_throughs = !writes))
+
 let test_probe_no_side_effect () =
   let c = make_cache () in
   checkb "probe misses" true (P.Cache.probe c ~addr:0x3000 = P.Cache.Miss);
@@ -513,6 +539,7 @@ let () =
           Alcotest.test_case "conflict thrash (modulo+lru)" `Quick
             test_conflict_eviction_modulo_lru;
           Alcotest.test_case "write-through no-allocate" `Quick test_write_through_no_allocate;
+          test_stats_invariant_mixed_stream;
           Alcotest.test_case "probe side-effect free" `Quick test_probe_no_side_effect;
           Alcotest.test_case "flush invalidates" `Quick test_flush_invalidates;
           Alcotest.test_case "modulo placement" `Quick test_modulo_placement_layout_function;

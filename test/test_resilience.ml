@@ -119,7 +119,7 @@ let test_supervise_clean_campaign () =
     checki "first attempt only" 0 attempt;
     completed (float_of_int run_index)
   in
-  match R.supervise ~policy:R.default_policy ~runs:50 ~measure with
+  match R.supervise ~policy:R.default_policy ~runs:50 ~measure () with
   | Error e -> Alcotest.failf "unexpected error: %a" R.pp_error e
   | Ok r ->
       checki "all survive" 50 r.R.survivors;
@@ -134,7 +134,7 @@ let test_supervise_retries_transients () =
     if run_index mod 3 = 0 && attempt = 0 then R.Timeout { detail = "transient" }
     else completed 100.
   in
-  match R.supervise ~policy:R.default_policy ~runs:30 ~measure with
+  match R.supervise ~policy:R.default_policy ~runs:30 ~measure () with
   | Error e -> Alcotest.failf "unexpected error: %a" R.pp_error e
   | Ok r ->
       checki "all survive" 30 r.R.survivors;
@@ -149,7 +149,7 @@ let test_supervise_quarantines_and_proceeds () =
   let measure ~run_index ~attempt:_ =
     if run_index < 2 then R.Crashed { detail = "hard fault" } else completed 1.
   in
-  match R.supervise ~policy:R.default_policy ~runs:50 ~measure with
+  match R.supervise ~policy:R.default_policy ~runs:50 ~measure () with
   | Error e -> Alcotest.failf "unexpected error: %a" R.pp_error e
   | Ok r ->
       checki "two dropped" 2 r.R.dropped_runs;
@@ -170,7 +170,7 @@ let test_supervise_survival_threshold () =
   let measure ~run_index ~attempt:_ =
     if run_index mod 2 = 0 then R.Corrupted { detail = "flipped" } else completed 1.
   in
-  match R.supervise ~policy:R.default_policy ~runs:40 ~measure with
+  match R.supervise ~policy:R.default_policy ~runs:40 ~measure () with
   | Error (R.Too_few_survivors { survivors; required; total }) ->
       checki "survivors" 20 survivors;
       checki "total" 40 total;
@@ -183,7 +183,7 @@ let test_supervise_retry_budget () =
     { R.max_retries = 5; max_total_retries = Some 7; min_survival = 0. }
   in
   let measure ~run_index:_ ~attempt:_ = R.Timeout { detail = "always" } in
-  match R.supervise ~policy ~runs:10 ~measure with
+  match R.supervise ~policy ~runs:10 ~measure () with
   | Error (R.Retry_budget_exhausted { spent; limit; _ }) ->
       checki "spent = limit" 7 spent;
       checki "limit" 7 limit
@@ -192,20 +192,20 @@ let test_supervise_retry_budget () =
 
 let test_supervise_invalid_policy () =
   let measure ~run_index:_ ~attempt:_ = completed 1. in
-  (match R.supervise ~policy:R.default_policy ~runs:0 ~measure with
+  (match R.supervise ~policy:R.default_policy ~runs:0 ~measure () with
   | Error (R.Invalid_policy _) -> ()
   | _ -> Alcotest.fail "runs 0 rejected");
   (match
      R.supervise
        ~policy:{ R.default_policy with R.max_retries = -1 }
-       ~runs:10 ~measure
+       ~runs:10 ~measure ()
    with
   | Error (R.Invalid_policy _) -> ()
   | _ -> Alcotest.fail "negative retries rejected");
   match
     R.supervise
       ~policy:{ R.default_policy with R.min_survival = 1.5 }
-      ~runs:10 ~measure
+      ~runs:10 ~measure ()
   with
   | Error (R.Invalid_policy _) -> ()
   | _ -> Alcotest.fail "min_survival > 1 rejected"
