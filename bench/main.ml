@@ -6,9 +6,11 @@
 
    Usage:  dune exec bench/main.exe [-- --runs N] [-- --skip-micro]
                                     [-- --smoke] [-- --json PATH]
+                                    [-- --trace PATH]
    Default N is 3000 (the paper's run count).  [--smoke] runs only the P1
    perf section at a reduced run count (the CI mode); [--json PATH] writes
-   the P1 results to PATH (e.g. BENCH_pr2.json). *)
+   the P1 results to PATH (e.g. BENCH_pr3.json); [--trace PATH] keeps the
+   JSONL trace written by the P1 trace-overhead probe. *)
 
 module P = Repro_platform
 module T = Repro_tvca
@@ -22,6 +24,7 @@ let runs = ref 3000
 let skip_micro = ref false
 let smoke = ref false
 let json_out = ref None
+let trace_out = ref None
 
 let () =
   let rec parse = function
@@ -37,6 +40,9 @@ let () =
         parse rest
     | "--json" :: path :: rest ->
         json_out := Some path;
+        parse rest
+    | "--trace" :: path :: rest ->
+        trace_out := Some path;
         parse rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
@@ -415,6 +421,9 @@ type perf_results = {
   cache_access_ns_rand : float;
   tlb_access_ns : float;
   samples_identical_across_jobs : bool;
+  trace_overhead_pct : float;
+  trace_events : int;
+  traced_samples_identical : bool;
 }
 
 let time_it f =
@@ -449,6 +458,55 @@ let tlb_access_ns () =
         done)
   in
   dt *. 1e9 /. float_of_int n
+
+(* Cost of observability: one full campaign (gates off, sequential) with
+   and without a Runs-level trace attached.  Also re-checks the tracing
+   determinism contract: the traced campaign's samples must be
+   bit-identical to the untraced ones. *)
+let p1_trace_overhead ~n =
+  let input =
+    {
+      (M.Campaign.default_input
+         ~measure_det:(fun i -> T.Experiment.measure det_experiment ~run_index:i)
+         ~measure_rand:(fun i -> T.Experiment.measure rand_experiment ~run_index:i))
+      with
+      M.Campaign.runs = n;
+      M.Campaign.options =
+        {
+          M.Protocol.default_options with
+          M.Protocol.gate_on_iid = false;
+          M.Protocol.check_convergence = false;
+        };
+    }
+  in
+  let samples = function
+    | Ok c -> Some (c.M.Campaign.det_sample, c.M.Campaign.rand_sample)
+    | Error _ -> None
+  in
+  let plain, plain_dt = time_it (fun () -> M.Campaign.run ~jobs:1 input) in
+  let path =
+    match !trace_out with
+    | Some p -> p
+    | None -> Filename.temp_file "bench_trace" ".jsonl"
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let trace = M.Trace.create ~path () in
+  let traced, traced_dt =
+    time_it (fun () -> M.Campaign.run ~jobs:1 ~trace input)
+  in
+  M.Trace.close trace;
+  let trace_events =
+    match M.Trace.read_file path with Ok es -> List.length es | Error _ -> 0
+  in
+  if !trace_out = None then (try Sys.remove path with Sys_error _ -> ());
+  let traced_samples_identical = samples plain = samples traced in
+  let trace_overhead_pct = 100. *. ((traced_dt /. plain_dt) -. 1.) in
+  Format.printf
+    "@.trace overhead (campaign of 2x%d runs, jobs=1): untraced %.3fs, traced %.3fs \
+     (%+.2f%%), %d events@."
+    n plain_dt traced_dt trace_overhead_pct trace_events;
+  Format.printf "traced samples bit-identical to untraced: %b@." traced_samples_identical;
+  (trace_overhead_pct, trace_events, traced_samples_identical)
 
 let p1_parallel_perf () =
   section "P1  Campaign throughput (domain pool) and simulator hot-path latency";
@@ -511,6 +569,9 @@ let p1_parallel_perf () =
   Format.printf
     "per access: cache DET(modulo+LRU) %.1f ns, cache RAND(rm+random) %.1f ns, TLB %.1f ns@."
     cache_access_ns_det cache_access_ns_rand tlb_ns;
+  let trace_overhead_pct, trace_events, traced_samples_identical =
+    p1_trace_overhead ~n:(Stdlib.max 50 (n / 4))
+  in
   {
     campaign_runs = n;
     domain_count;
@@ -521,13 +582,16 @@ let p1_parallel_perf () =
     cache_access_ns_rand;
     tlb_access_ns = tlb_ns;
     samples_identical_across_jobs = true;
+    trace_overhead_pct;
+    trace_events;
+    traced_samples_identical;
   }
 
 let json_of_perf r =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"bench_pr2/v1\",\n";
+  add "  \"schema\": \"bench_pr3/v1\",\n";
   add "  \"smoke\": %b,\n" !smoke;
   add "  \"campaign_runs\": %d,\n" r.campaign_runs;
   add "  \"recommended_domain_count\": %d,\n" r.domain_count;
@@ -542,8 +606,12 @@ let json_of_perf r =
   add "  ],\n";
   add "  \"per_run_us\": {\"det\": %.2f, \"rand\": %.2f},\n" r.per_run_us_det
     r.per_run_us_rand;
-  add "  \"per_access_ns\": {\"cache_det\": %.2f, \"cache_rand\": %.2f, \"tlb\": %.2f}\n"
+  add "  \"per_access_ns\": {\"cache_det\": %.2f, \"cache_rand\": %.2f, \"tlb\": %.2f},\n"
     r.cache_access_ns_det r.cache_access_ns_rand r.tlb_access_ns;
+  add
+    "  \"trace\": {\"overhead_pct\": %.2f, \"events\": %d, \
+     \"traced_samples_identical\": %b}\n"
+    r.trace_overhead_pct r.trace_events r.traced_samples_identical;
   add "}\n";
   Buffer.contents b
 

@@ -7,11 +7,14 @@
      paths        per-path analysis (groups runs by execution path)
      qualify      PRNG qualification battery
      plot         Figure 2 exceedance plot only
+     trace        inspect JSONL traces written with --trace
 
    Examples:
      dune exec bin/mbpta_cli.exe -- analyze --runs 3000
      dune exec bin/mbpta_cli.exe -- iid --runs 1000 --seed 7
-     dune exec bin/mbpta_cli.exe -- qualify --algorithm lfsr64 *)
+     dune exec bin/mbpta_cli.exe -- qualify --algorithm lfsr64
+     dune exec bin/mbpta_cli.exe -- analyze --runs 500 --trace run.jsonl
+     dune exec bin/mbpta_cli.exe -- trace summary run.jsonl *)
 
 module P = Repro_platform
 module T = Repro_tvca
@@ -66,11 +69,77 @@ let resolve_jobs = function
       Format.eprintf "mbpta_cli: --jobs must be >= 0 (got %d)@." j;
       exit 2
 
+(* ------------------------------ tracing ------------------------------- *)
+
+let trace_arg =
+  let doc = "Append a JSONL event trace of this invocation to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_level_arg =
+  let levels =
+    [ ("summary", M.Trace.Summary); ("runs", M.Trace.Runs); ("debug", M.Trace.Debug) ]
+  in
+  let doc =
+    "Trace verbosity: summary (lifecycle + verdicts), runs (default; adds one event \
+     per measured run), debug (adds chunk scheduling and wall times — the only \
+     level whose trace varies with --jobs)."
+  in
+  Arg.(value & opt (enum levels) M.Trace.Runs & info [ "trace-level" ] ~docv:"LEVEL" ~doc)
+
+(* [with_trace ~path ~level ~config f] runs [f (Some t)] against an open
+   trace — emitting the harness [Config] context first and flushing on the
+   way out, even on exceptions.  Without [--trace] it is exactly [f None]:
+   the measurement closures are the original untraced ones. *)
+let with_trace ~path ~level ~config f =
+  match path with
+  | None -> f None
+  | Some path ->
+      let t = M.Trace.create ~level ~path () in
+      M.Trace.emit t (M.Trace.Config config);
+      Fun.protect ~finally:(fun () -> M.Trace.close t) (fun () -> f (Some t))
+
+(* Roll one run's micro-architectural counters into the trace registry.
+   Safe from any worker domain: additions commute, so the totals are
+   deterministic at every job count. *)
+let record_metrics counters ~prefix (m : P.Metrics.t) =
+  let add name v = M.Trace.Counters.add counters (prefix ^ name) v in
+  add "runs" 1;
+  add "cycles" m.P.Metrics.cycles;
+  add "instructions" m.P.Metrics.instructions;
+  add "il1_misses" m.P.Metrics.il1_misses;
+  add "dl1_misses" m.P.Metrics.dl1_misses;
+  add "itlb_misses" m.P.Metrics.itlb_misses;
+  add "dtlb_misses" m.P.Metrics.dtlb_misses;
+  add "bus_transactions" m.P.Metrics.bus_transactions;
+  add "dram_row_misses" m.P.Metrics.dram_row_misses;
+  add "faults_injected" m.P.Metrics.faults_injected
+
+(* Traced variant of the measurement closure: same cycles bit-for-bit
+   ([Experiment.measure] is [cycles (run ...)]), but the full metrics are
+   accumulated into the counter registry on the way. *)
+let measure_with_counters trace exp ~prefix =
+  match trace with
+  | None -> fun i -> T.Experiment.measure exp ~run_index:i
+  | Some t ->
+      let counters = M.Trace.counters t in
+      fun i ->
+        let m = T.Experiment.run exp ~run_index:i in
+        record_metrics counters ~prefix m;
+        float_of_int (P.Metrics.cycles m)
+
 (* Parallel counterpart of [Experiment.collect] for the single-platform
    subcommands; sound because [Experiment.measure] is a pure function of the
    run index. *)
-let collect_par ~jobs exp ~runs =
-  M.Parallel.init ~jobs runs (fun i -> T.Experiment.measure exp ~run_index:i)
+let collect_par ?trace ~jobs exp ~runs =
+  let phase = "collect_rand" in
+  (match trace with Some t -> M.Trace.phase_start t phase | None -> ());
+  let xs = M.Parallel.init ?trace ~jobs runs (measure_with_counters trace exp ~prefix:"rand.") in
+  (match trace with
+  | Some t ->
+      M.Trace.emit_sample t ~phase xs;
+      M.Trace.phase_end t phase
+  | None -> ());
+  xs
 
 let experiment ~config ~seed ~frames =
   T.Experiment.create ~frames ~config ~base_seed:seed ()
@@ -82,6 +151,20 @@ let options_of ~tail ~no_gates =
     M.Protocol.gate_on_iid = not no_gates;
     M.Protocol.check_convergence = not no_gates;
   }
+
+let tail_name = function
+  | M.Protocol.Gumbel -> "gumbel"
+  | M.Protocol.Gev -> "gev"
+  | M.Protocol.Pot -> "pot"
+  | M.Protocol.Exponential_pot -> "exp"
+
+let base_config ~subcommand ~runs ~seed ~frames =
+  [
+    ("subcommand", subcommand);
+    ("runs", string_of_int runs);
+    ("seed", Int64.to_string seed);
+    ("frames", string_of_int frames);
+  ]
 
 (* ------------------------------ analyze ------------------------------ *)
 
@@ -102,35 +185,46 @@ let resilience_outcome_of = function
         { detail = Printf.sprintf "worst output error %g" worst_error }
 
 let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budget
-    max_retries min_survival jobs =
+    max_retries min_survival jobs trace_path trace_level =
   let jobs = resolve_jobs jobs in
+  if seu_rate < 0. then begin
+    Format.eprintf "mbpta_cli: --seu-rate must be >= 0 (got %g)@." seu_rate;
+    exit 2
+  end;
+  let config =
+    base_config ~subcommand:"analyze" ~runs ~seed ~frames
+    @ [ ("tail", tail_name tail); ("seu_rate", string_of_float seu_rate) ]
+  in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   let det = experiment ~config:P.Config.deterministic ~seed ~frames in
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
   let input =
     {
       M.Campaign.runs;
-      measure_det = (fun i -> T.Experiment.measure det ~run_index:i);
-      measure_rand = (fun i -> T.Experiment.measure rand ~run_index:i);
+      measure_det = measure_with_counters trace det ~prefix:"det.";
+      measure_rand = measure_with_counters trace rand ~prefix:"rand.";
       options = options_of ~tail ~no_gates;
       engineering_factor = factor;
     }
   in
-  if seu_rate < 0. then begin
-    Format.eprintf "mbpta_cli: --seu-rate must be >= 0 (got %g)@." seu_rate;
-    exit 2
-  end;
   let result =
     if seu_rate > 0. || watchdog_budget <> None then begin
       let fault = T.Experiment.fault_config ~seu_rate ?watchdog_budget () in
-      let measure exp ~run_index ~attempt =
-        resilience_outcome_of (T.Experiment.run_faulty exp ~fault ~attempt ~run_index ())
+      let measure exp prefix ~run_index ~attempt =
+        let outcome = T.Experiment.run_faulty exp ~fault ~attempt ~run_index () in
+        (match (trace, outcome) with
+        | Some t, T.Experiment.Completed { metrics; _ } ->
+            record_metrics (M.Trace.counters t) ~prefix metrics
+        | _ -> ());
+        resilience_outcome_of outcome
       in
       let policy = { M.Resilience.default_policy with max_retries; min_survival } in
-      M.Campaign.run_resilient ~jobs
-        (M.Campaign.resilient_input ~policy ~base:input ~measure_det_outcome:(measure det)
-           ~measure_rand_outcome:(measure rand) ())
+      M.Campaign.run_resilient ~jobs ?trace
+        (M.Campaign.resilient_input ~policy ~base:input
+           ~measure_det_outcome:(measure det "det.")
+           ~measure_rand_outcome:(measure rand "rand.") ())
     end
-    else M.Campaign.run ~jobs input
+    else M.Campaign.run ~jobs ?trace input
   in
   match result with
   | Error f ->
@@ -195,26 +289,45 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg $ factor
-      $ csv_dir $ seu_rate $ watchdog_budget $ max_retries $ min_survival $ jobs_arg)
+      $ csv_dir $ seu_rate $ watchdog_budget $ max_retries $ min_survival $ jobs_arg
+      $ trace_arg $ trace_level_arg)
 
 (* -------------------------------- iid -------------------------------- *)
 
-let iid runs seed frames jobs =
+let iid runs seed frames jobs trace_path trace_level =
+  let config = base_config ~subcommand:"iid" ~runs ~seed ~frames in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let xs = collect_par ~jobs:(resolve_jobs jobs) rand ~runs in
-  Format.printf "%a@." M.Iid.pp (M.Iid.check xs);
+  let xs = collect_par ?trace ~jobs:(resolve_jobs jobs) rand ~runs in
+  let verdict = M.Iid.check xs in
+  (match trace with Some t -> M.Trace.emit t (M.Trace.iid_event verdict) | None -> ());
+  Format.printf "%a@." M.Iid.pp verdict;
   0
 
 let iid_cmd =
   let doc = "collect runs on the randomized platform and verify i.i.d." in
-  Cmd.v (Cmd.info "iid" ~doc) Term.(const iid $ runs_arg $ seed_arg $ frames_arg $ jobs_arg)
+  Cmd.v (Cmd.info "iid" ~doc)
+    Term.(
+      const iid $ runs_arg $ seed_arg $ frames_arg $ jobs_arg $ trace_arg
+      $ trace_level_arg)
 
 (* ---------------------------- convergence ---------------------------- *)
 
-let convergence runs seed frames probability jobs =
+let convergence runs seed frames probability jobs trace_path trace_level =
+  let config =
+    base_config ~subcommand:"convergence" ~runs ~seed ~frames
+    @ [ ("probability", string_of_float probability) ]
+  in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let xs = collect_par ~jobs:(resolve_jobs jobs) rand ~runs in
+  let xs = collect_par ?trace ~jobs:(resolve_jobs jobs) rand ~runs in
   let c = E.Convergence.study ~probability xs in
+  (match trace with
+  | Some t ->
+      M.Trace.emit t
+        (M.Trace.Convergence
+           { converged = c.E.Convergence.converged; runs_used = c.E.Convergence.runs_used })
+  | None -> ());
   Format.printf "%a@.@." E.Convergence.pp_result c;
   print_string (M.Ascii_plot.convergence_plot c.E.Convergence.history);
   0
@@ -227,14 +340,18 @@ let convergence_cmd =
   let doc = "study how the pWCET estimate stabilizes as runs accumulate" in
   Cmd.v
     (Cmd.info "convergence" ~doc)
-    Term.(const convergence $ runs_arg $ seed_arg $ frames_arg $ probability $ jobs_arg)
+    Term.(
+      const convergence $ runs_arg $ seed_arg $ frames_arg $ probability $ jobs_arg
+      $ trace_arg $ trace_level_arg)
 
 (* ------------------------------- paths -------------------------------- *)
 
-let paths runs seed frames jobs =
+let paths runs seed frames jobs trace_path trace_level =
   let jobs = resolve_jobs jobs in
+  let config = base_config ~subcommand:"paths" ~runs ~seed ~frames in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let measurements = collect_par ~jobs rand ~runs in
+  let measurements = collect_par ?trace ~jobs rand ~runs in
   let signatures =
     M.Parallel.init ~jobs runs (fun i -> T.Experiment.path_signature rand ~run_index:i)
   in
@@ -256,11 +373,21 @@ let paths runs seed frames jobs =
 let paths_cmd =
   let doc = "group runs by execution path and analyze each path separately" in
   Cmd.v (Cmd.info "paths" ~doc)
-    Term.(const paths $ runs_arg $ seed_arg $ frames_arg $ jobs_arg)
+    Term.(
+      const paths $ runs_arg $ seed_arg $ frames_arg $ jobs_arg $ trace_arg
+      $ trace_level_arg)
 
 (* ------------------------------ qualify ------------------------------ *)
 
-let qualify algorithm draws seed =
+let qualify algorithm draws seed trace_path trace_level =
+  let config =
+    [
+      ("subcommand", "qualify");
+      ("seed", Int64.to_string seed);
+      ("draws", string_of_int draws);
+    ]
+  in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   let algorithms =
     match algorithm with
     | Some a -> [ a ]
@@ -270,8 +397,16 @@ let qualify algorithm draws seed =
     (fun algorithm ->
       let prng = Prng.create ~algorithm seed in
       let verdicts = Quality.qualify ~alpha:0.001 ~draws prng in
+      let passed = Quality.all_passed verdicts in
+      (match trace with
+      | Some t ->
+          M.Trace.emit t
+            (M.Trace.Note
+               (Printf.sprintf "qualify %s: %s" (Prng.algorithm_name algorithm)
+                  (if passed then "QUALIFIED" else "REJECTED")))
+      | None -> ());
       Format.printf "%-14s %s@." (Prng.algorithm_name algorithm)
-        (if Quality.all_passed verdicts then "QUALIFIED" else "REJECTED");
+        (if passed then "QUALIFIED" else "REJECTED");
       List.iter (fun (n, v) -> Format.printf "  %-24s %a@." n Quality.pp_verdict v) verdicts)
     algorithms;
   0
@@ -294,15 +429,20 @@ let qualify_cmd =
     Arg.(value & opt int 20_000 & info [ "draws" ] ~docv:"N" ~doc)
   in
   let doc = "run the statistical qualification battery on the PRNGs" in
-  Cmd.v (Cmd.info "qualify" ~doc) Term.(const qualify $ algorithm $ draws $ seed_arg)
+  Cmd.v (Cmd.info "qualify" ~doc)
+    Term.(const qualify $ algorithm $ draws $ seed_arg $ trace_arg $ trace_level_arg)
 
 (* -------------------------------- plot -------------------------------- *)
 
-let plot runs seed frames tail qq =
+let plot runs seed frames tail qq trace_path trace_level =
+  let config =
+    base_config ~subcommand:"plot" ~runs ~seed ~frames @ [ ("tail", tail_name tail) ]
+  in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let xs = T.Experiment.collect rand ~runs in
+  let xs = collect_par ?trace ~jobs:1 rand ~runs in
   let options = options_of ~tail ~no_gates:true in
-  (match M.Protocol.analyze ~options xs with
+  (match M.Protocol.analyze ~options ?trace xs with
   | Ok a ->
       print_string (M.Ascii_plot.exceedance_plot a.M.Protocol.curve);
       if qq then begin
@@ -334,7 +474,32 @@ let plot_cmd =
   in
   let doc = "print the Figure 2 exceedance plot for a fresh measurement set" in
   Cmd.v (Cmd.info "plot" ~doc)
-    Term.(const plot $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ qq)
+    Term.(
+      const plot $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ qq $ trace_arg
+      $ trace_level_arg)
+
+(* -------------------------------- trace -------------------------------- *)
+
+let trace_summary file =
+  match M.Trace.read_file file with
+  | Error e ->
+      Format.eprintf "mbpta_cli: %s@." e;
+      1
+  | Ok events ->
+      print_string (M.Trace.summarize events);
+      0
+
+let trace_cmd =
+  let file_pos =
+    let doc = "JSONL trace file produced with --trace." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let summary_cmd =
+    let doc = "digest a trace: per-phase runs and timing, faults, verdicts, counters" in
+    Cmd.v (Cmd.info "summary" ~doc) Term.(const trace_summary $ file_pos)
+  in
+  let doc = "inspect JSONL campaign traces" in
+  Cmd.group (Cmd.info "trace" ~doc) [ summary_cmd ]
 
 (* -------------------------------- main -------------------------------- *)
 
@@ -345,6 +510,6 @@ let () =
   let info = Cmd.info "mbpta_cli" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ analyze_cmd; iid_cmd; convergence_cmd; paths_cmd; qualify_cmd; plot_cmd ]
+      [ analyze_cmd; iid_cmd; convergence_cmd; paths_cmd; qualify_cmd; plot_cmd; trace_cmd ]
   in
   exit (Cmd.eval' group)

@@ -37,9 +37,36 @@ type t = {
 
 and comparison = Report.comparison
 
-let finish ~options ~engineering_factor ~det_sample ~rand_sample ~det_resilience
-    ~rand_resilience =
-  let analysis = Protocol.analyze ~options rand_sample in
+(* Phase names of the trace schema; the digest groups events by these. *)
+let phase_collect_det = "collect_det"
+let phase_collect_rand = "collect_rand"
+let phase_analyze = "analyze"
+
+let in_phase trace name f =
+  match trace with
+  | None -> f ()
+  | Some t ->
+      Trace.phase_start t name;
+      let v = f () in
+      Trace.phase_end t name;
+      v
+
+let trace_campaign_end trace result =
+  match trace with
+  | None -> ()
+  | Some t ->
+      let ok, failure =
+        match result with
+        | Ok _ -> (true, None)
+        | Error f -> (false, Some (Format.asprintf "%a" Protocol.pp_failure f))
+      in
+      Trace.emit t (Trace.Campaign_end { ok; failure })
+
+let finish ?trace ~options ~engineering_factor ~det_sample ~rand_sample ~det_resilience
+    ~rand_resilience () =
+  let analysis =
+    in_phase trace phase_analyze (fun () -> Protocol.analyze ~options ?trace rand_sample)
+  in
   let comparison =
     match analysis with
     | Ok a -> Some (Report.compare ~engineering_factor ~analysis:a ~det_sample ())
@@ -47,18 +74,34 @@ let finish ~options ~engineering_factor ~det_sample ~rand_sample ~det_resilience
   in
   { det_sample; rand_sample; analysis; comparison; det_resilience; rand_resilience }
 
-let run ?jobs input =
-  if input.runs < 1 then Error (Protocol.Not_enough_runs { have = input.runs; need = 1 })
-  else begin
-    (* Runs are independent by construction (per-run seed derivation), so
-       both platforms' samples fan out over the domain pool; [jobs] only
-       changes wall-clock time, never a bit of the result. *)
-    let det_sample = Parallel.init ?jobs input.runs input.measure_det in
-    let rand_sample = Parallel.init ?jobs input.runs input.measure_rand in
-    Ok
-      (finish ~options:input.options ~engineering_factor:input.engineering_factor
-         ~det_sample ~rand_sample ~det_resilience:None ~rand_resilience:None)
-  end
+let run ?jobs ?trace input =
+  (match trace with
+  | Some t -> Trace.emit t (Trace.Campaign_start { runs = input.runs; resilient = false })
+  | None -> ());
+  let result =
+    if input.runs < 1 then Error (Protocol.Not_enough_runs { have = input.runs; need = 1 })
+    else begin
+      (* Runs are independent by construction (per-run seed derivation), so
+         both platforms' samples fan out over the domain pool; [jobs] only
+         changes wall-clock time, never a bit of the result. *)
+      let collect phase measure =
+        in_phase trace phase (fun () ->
+            let sample = Parallel.init ?trace ?jobs input.runs measure in
+            (match trace with
+            | Some t -> Trace.emit_sample t ~phase sample
+            | None -> ());
+            sample)
+      in
+      let det_sample = collect phase_collect_det input.measure_det in
+      let rand_sample = collect phase_collect_rand input.measure_rand in
+      Ok
+        (finish ?trace ~options:input.options
+           ~engineering_factor:input.engineering_factor ~det_sample ~rand_sample
+           ~det_resilience:None ~rand_resilience:None ())
+    end
+  in
+  trace_campaign_end trace result;
+  result
 
 let failure_of_resilience_error : Resilience.error -> Protocol.failure = function
   | Resilience.Too_few_survivors { survivors; required; total } ->
@@ -68,23 +111,32 @@ let failure_of_resilience_error : Resilience.error -> Protocol.failure = functio
   | Resilience.Invalid_policy reason ->
       Protocol.Invalid_sample { index = -1; value = Float.nan; reason }
 
-let run_resilient ?jobs input =
+let run_resilient ?jobs ?trace input =
   let { base; policy; measure_det_outcome; measure_rand_outcome } = input in
-  let supervise measure =
-    Resilience.supervise ?jobs ~policy ~runs:base.runs ~measure ()
-    |> Result.map_error failure_of_resilience_error
+  (match trace with
+  | Some t -> Trace.emit t (Trace.Campaign_start { runs = base.runs; resilient = true })
+  | None -> ());
+  let supervise phase measure =
+    in_phase trace phase (fun () ->
+        Resilience.supervise ?jobs ?trace ~policy ~runs:base.runs ~measure ()
+        |> Result.map_error failure_of_resilience_error)
   in
-  match supervise measure_det_outcome with
-  | Error _ as e -> e
-  | Ok det_report -> (
-      match supervise measure_rand_outcome with
-      | Error _ as e -> e
-      | Ok rand_report ->
-          Ok
-            (finish ~options:base.options ~engineering_factor:base.engineering_factor
-               ~det_sample:det_report.Resilience.sample
-               ~rand_sample:rand_report.Resilience.sample
-               ~det_resilience:(Some det_report) ~rand_resilience:(Some rand_report)))
+  let result =
+    match supervise phase_collect_det measure_det_outcome with
+    | Error _ as e -> e
+    | Ok det_report -> (
+        match supervise phase_collect_rand measure_rand_outcome with
+        | Error _ as e -> e
+        | Ok rand_report ->
+            Ok
+              (finish ?trace ~options:base.options
+                 ~engineering_factor:base.engineering_factor
+                 ~det_sample:det_report.Resilience.sample
+                 ~rand_sample:rand_report.Resilience.sample
+                 ~det_resilience:(Some det_report) ~rand_resilience:(Some rand_report) ()))
+  in
+  trace_campaign_end trace result;
+  result
 
 let render t =
   match (t.analysis, t.comparison) with

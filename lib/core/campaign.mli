@@ -67,15 +67,22 @@ and comparison = Report.comparison
     samples and analysis are {e bit-identical} at every [jobs] value.  For a
     stateful measurement source (e.g. a shared synthetic generator), pass
     [~jobs:1] or use {!Protocol.collect_and_analyze}, which is strictly
-    sequential. *)
-val run : ?jobs:int -> input -> (t, Protocol.failure) Stdlib.result
+    sequential.
+
+    With [trace] attached ({!Trace.create}), the campaign additionally
+    records its full event stream — lifecycle, per-run samples, i.i.d. and
+    fit verdicts — without changing a bit of the result; at the default
+    trace level the trace file itself is bit-identical at every [jobs]
+    value. *)
+val run : ?jobs:int -> ?trace:Trace.t -> input -> (t, Protocol.failure) Stdlib.result
 
 (** Supervised campaign on a fault-prone platform; fails with
     {!Protocol.Faulted_runs} (survival threshold missed) or
-    {!Protocol.Budget_exhausted} (campaign retry budget gone).  [jobs] as in
-    {!run}; see {!Resilience.supervise} for the parallel budget
-    semantics. *)
-val run_resilient : ?jobs:int -> resilient_input -> (t, Protocol.failure) Stdlib.result
+    {!Protocol.Budget_exhausted} (campaign retry budget gone).  [jobs] and
+    [trace] as in {!run}; see {!Resilience.supervise} for the parallel
+    budget semantics and the per-run fault/retry events. *)
+val run_resilient :
+  ?jobs:int -> ?trace:Trace.t -> resilient_input -> (t, Protocol.failure) Stdlib.result
 
 (** Render the whole campaign as a text report (all four experiments, plus
     the fault/retry summary when the campaign ran resiliently). *)

@@ -38,14 +38,30 @@ let init_ascending n f =
     a
   end
 
-let init ?jobs n f =
+(* Chunk-scheduling events are Debug-level observability: the layout is a
+   pure function of (jobs, n), so it legitimately differs across job
+   counts — which is exactly why the default trace level excludes it. *)
+let trace_layout trace layout =
+  match trace with
+  | None -> ()
+  | Some t ->
+      let phase = Trace.current_phase t in
+      List.iteri
+        (fun i (lo, len) -> Trace.emit t (Trace.Chunk { phase; chunk_index = i; lo; len }))
+        layout
+
+let init ?trace ?jobs n f =
   if n < 0 then invalid_arg "Parallel.init: negative length";
   let jobs = match jobs with None -> default_jobs () | Some j -> j in
   if jobs < 1 then invalid_arg "Parallel.init: jobs must be >= 1";
   if n = 0 then [||]
-  else if jobs = 1 || n = 1 then init_ascending n f
+  else if jobs = 1 || n = 1 then begin
+    trace_layout trace [ (0, n) ];
+    init_ascending n f
+  end
   else begin
     let layout = chunks ~jobs n in
+    trace_layout trace layout;
     let eval (lo, len) =
       match init_ascending len (fun i -> f (lo + i)) with
       | a -> Ok a
@@ -71,4 +87,4 @@ let init ?jobs n f =
         out
   end
 
-let map ?jobs f a = init ?jobs (Array.length a) (fun i -> f a.(i))
+let map ?trace ?jobs f a = init ?trace ?jobs (Array.length a) (fun i -> f a.(i))

@@ -24,12 +24,16 @@ val default_jobs : unit -> int
     harnesses that want to shard other per-run state the same way. *)
 val chunks : jobs:int -> int -> (int * int) list
 
-(** [init ?jobs n f] — [Array.init n f] evaluated on a chunked domain pool
-    ([jobs] defaults to {!default_jobs}).  If any [f i] raises, the
+(** [init ?trace ?jobs n f] — [Array.init n f] evaluated on a chunked domain
+    pool ([jobs] defaults to {!default_jobs}).  If any [f i] raises, the
     exception of the lowest-indexed failing chunk is re-raised after all
     domains have been joined (deterministic error propagation).  Raises
-    [Invalid_argument] on [n < 0] or [jobs < 1]. *)
-val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+    [Invalid_argument] on [n < 0] or [jobs < 1].
 
-(** [map ?jobs f a] — [Array.map] on the same pool. *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+    With [trace] attached, the static sharding decision is recorded as
+    {!Trace.Chunk} events (Debug level only — the layout is a pure function
+    of [(jobs, n)], so it varies with the job count by construction). *)
+val init : ?trace:Trace.t -> ?jobs:int -> int -> (int -> 'a) -> 'a array
+
+(** [map ?trace ?jobs f a] — [Array.map] on the same pool. *)
+val map : ?trace:Trace.t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array

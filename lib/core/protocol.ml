@@ -141,7 +141,50 @@ let fit_curve (options : options) xs =
       in
       (1, curve, gof, ad)
 
-let analyze ?(options = default_options) xs =
+(* Observability glue: translate the pipeline's verdicts into trace
+   events.  All no-ops when no trace is attached. *)
+let trace_emit trace event =
+  match trace with None -> () | Some t -> Trace.emit t event
+
+let trace_fit trace ~block_size ~curve ~gof ~ad =
+  match trace with
+  | None -> ()
+  | Some t ->
+      let tail, params =
+        match Evt.Pwcet.model curve with
+        | Evt.Pwcet.Gumbel_tail g ->
+            ( "gumbel",
+              [
+                ("mu", g.Stats.Distribution.Gumbel.mu);
+                ("beta", g.Stats.Distribution.Gumbel.beta);
+              ] )
+        | Evt.Pwcet.Gev_tail g ->
+            ( "gev",
+              [
+                ("mu", g.Stats.Distribution.Gev.mu);
+                ("sigma", g.Stats.Distribution.Gev.sigma);
+                ("xi", g.Stats.Distribution.Gev.xi);
+              ] )
+        | Evt.Pwcet.Pot_tail p ->
+            ( "pot",
+              [
+                ("threshold", p.Evt.Gpd_fit.Pot.threshold);
+                ("sigma", p.Evt.Gpd_fit.Pot.model.Stats.Distribution.Gpd.sigma);
+                ("xi", p.Evt.Gpd_fit.Pot.model.Stats.Distribution.Gpd.xi);
+                ("exceedance_rate", p.Evt.Gpd_fit.Pot.exceedance_rate);
+              ] )
+      in
+      Trace.emit t
+        (Trace.Evt_fit
+           {
+             tail;
+             block_size;
+             params;
+             gof_ks_p = gof.Stats.Ks.p_value;
+             gof_ad_stat = ad.Stats.Anderson_darling.statistic;
+           })
+
+let analyze ?(options = default_options) ?trace xs =
   let n = Array.length xs in
   if n < min_runs then Error (Not_enough_runs { have = n; need = min_runs })
   else
@@ -150,6 +193,7 @@ let analyze ?(options = default_options) xs =
     | None ->
   begin
     let iid = Iid.check ~alpha:options.alpha xs in
+    (match trace with None -> () | Some t -> Trace.emit t (Trace.iid_event iid));
     if options.gate_on_iid && not iid.Iid.accepted then Error (Iid_rejected iid)
     else begin
       let convergence =
@@ -159,12 +203,23 @@ let analyze ?(options = default_options) xs =
                ~tolerance:options.convergence_tolerance xs)
         else None
       in
+      (match convergence with
+      | Some c ->
+          trace_emit trace
+            (Trace.Convergence
+               {
+                 converged = c.Evt.Convergence.converged;
+                 runs_used = c.Evt.Convergence.runs_used;
+               })
+      | None -> ());
       match convergence with
       | Some c when not c.Evt.Convergence.converged -> Error (Not_converged c)
       | Some _ | None ->
           let block_size, curve, goodness_of_fit, goodness_of_fit_ad =
             fit_curve options xs
           in
+          trace_fit trace ~block_size ~curve ~gof:goodness_of_fit
+            ~ad:goodness_of_fit_ad;
           let tail_diagnostic =
             (* near-constant samples (a jitterless platform) have no
                excesses to diagnose; that is fine, not an error *)

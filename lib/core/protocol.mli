@@ -73,8 +73,12 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
-(** [analyze ?options xs] runs the protocol on a collected sample. *)
-val analyze : ?options:options -> float array -> (analysis, failure) Stdlib.result
+(** [analyze ?options ?trace xs] runs the protocol on a collected sample.
+    With [trace] attached, every intermediate verdict is also recorded as a
+    trace event ({!Trace.Iid_result}, {!Trace.Convergence}, {!Trace.Evt_fit})
+    — observation only, the returned analysis is unchanged. *)
+val analyze :
+  ?options:options -> ?trace:Trace.t -> float array -> (analysis, failure) Stdlib.result
 
 (** [collect_and_analyze ?options ~runs ~measure ()] drives the measurement
     protocol itself: performs [runs] measurements by calling [measure i]

@@ -48,7 +48,54 @@ let measure_run ~policy ~measure run_index =
   in
   attempts_loop 0 []
 
-let supervise ?jobs ~policy ~runs ~measure () =
+let outcome_kind = function
+  | Completed _ -> "completed"
+  | Timeout _ -> "timeout"
+  | Crashed _ -> "crashed"
+  | Corrupted _ -> "corrupted"
+
+let outcome_detail = function
+  | Completed _ -> ""
+  | Timeout { detail } | Crashed { detail } | Corrupted { detail } -> detail
+
+(* Per-run observability, emitted from the sequential accounting phase so
+   events appear in canonical run order at any job count. *)
+let trace_run trace ~run_index ~attempts ~time =
+  match trace with
+  | None -> ()
+  | Some t ->
+      let phase = Trace.current_phase t in
+      List.iter
+        (fun { attempt; outcome } ->
+          match outcome with
+          | Completed _ -> ()
+          | Timeout _ | Crashed _ | Corrupted _ ->
+              Trace.emit t
+                (Trace.Fault
+                   {
+                     phase;
+                     run_index;
+                     attempt;
+                     kind = outcome_kind outcome;
+                     detail = outcome_detail outcome;
+                   }))
+        attempts;
+      let final =
+        match attempts with
+        | [] -> "completed"
+        | _ -> outcome_kind (List.nth attempts (List.length attempts - 1)).outcome
+      in
+      Trace.emit t
+        (Trace.Run
+           {
+             phase;
+             run_index;
+             attempts = List.length attempts;
+             outcome = final;
+             latency = time;
+           })
+
+let supervise ?jobs ?trace ~policy ~runs ~measure () =
   if runs < 1 then Error (Invalid_policy "runs must be >= 1")
   else if policy.max_retries < 0 then Error (Invalid_policy "max_retries must be >= 0")
   else if not (policy.min_survival >= 0. && policy.min_survival <= 1.) then
@@ -56,7 +103,7 @@ let supervise ?jobs ~policy ~runs ~measure () =
   else begin
     (* Phase 1 — measurement, embarrassingly parallel: each run retries
        locally up to [max_retries] with no global coordination. *)
-    let outcomes = Parallel.init ?jobs runs (measure_run ~policy ~measure) in
+    let outcomes = Parallel.init ?trace ?jobs runs (measure_run ~policy ~measure) in
     (* Phase 2 — sequential replay of the campaign accounting, in run order.
        The campaign-wide retry budget is inherently sequential (whether run
        [i] may retry depends on retries spent by runs [< i]); replaying it
@@ -78,6 +125,7 @@ let supervise ?jobs ~policy ~runs ~measure () =
       | Some _ | None -> ()
     in
     let account run_index (attempts, time) =
+      trace_run trace ~run_index ~attempts ~time;
       (* every attempt beyond the first was preceded by one retry spend *)
       List.iter
         (fun { attempt; _ } ->

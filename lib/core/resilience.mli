@@ -60,9 +60,14 @@ type error =
   | Retry_budget_exhausted of { spent : int; limit : int; runs_completed : int }
   | Invalid_policy of string
 
-(** [supervise ?jobs ~policy ~runs ~measure] drives the whole campaign.
-    Rejects [runs < 1], [max_retries < 0] and [min_survival] outside
-    [[0, 1]] with [Invalid_policy] (a real guard, not an [assert]).
+(** [supervise ?jobs ?trace ~policy ~runs ~measure] drives the whole
+    campaign.  Rejects [runs < 1], [max_retries < 0] and [min_survival]
+    outside [[0, 1]] with [Invalid_policy] (a real guard, not an [assert]).
+
+    With [trace] attached, every run is recorded as a {!Trace.Run} event
+    and every failed attempt as a {!Trace.Fault} event, emitted from the
+    sequential accounting phase so the trace is in canonical run order
+    (and therefore bit-identical) at any job count.
 
     Runs execute on a chunked domain pool ({!Parallel}; [jobs] defaults to
     [Domain.recommended_domain_count ()]).  Provided [measure] obeys the
@@ -77,6 +82,7 @@ type error =
     a different answer). *)
 val supervise :
   ?jobs:int ->
+  ?trace:Trace.t ->
   policy:policy ->
   runs:int ->
   measure:(run_index:int -> attempt:int -> outcome) ->

@@ -1,0 +1,157 @@
+(** Structured observability for measurement campaigns.
+
+    The evidential chain of the paper — 3,000-run campaign, i.i.d. checks,
+    EVT pWCET fit — runs end-to-end; this module makes it inspectable
+    without changing a bit of it.  A trace is an append-only JSONL file of
+    typed events (campaign lifecycle, per-run samples, retry/fault
+    activity, domain-pool chunk scheduling, i.i.d. verdicts, EVT fit
+    diagnostics) plus a registry of monotonic counters rolled up across
+    runs (cache/TLB/bus/DRAM activity from {!Repro_platform.Metrics},
+    aggregated by the harness).
+
+    {b Determinism contract.}  Tracing is observational only: with a trace
+    attached, campaign results are bit-identical to an untraced campaign,
+    and — at the default {!Runs} level — the trace {e file} itself is
+    bit-identical at every [--jobs] count.  That holds because every event
+    is emitted from the coordinating domain {e after} the parallel phase
+    completed, in canonical (run-index) order over PR 2's deterministic
+    static sharding; the buffered events are additionally sorted on flush
+    as a safety net.  The {!Debug} level adds events that legitimately
+    depend on the execution configuration (chunk scheduling, wall-clock
+    phase durations) and therefore varies across job counts — by design.
+
+    When no trace is attached ([?trace] left out), every hook is a single
+    [match] on [None]: zero allocation, zero I/O, bit-identical results. *)
+
+(** Verbosity levels, ordered.  {!Summary}: campaign/phase lifecycle,
+    i.i.d. and fit diagnostics, counters.  {!Runs} (default): adds one
+    event per run plus retry/fault events.  {!Debug}: adds domain-pool
+    chunk scheduling and wall-clock phase durations — the only events
+    whose content is {e not} invariant across [--jobs]. *)
+type level = Summary | Runs | Debug
+
+val level_of_string : string -> (level, string) result
+val level_to_string : level -> string
+
+(** Trace event schema, version [trace/v1] (see DESIGN.md section 9).
+    Every event serializes to one JSON object per line; [of_line] inverts
+    [to_line] (numeric fields round-trip exactly). *)
+type event =
+  | Meta of { schema : string; level : string }
+      (** first line of every trace file *)
+  | Config of (string * string) list
+      (** harness-provided key/value context: seed, tail model, ... *)
+  | Campaign_start of { runs : int; resilient : bool }
+  | Campaign_end of { ok : bool; failure : string option }
+  | Phase_start of { phase : string }
+  | Phase_end of { phase : string; wall_ns : int option }
+      (** [wall_ns] only at {!Debug} (wall time is not deterministic) *)
+  | Run of {
+      phase : string;
+      run_index : int;
+      attempts : int;  (** 1 on the fault-free path *)
+      outcome : string;  (** final outcome: completed/timeout/crashed/corrupted *)
+      latency : float option;  (** measured cycles; [None] when quarantined *)
+    }
+  | Fault of { phase : string; run_index : int; attempt : int; kind : string; detail : string }
+      (** one per non-completed attempt (SEU-induced timeout/crash/corruption) *)
+  | Chunk of { phase : string; chunk_index : int; lo : int; len : int }
+      (** static sharding decision of the domain pool ({!Debug} only) *)
+  | Iid_result of {
+      lb_stat : float;
+      lb_p : float;
+      ks_stat : float;
+      ks_p : float;
+      accepted : bool;
+    }
+  | Convergence of { converged : bool; runs_used : int }
+  | Evt_fit of {
+      tail : string;
+      block_size : int;
+      params : (string * float) list;
+      gof_ks_p : float;
+      gof_ad_stat : float;
+    }
+  | Counter of { name : string; value : int }
+      (** rolled-up counter totals, one per registered name, appended on
+          flush in name order *)
+  | Note of string
+
+(** Aggregated counters registry: named monotonic totals, safe to bump
+    from any domain (additions commute, so totals are deterministic at any
+    job count). *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> int -> unit
+  val incr : t -> string -> unit
+
+  (** Totals sorted by name. *)
+  val snapshot : t -> (string * int) list
+end
+
+type t
+
+(** [create ?level ~path ()] opens a trace that will be written to [path]
+    (appending if the file exists) on {!close}/{!flush}.  [level] defaults
+    to {!Runs}. *)
+val create : ?level:level -> path:string -> unit -> t
+
+val level : t -> level
+val counters : t -> Counters.t
+
+(** [enabled t lvl] — would an event of level [lvl] be recorded? *)
+val enabled : t -> level -> bool
+
+(** [emit t event] buffers [event] if the trace level admits it.  Callers
+    on the coordinating domain only; worker domains communicate through
+    {!Counters}. *)
+val emit : t -> event -> unit
+
+(** [phase_start t name] / [phase_end t name] bracket a pipeline phase;
+    [phase_end] stamps the wall-clock duration at {!Debug} level. *)
+val phase_start : t -> string -> unit
+
+val phase_end : t -> string -> unit
+
+(** Phase recorded by the innermost open {!phase_start} (["" ] outside any
+    phase) — used by layers that emit events without knowing which phase
+    the campaign put them in ({!Parallel}, {!Resilience}). *)
+val current_phase : t -> string
+
+(** [emit_sample t ~phase xs] — one {!Run} event per observation of a
+    fault-free collected sample, in run order. *)
+val emit_sample : t -> phase:string -> float array -> unit
+
+(** Build an {!Iid_result} event from an i.i.d. battery verdict. *)
+val iid_event : Iid.result -> event
+
+(** [flush t] sorts the buffered events canonically (emission sequence —
+    already canonical, see the determinism contract above), appends one
+    {!Counter} event per registered counter, and writes everything to the
+    file.  [close] is [flush]; traces hold no file descriptor between
+    flushes. *)
+val flush : t -> unit
+
+val close : t -> unit
+
+(** {2 Serialization} *)
+
+(** [to_line e] — the JSONL line for [e] (no trailing newline). *)
+val to_line : event -> string
+
+(** [of_line s] parses one JSONL line back into an event. *)
+val of_line : string -> (event, string) result
+
+(** [read_file path] parses a whole trace file, failing on the first
+    malformed line. *)
+val read_file : string -> (event list, string) result
+
+(** {2 Digest}
+
+    [summarize events] renders the human-readable digest behind
+    [mbpta_cli trace summary]: per-phase run counts, simulated-cycle
+    totals and wall time (when traced at {!Debug}), fault/retry
+    histograms, i.i.d. and fit verdicts, counter totals. *)
+val summarize : event list -> string

@@ -1,6 +1,7 @@
 let acf xs ~lag =
   let n = Array.length xs in
-  assert (lag >= 1 && lag < n);
+  if not (lag >= 1 && lag < n) then
+    invalid_arg "Autocorrelation.acf: lag must satisfy 1 <= lag < n";
   let mean = Descriptive.mean xs in
   let c0 = ref 0. and ck = ref 0. in
   for i = 0 to n - 1 do

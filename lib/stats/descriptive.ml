@@ -1,28 +1,44 @@
+(* Input guards are real [Invalid_argument] raises, never [assert]: these
+   kernels gate the paper's whole evidential chain, and an assert silently
+   vanishes under [-noassert] — exactly the release configuration a flight
+   build would use. *)
+let require_nonempty fn xs =
+  if Array.length xs = 0 then invalid_arg (fn ^ ": empty sample")
+
 let mean xs =
-  assert (Array.length xs > 0);
+  require_nonempty "Descriptive.mean" xs;
   Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
 
-let centered_moment xs k =
-  let m = mean xs in
+(* k-th central moment about a precomputed mean — shared by the public
+   [centered_moment] and by [summarize], which computes the mean once. *)
+let centered_moment_about m xs k =
   Array.fold_left (fun acc x -> acc +. ((x -. m) ** float_of_int k)) 0. xs
   /. float_of_int (Array.length xs)
 
+let centered_moment xs k =
+  require_nonempty "Descriptive.centered_moment" xs;
+  centered_moment_about (mean xs) xs k
+
 let variance xs = centered_moment xs 2
+
+let sample_variance_about m xs =
+  let n = Array.length xs in
+  centered_moment_about m xs 2 *. float_of_int n /. float_of_int (n - 1)
 
 let sample_variance xs =
   let n = Array.length xs in
-  assert (n >= 2);
-  variance xs *. float_of_int n /. float_of_int (n - 1)
+  if n < 2 then invalid_arg "Descriptive.sample_variance: need at least 2 observations";
+  sample_variance_about (mean xs) xs
 
 let std xs = sqrt (variance xs)
 let sample_std xs = sqrt (sample_variance xs)
 
 let min xs =
-  assert (Array.length xs > 0);
+  require_nonempty "Descriptive.min" xs;
   Array.fold_left Float.min xs.(0) xs
 
 let max xs =
-  assert (Array.length xs > 0);
+  require_nonempty "Descriptive.max" xs;
   Array.fold_left Float.max xs.(0) xs
 
 let coefficient_of_variation xs = sample_std xs /. mean xs
@@ -35,10 +51,9 @@ let kurtosis_excess xs =
   let m2 = centered_moment xs 2 and m4 = centered_moment xs 4 in
   (m4 /. (m2 *. m2)) -. 3.
 
-let quantile xs p =
-  assert (Array.length xs > 0 && p >= 0. && p <= 1.);
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
+(* Type-7 quantile over an already-sorted array; the public [quantile]
+   sorts a private copy, [summarize] reuses one shared sorted copy. *)
+let quantile_of_sorted sorted p =
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin
@@ -48,6 +63,15 @@ let quantile xs p =
     let frac = h -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end
+
+let quantile xs p =
+  require_nonempty "Descriptive.quantile" xs;
+  if not (p >= 0. && p <= 1.) then invalid_arg "Descriptive.quantile: p outside [0, 1]";
+  let sorted = Array.copy xs in
+  (* Float.compare, not polymorphic compare: a total order on floats that
+     never boxes and sorts any stray NaN deterministically. *)
+  Array.sort Float.compare sorted;
+  quantile_of_sorted sorted p
 
 let median xs = quantile xs 0.5
 
@@ -63,19 +87,27 @@ type summary = {
   cv : float;
 }
 
+(* One sort and one mean for the whole record (the old implementation
+   sorted three times for median/q1/q3 and recomputed the mean twice via
+   [sample_std]/[coefficient_of_variation]); every field is bit-identical
+   to the multi-pass version, which test_stats.ml pins. *)
 let summarize xs =
   let n = Array.length xs in
-  assert (n > 0);
+  require_nonempty "Descriptive.summarize" xs;
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let mean = mean xs in
+  let std = if n >= 2 then sqrt (sample_variance_about mean xs) else 0. in
   {
     n;
-    mean = mean xs;
-    std = (if n >= 2 then sample_std xs else 0.);
-    minimum = min xs;
-    maximum = max xs;
-    median = median xs;
-    q1 = quantile xs 0.25;
-    q3 = quantile xs 0.75;
-    cv = (if n >= 2 && mean xs <> 0. then coefficient_of_variation xs else 0.);
+    mean;
+    std;
+    minimum = sorted.(0);
+    maximum = sorted.(n - 1);
+    median = quantile_of_sorted sorted 0.5;
+    q1 = quantile_of_sorted sorted 0.25;
+    q3 = quantile_of_sorted sorted 0.75;
+    cv = (if n >= 2 && mean <> 0. then std /. mean else 0.);
   }
 
 let pp_summary ppf s =

@@ -1,7 +1,8 @@
 (** Descriptive statistics over float arrays.
 
-    All functions expect non-empty input (asserted); [sample_variance]
-    additionally needs at least two observations. *)
+    All functions raise [Invalid_argument] on empty input — a real guard
+    that survives [-noassert] builds; [sample_variance] additionally
+    needs at least two observations. *)
 
 val mean : float array -> float
 
@@ -32,7 +33,7 @@ val quantile : float array -> float -> float
 
 val median : float array -> float
 
-(** Everything at once, computed in two passes. *)
+(** Everything at once, from a single sorted copy and a single mean. *)
 type summary = {
   n : int;
   mean : float;

@@ -4,7 +4,7 @@ module Uniform = struct
   type t = { lo : float; hi : float }
 
   let create ~lo ~hi =
-    assert (hi > lo);
+    if not (hi > lo) then invalid_arg "Distribution.Uniform.create: need hi > lo";
     { lo; hi }
 
   let pdf t x = if x < t.lo || x > t.hi then 0. else 1. /. (t.hi -. t.lo)
@@ -13,7 +13,8 @@ module Uniform = struct
     if x <= t.lo then 0. else if x >= t.hi then 1. else (x -. t.lo) /. (t.hi -. t.lo)
 
   let quantile t p =
-    assert (p >= 0. && p <= 1.);
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg "Distribution.Uniform.quantile: p outside [0, 1]";
     t.lo +. (p *. (t.hi -. t.lo))
 
   let sample t prng = quantile t (Prng.float prng)
@@ -23,7 +24,7 @@ module Normal = struct
   type t = { mu : float; sigma : float }
 
   let create ~mu ~sigma =
-    assert (sigma > 0.);
+    if not (sigma > 0.) then invalid_arg "Distribution.Normal.create: need sigma > 0";
     { mu; sigma }
 
   let standard = { mu = 0.; sigma = 1. }
@@ -41,14 +42,15 @@ module Exponential = struct
   type t = { rate : float }
 
   let create ~rate =
-    assert (rate > 0.);
+    if not (rate > 0.) then invalid_arg "Distribution.Exponential.create: need rate > 0";
     { rate }
 
   let pdf t x = if x < 0. then 0. else t.rate *. exp (-.t.rate *. x)
   let cdf t x = if x < 0. then 0. else -.Float.expm1 (-.t.rate *. x)
 
   let quantile t p =
-    assert (p >= 0. && p < 1.);
+    if not (p >= 0. && p < 1.) then
+      invalid_arg "Distribution.Exponential.quantile: p outside [0, 1)";
     -.Float.log1p (-.p) /. t.rate
 
   let sample t prng = Prng.exponential prng /. t.rate
@@ -59,7 +61,7 @@ module Chi_square = struct
   type t = { df : int }
 
   let create ~df =
-    assert (df >= 1);
+    if df < 1 then invalid_arg "Distribution.Chi_square.create: need df >= 1";
     { df }
 
   let cdf t x = Special.chi_square_cdf ~df:t.df x
@@ -70,7 +72,7 @@ module Gumbel = struct
   type t = { mu : float; beta : float }
 
   let create ~mu ~beta =
-    assert (beta > 0.);
+    if not (beta > 0.) then invalid_arg "Distribution.Gumbel.create: need beta > 0";
     { mu; beta }
 
   let z t x = (x -. t.mu) /. t.beta
@@ -84,12 +86,14 @@ module Gumbel = struct
   let survival t x = -.Float.expm1 (-.exp (-.z t x))
 
   let quantile t p =
-    assert (p > 0. && p < 1.);
+    if not (p > 0. && p < 1.) then
+      invalid_arg "Distribution.Gumbel.quantile: p outside (0, 1)";
     t.mu -. (t.beta *. log (-.log p))
 
   (* For p_exc small, -log(1-p_exc) ~ p_exc; use log1p for accuracy. *)
   let quantile_of_exceedance t p_exc =
-    assert (p_exc > 0. && p_exc < 1.);
+    if not (p_exc > 0. && p_exc < 1.) then
+      invalid_arg "Distribution.Gumbel.quantile_of_exceedance: p outside (0, 1)";
     t.mu -. (t.beta *. log (-.Float.log1p (-.p_exc)))
 
   let sample t prng = quantile t (Prng.float_pos prng)
@@ -114,7 +118,7 @@ module Gev = struct
   let xi_epsilon = 1e-9
 
   let create ~mu ~sigma ~xi =
-    assert (sigma > 0.);
+    if not (sigma > 0.) then invalid_arg "Distribution.Gev.create: need sigma > 0";
     { mu; sigma; xi }
 
   let as_gumbel t = { Gumbel.mu = t.mu; beta = t.sigma }
@@ -150,12 +154,14 @@ module Gev = struct
     end
 
   let quantile t p =
-    assert (p > 0. && p < 1.);
+    if not (p > 0. && p < 1.) then
+      invalid_arg "Distribution.Gev.quantile: p outside (0, 1)";
     if Float.abs t.xi < xi_epsilon then Gumbel.quantile (as_gumbel t) p
     else t.mu +. (t.sigma *. (((-.log p) ** -.t.xi) -. 1.) /. t.xi)
 
   let quantile_of_exceedance t p_exc =
-    assert (p_exc > 0. && p_exc < 1.);
+    if not (p_exc > 0. && p_exc < 1.) then
+      invalid_arg "Distribution.Gev.quantile_of_exceedance: p outside (0, 1)";
     if Float.abs t.xi < xi_epsilon then Gumbel.quantile_of_exceedance (as_gumbel t) p_exc
     else begin
       let neg_log_p = -.Float.log1p (-.p_exc) in
@@ -189,7 +195,7 @@ module Gpd = struct
   let xi_epsilon = 1e-9
 
   let create ~u ~sigma ~xi =
-    assert (sigma > 0.);
+    if not (sigma > 0.) then invalid_arg "Distribution.Gpd.create: need sigma > 0";
     { u; sigma; xi }
 
   let pdf t x =
@@ -214,7 +220,8 @@ module Gpd = struct
   let survival t x = 1. -. cdf t x
 
   let quantile t p =
-    assert (p >= 0. && p < 1.);
+    if not (p >= 0. && p < 1.) then
+      invalid_arg "Distribution.Gpd.quantile: p outside [0, 1)";
     if Float.abs t.xi < xi_epsilon then t.u -. (t.sigma *. Float.log1p (-.p))
     else t.u +. (t.sigma *. (((1. -. p) ** -.t.xi) -. 1.) /. t.xi)
 
@@ -232,7 +239,8 @@ module Weibull = struct
   type t = { scale : float; shape : float }
 
   let create ~scale ~shape =
-    assert (scale > 0. && shape > 0.);
+    if not (scale > 0. && shape > 0.) then
+      invalid_arg "Distribution.Weibull.create: need scale > 0 and shape > 0";
     { scale; shape }
 
   let pdf t x =
@@ -245,7 +253,8 @@ module Weibull = struct
   let cdf t x = if x < 0. then 0. else -.Float.expm1 (-.((x /. t.scale) ** t.shape))
 
   let quantile t p =
-    assert (p >= 0. && p < 1.);
+    if not (p >= 0. && p < 1.) then
+      invalid_arg "Distribution.Weibull.quantile: p outside [0, 1)";
     t.scale *. ((-.Float.log1p (-.p)) ** (1. /. t.shape))
 
   let sample t prng = quantile t (Prng.float prng)

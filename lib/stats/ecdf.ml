@@ -1,9 +1,9 @@
 type t = { xs : float array }
 
 let of_sample xs =
-  assert (Array.length xs > 0);
+  if Array.length xs = 0 then invalid_arg "Ecdf.of_sample: empty sample";
   let copy = Array.copy xs in
-  Array.sort compare copy;
+  Array.sort Float.compare copy;
   { xs = copy }
 
 let size t = Array.length t.xs
@@ -27,7 +27,7 @@ let cdf t x = float_of_int (count_le t x) /. float_of_int (size t)
 let ccdf t x = 1. -. cdf t x
 
 let quantile t p =
-  assert (p >= 0. && p <= 1.);
+  if not (p >= 0. && p <= 1.) then invalid_arg "Ecdf.quantile: p outside [0, 1]";
   let n = size t in
   if n = 1 then t.xs.(0)
   else begin

@@ -1,7 +1,8 @@
 type t = { lo : float; hi : float; counts : int array; total : int }
 
 let create ~bins xs =
-  assert (bins >= 1 && Array.length xs > 0);
+  if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
+  if Array.length xs = 0 then invalid_arg "Histogram.create: empty sample";
   let lo = Descriptive.min xs and hi = Descriptive.max xs in
   let counts = Array.make bins 0 in
   let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in

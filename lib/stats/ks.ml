@@ -8,10 +8,14 @@ let p_value_of_d ~n_effective d =
 
 let two_sample ?(alpha = 0.05) xs ys =
   let n = Array.length xs and m = Array.length ys in
-  assert (n > 0 && m > 0);
+  (* Real guards, not asserts: these feed the i.i.d. gate of the whole
+     analysis and must survive a [-noassert] release build. *)
+  if n = 0 || m = 0 then invalid_arg "Ks.two_sample: empty sample";
   let sx = Array.copy xs and sy = Array.copy ys in
-  Array.sort compare sx;
-  Array.sort compare sy;
+  (* Float.compare: total order, no polymorphic-compare boxing, and any
+     stray NaN sorts deterministically instead of corrupting the walk. *)
+  Array.sort Float.compare sx;
+  Array.sort Float.compare sy;
   (* Merge-walk both sorted samples tracking the CDF gap. *)
   let rec walk i j d =
     if i >= n && j >= m then d
@@ -37,9 +41,9 @@ let two_sample ?(alpha = 0.05) xs ys =
 
 let one_sample ?(alpha = 0.05) xs ~cdf =
   let n = Array.length xs in
-  assert (n > 0);
+  if n = 0 then invalid_arg "Ks.one_sample: empty sample";
   let sx = Array.copy xs in
-  Array.sort compare sx;
+  Array.sort Float.compare sx;
   let nf = float_of_int n in
   let d = ref 0. in
   for i = 0 to n - 1 do

@@ -13,10 +13,14 @@ type result = {
 }
 
 (** [two_sample ?alpha xs ys] with the asymptotic Kolmogorov p-value using
-    the effective size n_e = n m / (n + m). *)
+    the effective size n_e = n m / (n + m).
+
+    @raise Invalid_argument if either sample is empty. *)
 val two_sample : ?alpha:float -> float array -> float array -> result
 
-(** [one_sample ?alpha xs ~cdf] tests [xs] against a continuous model CDF. *)
+(** [one_sample ?alpha xs ~cdf] tests [xs] against a continuous model CDF.
+
+    @raise Invalid_argument if [xs] is empty. *)
 val one_sample : ?alpha:float -> float array -> cdf:(float -> float) -> result
 
 (** [split_halves xs] returns the even- and odd-indexed subsamples, the

@@ -2,11 +2,15 @@ type result = { statistic : float; lags : int; p_value : float; independent : bo
 
 let test ?(alpha = 0.05) ?lags xs =
   let n = Array.length xs in
-  assert (n >= 10);
+  (* A real guard, not an assert: under [-noassert] an assert vanishes and
+     an n < 10 sample would come back with a garbage p-value — the exact
+     silent-degradation mode a release (flight) build must not have. *)
+  if n < 10 then invalid_arg "Ljung_box.test: need at least 10 observations";
   let lags =
     match lags with
     | Some h ->
-        assert (h >= 1 && h < n);
+        if not (h >= 1 && h < n) then
+          invalid_arg "Ljung_box.test: lags must satisfy 1 <= lags < n";
         h
     | None -> Stdlib.min 20 (Stdlib.max 1 (n / 5))
   in

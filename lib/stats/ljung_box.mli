@@ -9,7 +9,10 @@
 type result = { statistic : float; lags : int; p_value : float; independent : bool }
 
 (** [test ?alpha ?lags xs] — [alpha] defaults to 0.05 (the paper's level) and
-    [lags] to [min 20 (n/5)], a common rule of thumb. *)
+    [lags] to [min 20 (n/5)], a common rule of thumb.
+
+    @raise Invalid_argument if [xs] has fewer than 10 observations or
+    [lags] is outside [[1, n)]; the guard survives [-noassert] builds. *)
 val test : ?alpha:float -> ?lags:int -> float array -> result
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,7 +1,7 @@
 let golden_ratio = (sqrt 5. -. 1.) /. 2.
 
 let golden_section ~f ~lo ~hi ?(tol = 1e-9) () =
-  assert (hi > lo);
+  if not (hi > lo) then invalid_arg "Optimize.golden_section: need hi > lo";
   let rec go a b c fc d fd =
     (* invariant: c < d, both inside [a, b] at golden sections *)
     if b -. a < tol then (a +. b) /. 2.
@@ -24,7 +24,7 @@ let golden_section ~f ~lo ~hi ?(tol = 1e-9) () =
 
 let nelder_mead ~f ~start ?(step = 0.1) ?(tol = 1e-10) ?(max_iter = 5000) () =
   let n = Array.length start in
-  assert (n >= 1);
+  if n < 1 then invalid_arg "Optimize.nelder_mead: empty start vector";
   (* Initial simplex: start plus one perturbed vertex per dimension. *)
   let simplex =
     Array.init (n + 1) (fun i ->
@@ -106,7 +106,8 @@ let nelder_mead ~f ~start ?(step = 0.1) ?(tol = 1e-10) ?(max_iter = 5000) () =
 
 let linear_fit xs ys =
   let n = Array.length xs in
-  assert (n = Array.length ys && n >= 2);
+  if n <> Array.length ys || n < 2 then
+    invalid_arg "Optimize.linear_fit: need two equal-length samples of size >= 2";
   let nf = float_of_int n in
   let sx = Array.fold_left ( +. ) 0. xs and sy = Array.fold_left ( +. ) 0. ys in
   let mx = sx /. nf and my = sy /. nf in
@@ -117,7 +118,7 @@ let linear_fit xs ys =
     sxy := !sxy +. (dx *. dy);
     syy := !syy +. (dy *. dy)
   done;
-  assert (!sxx > 0.);
+  if not (!sxx > 0.) then invalid_arg "Optimize.linear_fit: degenerate xs (zero variance)";
   let slope = !sxy /. !sxx in
   let intercept = my -. (slope *. mx) in
   let r2 = if !syy = 0. then 1. else !sxy *. !sxy /. (!sxx *. !syy) in

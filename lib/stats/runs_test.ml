@@ -2,7 +2,7 @@ type result = { runs : int; expected : float; z : float; p_value : float; random
 
 let test ?(alpha = 0.05) xs =
   let n = Array.length xs in
-  assert (n >= 20);
+  if n < 20 then invalid_arg "Runs_test.test: need at least 20 observations";
   let med = Descriptive.median xs in
   (* Observations equal to the median are dropped, the usual convention. *)
   let signs =

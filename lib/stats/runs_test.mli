@@ -4,5 +4,7 @@
 
 type result = { runs : int; expected : float; z : float; p_value : float; random : bool }
 
+(** @raise Invalid_argument if the series has fewer than 20 observations
+    (the normal approximation is unusable below that). *)
 val test : ?alpha:float -> float array -> result
 val pp_result : Format.formatter -> result -> unit

@@ -12,8 +12,11 @@ let lanczos =
     1.5056327351493116e-7;
   |]
 
+(* Guards below raise [Invalid_argument] instead of asserting: every
+   p-value in the i.i.d. battery funnels through these kernels, and the
+   guards must hold in a [-noassert] release build too. *)
 let rec log_gamma x =
-  assert (x > 0.);
+  if not (x > 0.) then invalid_arg "Special.log_gamma: x must be > 0";
   if x < 0.5 then
     (* Reflection formula keeps accuracy near 0. *)
     log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
@@ -67,13 +70,13 @@ let gamma_q_cf ~a ~x =
   !h *. exp ((-.x) +. (a *. log x) -. log_gamma a)
 
 let gamma_p ~a ~x =
-  assert (a > 0. && x >= 0.);
+  if not (a > 0. && x >= 0.) then invalid_arg "Special.gamma_p: need a > 0 and x >= 0";
   if x = 0. then 0.
   else if x < a +. 1. then gamma_p_series ~a ~x
   else 1. -. gamma_q_cf ~a ~x
 
 let gamma_q ~a ~x =
-  assert (a > 0. && x >= 0.);
+  if not (a > 0. && x >= 0.) then invalid_arg "Special.gamma_q: need a > 0 and x >= 0";
   if x = 0. then 1.
   else if x < a +. 1. then 1. -. gamma_p_series ~a ~x
   else gamma_q_cf ~a ~x
@@ -88,7 +91,7 @@ let normal_cdf z = 0.5 *. erfc (-.z /. sqrt 2.)
 
 (* Acklam's inverse normal CDF approximation + one Halley refinement. *)
 let normal_quantile p =
-  assert (p > 0. && p < 1.);
+  if not (p > 0. && p < 1.) then invalid_arg "Special.normal_quantile: p outside (0, 1)";
   let a =
     [| -39.6968302866538; 220.946098424521; -275.928510446969; 138.357751867269;
        -30.6647980661472; 2.50662827745924 |]
@@ -132,7 +135,7 @@ let normal_quantile p =
   x -. (u /. (1. +. (x *. u /. 2.)))
 
 let chi_square_survival ~df x =
-  assert (df >= 1);
+  if df < 1 then invalid_arg "Special.chi_square_survival: df must be >= 1";
   if x <= 0. then 1. else gamma_q ~a:(float_of_int df /. 2.) ~x:(x /. 2.)
 
 let chi_square_cdf ~df x = 1. -. chi_square_survival ~df x

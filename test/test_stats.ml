@@ -499,6 +499,187 @@ let test_linear_fit_recovers () =
   close ~tol:1e-9 "slope" 1.5 slope;
   close ~tol:1e-9 "r2" 1. r2
 
+(* ------------------------------------------------------------------ *)
+(* Golden values: frozen outputs of the i.i.d. test statistics on fixed
+   vectors.  These pin the numerics across refactors (the PR 3 guard and
+   sorting sweep must not move a single bit of any verdict). *)
+
+let lb_vec =
+  [|
+    12.0; 15.3; 11.8; 14.2; 13.7; 12.9; 16.1; 11.5; 13.3; 14.8;
+    12.4; 15.9; 13.1; 12.7; 14.5; 11.9; 15.2; 13.8; 12.2; 14.0;
+    13.5; 12.8; 15.6; 11.7; 13.9; 14.3; 12.5; 15.0; 13.2; 12.6;
+  |]
+
+let ks_a = [| 1.2; 3.4; 2.2; 5.1; 4.4; 0.7; 3.9; 2.8; 1.6; 4.9 |]
+let ks_b = [| 2.1; 3.3; 6.0; 4.1; 5.5; 1.9; 4.7; 3.0; 2.5; 5.9 |]
+
+let test_ljung_box_golden () =
+  let r = S.Ljung_box.test lb_vec in
+  Alcotest.(check int) "lags" 6 r.S.Ljung_box.lags;
+  close ~tol:1e-9 "Q" 50.472344381939351 r.S.Ljung_box.statistic;
+  close ~tol:1e-12 "p" 3.7798198192164671e-09 r.S.Ljung_box.p_value;
+  checkb "rejected" false r.S.Ljung_box.independent;
+  (* Strong even/odd alternation: much larger Q, even smaller p. *)
+  let trend = Array.init 30 (fun i -> float_of_int i +. if i mod 2 = 0 then 0.5 else 0.) in
+  let t = S.Ljung_box.test trend in
+  close ~tol:1e-9 "Q trend" 96.759959838287244 t.S.Ljung_box.statistic;
+  checkb "trend rejected" false t.S.Ljung_box.independent
+
+let test_ljung_box_constant () =
+  (* Constant series: every autocorrelation is defined as 0, so Q = 0 and
+     independence trivially stands. *)
+  let r = S.Ljung_box.test (Array.make 12 7.5) in
+  close "Q constant" 0. r.S.Ljung_box.statistic;
+  close "p constant" 1. r.S.Ljung_box.p_value;
+  checkb "constant accepted" true r.S.Ljung_box.independent
+
+let test_ks_two_sample_golden () =
+  let r = S.Ks.two_sample ks_a ks_b in
+  (* D is pure rank arithmetic — pinned exactly. *)
+  close ~tol:0. "D" 0.30000000000000004 r.S.Ks.statistic;
+  close ~tol:1e-9 "p" 0.67507815371659508 r.S.Ks.p_value;
+  checkb "same distribution" true r.S.Ks.same_distribution
+
+let test_ks_ties_and_constant () =
+  (* Tie-heavy samples exercise the <= / < boundary of the ECDF walk. *)
+  let tie_a = [| 1.; 1.; 1.; 2.; 2.; 3.; 3.; 3.; 3.; 4. |] in
+  let tie_b = [| 1.; 2.; 2.; 2.; 3.; 3.; 4.; 4.; 4.; 4. |] in
+  let r = S.Ks.two_sample tie_a tie_b in
+  close ~tol:0. "D ties" 0.30000000000000004 r.S.Ks.statistic;
+  close ~tol:1e-9 "p ties" 0.67507815371659508 r.S.Ks.p_value;
+  (* Identical constant samples: D = 0, p = 1 (not NaN, not a crash). *)
+  let c = S.Ks.two_sample (Array.make 10 3.) (Array.make 10 3.) in
+  close "D constant" 0. c.S.Ks.statistic;
+  close "p constant" 1. c.S.Ks.p_value;
+  checkb "constant same" true c.S.Ks.same_distribution
+
+let test_ks_one_sample_golden () =
+  let r = S.Ks.one_sample ks_a ~cdf:(fun x -> 1. -. exp (-.x /. 3.)) in
+  close ~tol:1e-12 "D" 0.22967995396436067 r.S.Ks.statistic;
+  close ~tol:1e-9 "p" 0.60723690569178634 r.S.Ks.p_value
+
+(* ------------------------------------------------------------------ *)
+(* Input guards: every kernel must reject malformed input by raising
+   [Invalid_argument] — even under -noassert, which the dedicated CI job
+   compiles with (an [assert] would silently vanish there). *)
+
+let expect_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument _ -> ()
+
+let test_guards_survive_noassert () =
+  expect_invalid "ljung-box n<10" (fun () -> S.Ljung_box.test (Array.make 9 1.));
+  expect_invalid "ljung-box lags" (fun () -> S.Ljung_box.test ~lags:30 (Array.make 30 1.));
+  expect_invalid "ks two empty" (fun () -> S.Ks.two_sample [||] ks_b);
+  expect_invalid "ks one empty" (fun () -> S.Ks.one_sample [||] ~cdf:(fun _ -> 0.5));
+  expect_invalid "runs n<20" (fun () -> S.Runs_test.test (Array.make 19 1.));
+  expect_invalid "mean empty" (fun () -> S.Descriptive.mean [||]);
+  expect_invalid "summarize empty" (fun () -> S.Descriptive.summarize [||]);
+  expect_invalid "sample_variance n<2" (fun () -> S.Descriptive.sample_variance [| 1. |]);
+  expect_invalid "quantile p" (fun () -> S.Descriptive.quantile [| 1.; 2. |] 1.5);
+  expect_invalid "ecdf empty" (fun () -> S.Ecdf.of_sample [||]);
+  expect_invalid "ecdf quantile p" (fun () ->
+      S.Ecdf.quantile (S.Ecdf.of_sample [| 1.; 2. |]) (-0.1));
+  expect_invalid "histogram bins" (fun () -> S.Histogram.create ~bins:0 [| 1. |]);
+  expect_invalid "histogram empty" (fun () -> S.Histogram.create ~bins:4 [||]);
+  expect_invalid "acf lag" (fun () -> S.Autocorrelation.acf [| 1.; 2.; 3. |] ~lag:3);
+  expect_invalid "log_gamma 0" (fun () -> S.Special.log_gamma 0.);
+  expect_invalid "gamma_p a=0" (fun () -> S.Special.gamma_p ~a:0. ~x:1.);
+  expect_invalid "gamma_q x<0" (fun () -> S.Special.gamma_q ~a:1. ~x:(-1.));
+  expect_invalid "normal_quantile 0" (fun () -> S.Special.normal_quantile 0.);
+  expect_invalid "chi2 df=0" (fun () -> S.Special.chi_square_survival ~df:0 1.);
+  expect_invalid "golden_section" (fun () ->
+      S.Optimize.golden_section ~f:(fun x -> x) ~lo:1. ~hi:0. ());
+  expect_invalid "nelder_mead empty" (fun () ->
+      S.Optimize.nelder_mead ~f:(fun _ -> 0.) ~start:[||] ());
+  expect_invalid "linear_fit lengths" (fun () -> S.Optimize.linear_fit [| 1.; 2. |] [| 1. |]);
+  expect_invalid "uniform create" (fun () -> S.Distribution.Uniform.create ~lo:1. ~hi:0.);
+  expect_invalid "normal sigma" (fun () -> S.Distribution.Normal.create ~mu:0. ~sigma:0.);
+  expect_invalid "exponential rate" (fun () -> S.Distribution.Exponential.create ~rate:0.);
+  expect_invalid "chi_square df" (fun () -> S.Distribution.Chi_square.create ~df:0);
+  expect_invalid "gumbel beta" (fun () -> S.Distribution.Gumbel.create ~mu:0. ~beta:0.);
+  expect_invalid "gumbel quantile" (fun () ->
+      S.Distribution.Gumbel.quantile (S.Distribution.Gumbel.create ~mu:0. ~beta:1.) 1.);
+  expect_invalid "gev sigma" (fun () ->
+      S.Distribution.Gev.create ~mu:0. ~sigma:0. ~xi:0.1);
+  expect_invalid "gpd sigma" (fun () -> S.Distribution.Gpd.create ~u:0. ~sigma:0. ~xi:0.1);
+  expect_invalid "weibull scale" (fun () ->
+      S.Distribution.Weibull.create ~scale:0. ~shape:1.)
+
+(* ------------------------------------------------------------------ *)
+(* [summarize] bit-identity: the single-sort single-mean implementation
+   must reproduce the retired multi-pass one bit for bit.  The reference
+   below is a verbatim reimplementation of the pre-refactor code. *)
+
+let old_quantile xs p =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let old_summarize xs =
+  let n = Array.length xs in
+  let mean xs = Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs) in
+  let centered_moment xs k =
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** float_of_int k)) 0. xs
+    /. float_of_int (Array.length xs)
+  in
+  let sample_std xs =
+    sqrt (centered_moment xs 2 *. float_of_int n /. float_of_int (n - 1))
+  in
+  {
+    S.Descriptive.n;
+    mean = mean xs;
+    std = (if n >= 2 then sample_std xs else 0.);
+    minimum = Array.fold_left Float.min xs.(0) xs;
+    maximum = Array.fold_left Float.max xs.(0) xs;
+    median = old_quantile xs 0.5;
+    q1 = old_quantile xs 0.25;
+    q3 = old_quantile xs 0.75;
+    cv = (if n >= 2 && mean xs <> 0. then sample_std xs /. mean xs else 0.);
+  }
+
+let same_bits what a b =
+  if Int64.bits_of_float a <> Int64.bits_of_float b then
+    Alcotest.failf "%s: %h <> %h" what a b
+
+let check_summary_identical xs =
+  let o = old_summarize xs and s = S.Descriptive.summarize xs in
+  Alcotest.(check int) "n" o.S.Descriptive.n s.S.Descriptive.n;
+  same_bits "mean" o.S.Descriptive.mean s.S.Descriptive.mean;
+  same_bits "std" o.S.Descriptive.std s.S.Descriptive.std;
+  same_bits "min" o.S.Descriptive.minimum s.S.Descriptive.minimum;
+  same_bits "max" o.S.Descriptive.maximum s.S.Descriptive.maximum;
+  same_bits "median" o.S.Descriptive.median s.S.Descriptive.median;
+  same_bits "q1" o.S.Descriptive.q1 s.S.Descriptive.q1;
+  same_bits "q3" o.S.Descriptive.q3 s.S.Descriptive.q3;
+  same_bits "cv" o.S.Descriptive.cv s.S.Descriptive.cv
+
+let test_summarize_bit_identity () =
+  check_summary_identical lb_vec;
+  check_summary_identical ks_a;
+  check_summary_identical [| 42. |];
+  check_summary_identical [| 3.; 3.; 3.; 3. |];
+  check_summary_identical [| -1.5; 0.; 2.5; -7.25; 1e9; 1e-9 |]
+
+let test_summarize_bit_identity_random =
+  qtest
+    (QCheck.Test.make ~name:"summarize bit-identical to multi-pass reference" ~count:200
+       QCheck.(list_of_size (Gen.int_range 2 64) (float_range (-1e6) 1e6))
+       (fun l ->
+         check_summary_identical (Array.of_list l);
+         true))
+
 let () =
   Alcotest.run "repro_stats"
     [
@@ -586,5 +767,20 @@ let () =
           Alcotest.test_case "nelder-mead quadratic" `Quick test_nelder_mead_quadratic;
           Alcotest.test_case "nelder-mead barrier" `Quick test_nelder_mead_with_barrier;
           Alcotest.test_case "linear fit" `Quick test_linear_fit_recovers;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "ljung-box pinned" `Quick test_ljung_box_golden;
+          Alcotest.test_case "ljung-box constant" `Quick test_ljung_box_constant;
+          Alcotest.test_case "ks two-sample pinned" `Quick test_ks_two_sample_golden;
+          Alcotest.test_case "ks ties & constant" `Quick test_ks_ties_and_constant;
+          Alcotest.test_case "ks one-sample pinned" `Quick test_ks_one_sample_golden;
+        ] );
+      ( "guards",
+        [ Alcotest.test_case "invalid inputs raise" `Quick test_guards_survive_noassert ] );
+      ( "summarize",
+        [
+          Alcotest.test_case "bit-identity fixed vectors" `Quick test_summarize_bit_identity;
+          test_summarize_bit_identity_random;
         ] );
     ]
