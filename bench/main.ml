@@ -7,10 +7,10 @@
    Usage:  dune exec bench/main.exe [-- --runs N] [-- --skip-micro]
                                     [-- --smoke] [-- --json PATH]
                                     [-- --trace PATH]
-   Default N is 3000 (the paper's run count).  [--smoke] runs only the P1
-   perf section at a reduced run count (the CI mode); [--json PATH] writes
-   the P1 results to PATH (e.g. BENCH_pr3.json); [--trace PATH] keeps the
-   JSONL trace written by the P1 trace-overhead probe. *)
+   Default N is 3000 (the paper's run count).  [--smoke] runs only the
+   P1/P2 perf sections at a reduced run count (the CI mode); [--json PATH]
+   writes the P1/P2 results to PATH (e.g. BENCH_pr4.json); [--trace PATH]
+   keeps the JSONL trace written by the P1 trace-overhead probe. *)
 
 module P = Repro_platform
 module T = Repro_tvca
@@ -587,11 +587,144 @@ let p1_parallel_perf () =
     traced_samples_identical;
   }
 
-let json_of_perf r =
+(* ------------------------------------------------------------------ *)
+(* P2: the content-addressed sample store — cold campaign vs warm
+   re-analysis (every measurement a cache hit) vs interrupted + resumed.
+   Records the cold/warm speedup and re-checks the determinism contract:
+   warm and resumed samples must be bit-identical to the cold run, and a
+   warm re-analysis must invoke the simulator zero times. *)
+
+type store_results = {
+  store_runs : int;
+  store_chunk_size : int;
+  cold_seconds : float;
+  warm_seconds : float;
+  resumed_seconds : float;
+  warm_speedup : float;
+  resumed_cached_runs : int;
+  warm_zero_recompute : bool;
+  warm_identical : bool;
+  resumed_identical : bool;
+}
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let p2_store_perf () =
+  section "P2  Sample store: cold campaign vs warm re-analysis vs interrupted+resume";
+  let n = Stdlib.max 60 (Stdlib.min !runs 600) in
+  let chunk_size = 64 in
+  let det_calls = ref 0 and rand_calls = ref 0 in
+  let input =
+    {
+      (M.Campaign.default_input
+         ~measure_det:(fun i ->
+           incr det_calls;
+           T.Experiment.measure det_experiment ~run_index:i)
+         ~measure_rand:(fun i ->
+           incr rand_calls;
+           T.Experiment.measure rand_experiment ~run_index:i))
+      with
+      M.Campaign.runs = n;
+      M.Campaign.options =
+        {
+          M.Protocol.default_options with
+          M.Protocol.gate_on_iid = false;
+          M.Protocol.check_convergence = false;
+        };
+    }
+  in
+  let samples = function
+    | Ok c -> (c.M.Campaign.det_sample, c.M.Campaign.rand_sample)
+    | Error f -> Format.kasprintf failwith "P2 campaign failed: %a" M.Protocol.pp_failure f
+  in
+  let dir = Filename.temp_file "bench_store" "" in
+  Sys.remove dir;
+  let root = M.Store.open_root ~dir in
+  let config =
+    [
+      ("bench", "p2");
+      ("seed", Int64.to_string base_seed);
+      ("runs", string_of_int n);
+    ]
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let open_session ?resume config =
+    let key = M.Store.key ~chunk_size config in
+    match
+      M.Store.open_session ~chunk_size ?resume root ~key ~config ~runs:n
+        ~resilient:false
+    with
+    | Ok s -> s
+    | Error e -> failwith ("P2: open_session: " ^ e)
+  in
+  (* cold: every chunk simulated and checkpointed *)
+  let cold_session = open_session config in
+  let cold, cold_seconds =
+    time_it (fun () -> M.Campaign.run ~jobs:1 ~store:cold_session input)
+  in
+  M.Store.close cold_session;
+  let cold_samples = samples cold in
+  (* warm: same key, zero simulator runs *)
+  det_calls := 0;
+  rand_calls := 0;
+  let warm_session = open_session config in
+  let warm, warm_seconds =
+    time_it (fun () -> M.Campaign.run ~jobs:1 ~store:warm_session input)
+  in
+  M.Store.close warm_session;
+  let warm_zero_recompute = !det_calls = 0 && !rand_calls = 0 in
+  let warm_identical = samples warm = cold_samples in
+  (* interrupted + resumed, against a fresh record *)
+  let config_r = ("variant", "resume") :: config in
+  let crash_session = open_session config_r in
+  M.Store.set_fail_after crash_session (Stdlib.max 1 (n / chunk_size));
+  (match M.Campaign.run ~jobs:1 ~store:crash_session input with
+  | _ -> failwith "P2: expected the injected crash"
+  | exception M.Store.Injected_crash _ -> M.Store.close crash_session);
+  let resume_session = open_session ~resume:true config_r in
+  let resumed_cached_runs =
+    M.Store.cached_runs resume_session ~phase:"collect_det"
+    + M.Store.cached_runs resume_session ~phase:"collect_rand"
+  in
+  let resumed, resumed_seconds =
+    time_it (fun () -> M.Campaign.run ~jobs:1 ~store:resume_session input)
+  in
+  M.Store.close resume_session;
+  let resumed_identical = samples resumed = cold_samples in
+  let warm_speedup = cold_seconds /. warm_seconds in
+  Format.printf "campaign of 2x%d runs, chunk size %d, jobs=1@.@." n chunk_size;
+  Format.printf "%-44s %10.3fs@." "cold (simulate + checkpoint)" cold_seconds;
+  Format.printf "%-44s %10.3fs  (%.1fx cold)@." "warm re-analysis (pure cache hit)"
+    warm_seconds warm_speedup;
+  Format.printf "%-44s %10.3fs  (%d/%d runs from the record)@."
+    "interrupted, then resumed" resumed_seconds resumed_cached_runs (2 * n);
+  Format.printf "warm re-analysis ran the simulator zero times: %b@." warm_zero_recompute;
+  Format.printf "warm samples bit-identical to cold:            %b@." warm_identical;
+  Format.printf "resumed samples bit-identical to cold:         %b@." resumed_identical;
+  {
+    store_runs = n;
+    store_chunk_size = chunk_size;
+    cold_seconds;
+    warm_seconds;
+    resumed_seconds;
+    warm_speedup;
+    resumed_cached_runs;
+    warm_zero_recompute;
+    warm_identical;
+    resumed_identical;
+  }
+
+let json_of_perf r s =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"bench_pr3/v1\",\n";
+  add "  \"schema\": \"bench_pr4/v1\",\n";
   add "  \"smoke\": %b,\n" !smoke;
   add "  \"campaign_runs\": %d,\n" r.campaign_runs;
   add "  \"recommended_domain_count\": %d,\n" r.domain_count;
@@ -610,8 +743,20 @@ let json_of_perf r =
     r.cache_access_ns_det r.cache_access_ns_rand r.tlb_access_ns;
   add
     "  \"trace\": {\"overhead_pct\": %.2f, \"events\": %d, \
-     \"traced_samples_identical\": %b}\n"
+     \"traced_samples_identical\": %b},\n"
     r.trace_overhead_pct r.trace_events r.traced_samples_identical;
+  add "  \"store\": {\n";
+  add "    \"campaign_runs\": %d,\n" s.store_runs;
+  add "    \"chunk_size\": %d,\n" s.store_chunk_size;
+  add "    \"cold_seconds\": %.6f,\n" s.cold_seconds;
+  add "    \"warm_seconds\": %.6f,\n" s.warm_seconds;
+  add "    \"resumed_seconds\": %.6f,\n" s.resumed_seconds;
+  add "    \"warm_speedup_vs_cold\": %.2f,\n" s.warm_speedup;
+  add "    \"resumed_cached_runs\": %d,\n" s.resumed_cached_runs;
+  add "    \"warm_zero_recompute\": %b,\n" s.warm_zero_recompute;
+  add "    \"warm_samples_identical\": %b,\n" s.warm_identical;
+  add "    \"resumed_samples_identical\": %b\n" s.resumed_identical;
+  add "  }\n";
   add "}\n";
   Buffer.contents b
 
@@ -686,8 +831,9 @@ let () =
     a7_block_size ()
   end;
   let perf = p1_parallel_perf () in
+  let store = p2_store_perf () in
   (match !json_out with
-  | Some path -> write_json path (json_of_perf perf)
+  | Some path -> write_json path (json_of_perf perf store)
   | None -> ());
   if (not !skip_micro) && not !smoke then micro ();
   Format.printf "@.done.@."

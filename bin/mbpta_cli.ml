@@ -8,13 +8,17 @@
      qualify      PRNG qualification battery
      plot         Figure 2 exceedance plot only
      trace        inspect JSONL traces written with --trace
+     cache        inspect/maintain the measurement store (--cache-dir)
 
    Examples:
      dune exec bin/mbpta_cli.exe -- analyze --runs 3000
      dune exec bin/mbpta_cli.exe -- iid --runs 1000 --seed 7
      dune exec bin/mbpta_cli.exe -- qualify --algorithm lfsr64
      dune exec bin/mbpta_cli.exe -- analyze --runs 500 --trace run.jsonl
-     dune exec bin/mbpta_cli.exe -- trace summary run.jsonl *)
+     dune exec bin/mbpta_cli.exe -- trace summary run.jsonl
+     dune exec bin/mbpta_cli.exe -- analyze --runs 3000 --cache-dir .mbpta-cache
+     dune exec bin/mbpta_cli.exe -- analyze --runs 3000 --cache-dir .mbpta-cache --resume
+     dune exec bin/mbpta_cli.exe -- cache ls .mbpta-cache *)
 
 module P = Repro_platform
 module T = Repro_tvca
@@ -69,6 +73,30 @@ let resolve_jobs = function
       Format.eprintf "mbpta_cli: --jobs must be >= 0 (got %d)@." j;
       exit 2
 
+(* Usage errors share one shape: message on stderr, exit 2 (the cmdliner
+   convention resolve_jobs established). *)
+let usage_error fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "mbpta_cli: %s@." msg;
+      exit 2)
+    fmt
+
+let validate_runs runs = if runs < 1 then usage_error "--runs must be >= 1 (got %d)" runs
+
+let validate_frames frames =
+  if frames < 1 then usage_error "--frames must be >= 1 (got %d)" frames
+
+let validate_min_survival v =
+  if not (v >= 0. && v <= 1.) then
+    usage_error "--min-survival must lie in [0, 1] (got %g)" v
+
+let validate_probability p =
+  if not (p > 0. && p < 1.) then usage_error "--probability must lie in (0, 1) (got %g)" p
+
+let validate_engineering_factor f =
+  if not (f >= 1.) then usage_error "--engineering-factor must be >= 1 (got %g)" f
+
 (* ------------------------------ tracing ------------------------------- *)
 
 let trace_arg =
@@ -94,9 +122,56 @@ let with_trace ~path ~level ~config f =
   match path with
   | None -> f None
   | Some path ->
-      let t = M.Trace.create ~level ~path () in
+      let t =
+        (* [Trace.create] touches the file eagerly, so a bad destination is
+           a usage error here — not a lost trace after the campaign ran. *)
+        try M.Trace.create ~level ~path ()
+        with Sys_error e -> usage_error "%s" e
+      in
       M.Trace.emit t (M.Trace.Config config);
       Fun.protect ~finally:(fun () -> M.Trace.close t) (fun () -> f (Some t))
+
+(* --------------------------- measurement store ------------------------ *)
+
+let cache_dir_arg =
+  let doc =
+    "Persist measurements to a content-addressed store under $(docv) and replay any \
+     already recorded there.  The record key digests everything that determines a \
+     measured value (platform configs, seed, frames, runs, fault settings) — \
+     analysis-only flags (--tail, --no-gates, --engineering-factor, --jobs) reuse \
+     the same record."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Continue an interrupted campaign from its last complete checkpoint chunk in the \
+     store (requires --cache-dir).  Without this flag a partial record is discarded \
+     and the campaign starts cold; a complete record is always reused."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let no_cache_arg =
+  let doc = "Ignore --cache-dir for this invocation (measure everything afresh)." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+(* [with_store ... f] runs [f (Some session)] against an open store session
+   (closed on the way out, even on exceptions) — or [f None] when no cache
+   directory was given.  A record whose metadata disagrees with this
+   campaign is a usage error, pointing at `cache ls`/`cache gc`. *)
+let with_store ~cache_dir ~resume ~no_cache ~config ~runs ~resilient f =
+  match cache_dir with
+  | None -> f None
+  | Some _ when no_cache -> f None
+  | Some dir -> (
+      let store = try M.Store.open_root ~dir with Sys_error e -> usage_error "%s" e in
+      let key = M.Store.key config in
+      match M.Store.open_session ~resume store ~key ~config ~runs ~resilient with
+      | Error e -> usage_error "%s" e
+      | Ok session ->
+          Fun.protect
+            ~finally:(fun () -> M.Store.close session)
+            (fun () -> f (Some session)))
 
 (* Roll one run's micro-architectural counters into the trace registry.
    Safe from any worker domain: additions commute, so the totals are
@@ -130,10 +205,15 @@ let measure_with_counters trace exp ~prefix =
 (* Parallel counterpart of [Experiment.collect] for the single-platform
    subcommands; sound because [Experiment.measure] is a pure function of the
    run index. *)
-let collect_par ?trace ~jobs exp ~runs =
+let collect_par ?trace ?store ~jobs exp ~runs =
   let phase = "collect_rand" in
   (match trace with Some t -> M.Trace.phase_start t phase | None -> ());
-  let xs = M.Parallel.init ?trace ~jobs runs (measure_with_counters trace exp ~prefix:"rand.") in
+  let measure = measure_with_counters trace exp ~prefix:"rand." in
+  let xs =
+    match store with
+    | None -> M.Parallel.init ?trace ~jobs runs measure
+    | Some session -> M.Store.collect ?trace ~jobs session ~phase runs measure
+  in
   (match trace with
   | Some t ->
       M.Trace.emit_sample t ~phase xs;
@@ -185,17 +265,45 @@ let resilience_outcome_of = function
         { detail = Printf.sprintf "worst output error %g" worst_error }
 
 let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budget
-    max_retries min_survival jobs trace_path trace_level =
+    max_retries min_survival jobs trace_path trace_level cache_dir resume no_cache =
   let jobs = resolve_jobs jobs in
-  if seu_rate < 0. then begin
-    Format.eprintf "mbpta_cli: --seu-rate must be >= 0 (got %g)@." seu_rate;
-    exit 2
-  end;
+  validate_runs runs;
+  validate_frames frames;
+  validate_engineering_factor factor;
+  validate_min_survival min_survival;
+  if seu_rate < 0. then usage_error "--seu-rate must be >= 0 (got %g)" seu_rate;
+  let resilient = seu_rate > 0. || watchdog_budget <> None in
   let config =
     base_config ~subcommand:"analyze" ~runs ~seed ~frames
     @ [ ("tail", tail_name tail); ("seu_rate", string_of_float seu_rate) ]
   in
+  (* The store key digests only what determines a measured value; the
+     analysis-side knobs (tail, gates, engineering factor, min_survival —
+     pure accounting) deliberately stay out so re-analysis is a cache
+     hit. *)
+  let store_config =
+    [
+      ("campaign", "analyze");
+      ("det_config", "deterministic");
+      ("rand_config", "mbpta_compliant");
+      ("seed", Int64.to_string seed);
+      ("frames", string_of_int frames);
+      ("runs", string_of_int runs);
+      ("resilient", string_of_bool resilient);
+    ]
+    @
+    if resilient then
+      [
+        ("seu_rate", string_of_float seu_rate);
+        ( "watchdog_budget",
+          match watchdog_budget with None -> "none" | Some b -> string_of_int b );
+        ("max_retries", string_of_int max_retries);
+      ]
+    else []
+  in
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
+  with_store ~cache_dir ~resume ~no_cache ~config:store_config ~runs ~resilient
+  @@ fun store ->
   let det = experiment ~config:P.Config.deterministic ~seed ~frames in
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
   let input =
@@ -208,7 +316,7 @@ let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budg
     }
   in
   let result =
-    if seu_rate > 0. || watchdog_budget <> None then begin
+    if resilient then begin
       let fault = T.Experiment.fault_config ~seu_rate ?watchdog_budget () in
       let measure exp prefix ~run_index ~attempt =
         let outcome = T.Experiment.run_faulty exp ~fault ~attempt ~run_index () in
@@ -219,41 +327,47 @@ let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budg
         resilience_outcome_of outcome
       in
       let policy = { M.Resilience.default_policy with max_retries; min_survival } in
-      M.Campaign.run_resilient ~jobs ?trace
+      M.Campaign.run_resilient ~jobs ?trace ?store
         (M.Campaign.resilient_input ~policy ~base:input
            ~measure_det_outcome:(measure det "det.")
            ~measure_rand_outcome:(measure rand "rand.") ())
     end
-    else M.Campaign.run ~jobs ?trace input
+    else M.Campaign.run ~jobs ?trace ?store input
   in
   match result with
   | Error f ->
       Format.eprintf "campaign failed: %a@." M.Protocol.pp_failure f;
       1
-  | Ok campaign ->
+  | Ok campaign -> (
       print_endline (M.Campaign.render campaign);
-      (match csv_dir with
-      | None -> ()
-      | Some dir ->
-          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-          let write name contents =
-            M.Export.to_file ~path:(Filename.concat dir name) contents
-          in
-          write "det_samples.csv"
-            (M.Export.samples_csv ~label:"DET" campaign.M.Campaign.det_sample);
-          write "rand_samples.csv"
-            (M.Export.samples_csv ~label:"RAND" campaign.M.Campaign.rand_sample);
-          write "rand_ecdf.csv" (M.Export.ecdf_csv campaign.M.Campaign.rand_sample);
-          (match campaign.M.Campaign.analysis with
-          | Ok a -> write "pwcet_curve.csv" (M.Export.curve_csv a.M.Protocol.curve)
-          | Error _ -> ());
-          (match campaign.M.Campaign.comparison with
-          | Some c -> write "comparison.csv" (M.Export.comparison_csv c)
-          | None -> ());
-          Format.printf "CSV data written to %s/@." dir);
-      (* measurements succeeded (samples are printed/exported either way),
-         but a failed analysis is still a failed campaign to the caller *)
-      (match campaign.M.Campaign.analysis with Ok _ -> 0 | Error _ -> 1)
+      match
+        match csv_dir with
+        | None -> ()
+        | Some dir ->
+            let write name contents =
+              M.Export.to_file ~path:(Filename.concat dir name) contents
+            in
+            write "det_samples.csv"
+              (M.Export.samples_csv ~label:"DET" campaign.M.Campaign.det_sample);
+            write "rand_samples.csv"
+              (M.Export.samples_csv ~label:"RAND" campaign.M.Campaign.rand_sample);
+            write "rand_ecdf.csv" (M.Export.ecdf_csv campaign.M.Campaign.rand_sample);
+            (match campaign.M.Campaign.analysis with
+            | Ok a -> write "pwcet_curve.csv" (M.Export.curve_csv a.M.Protocol.curve)
+            | Error _ -> ());
+            (match campaign.M.Campaign.comparison with
+            | Some c -> write "comparison.csv" (M.Export.comparison_csv c)
+            | None -> ());
+            Format.printf "CSV data written to %s/@." dir
+      with
+      | exception Sys_error e ->
+          Format.eprintf "mbpta_cli: cannot write CSV: %s@." e;
+          1
+      | () ->
+          (* measurements succeeded (samples are printed/exported either
+             way), but a failed analysis is still a failed campaign to the
+             caller *)
+          (match campaign.M.Campaign.analysis with Ok _ -> 0 | Error _ -> 1))
 
 let analyze_cmd =
   let factor =
@@ -290,15 +404,34 @@ let analyze_cmd =
     Term.(
       const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg $ factor
       $ csv_dir $ seu_rate $ watchdog_budget $ max_retries $ min_survival $ jobs_arg
-      $ trace_arg $ trace_level_arg)
+      $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg)
 
 (* -------------------------------- iid -------------------------------- *)
 
-let iid runs seed frames jobs trace_path trace_level =
+(* iid and convergence measure the same thing — runs on the randomized
+   platform — so they share one store key: a sample recorded by either is
+   a warm hit for the other. *)
+let rand_collect_store_config ~runs ~seed ~frames =
+  [
+    ("campaign", "collect_rand");
+    ("rand_config", "mbpta_compliant");
+    ("seed", Int64.to_string seed);
+    ("frames", string_of_int frames);
+    ("runs", string_of_int runs);
+    ("resilient", "false");
+  ]
+
+let iid runs seed frames jobs trace_path trace_level cache_dir resume no_cache =
+  validate_runs runs;
+  validate_frames frames;
   let config = base_config ~subcommand:"iid" ~runs ~seed ~frames in
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
+  with_store ~cache_dir ~resume ~no_cache
+    ~config:(rand_collect_store_config ~runs ~seed ~frames)
+    ~runs ~resilient:false
+  @@ fun store ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let xs = collect_par ?trace ~jobs:(resolve_jobs jobs) rand ~runs in
+  let xs = collect_par ?trace ?store ~jobs:(resolve_jobs jobs) rand ~runs in
   let verdict = M.Iid.check xs in
   (match trace with Some t -> M.Trace.emit t (M.Trace.iid_event verdict) | None -> ());
   Format.printf "%a@." M.Iid.pp verdict;
@@ -309,18 +442,28 @@ let iid_cmd =
   Cmd.v (Cmd.info "iid" ~doc)
     Term.(
       const iid $ runs_arg $ seed_arg $ frames_arg $ jobs_arg $ trace_arg
-      $ trace_level_arg)
+      $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg)
 
 (* ---------------------------- convergence ---------------------------- *)
 
-let convergence runs seed frames probability jobs trace_path trace_level =
+let convergence runs seed frames probability jobs trace_path trace_level cache_dir resume
+    no_cache =
+  validate_runs runs;
+  validate_frames frames;
+  validate_probability probability;
   let config =
     base_config ~subcommand:"convergence" ~runs ~seed ~frames
     @ [ ("probability", string_of_float probability) ]
   in
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
+  (* probability is an analysis knob — the measurement key is the shared
+     randomized-platform one, so iid/convergence reuse each other's runs *)
+  with_store ~cache_dir ~resume ~no_cache
+    ~config:(rand_collect_store_config ~runs ~seed ~frames)
+    ~runs ~resilient:false
+  @@ fun store ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
-  let xs = collect_par ?trace ~jobs:(resolve_jobs jobs) rand ~runs in
+  let xs = collect_par ?trace ?store ~jobs:(resolve_jobs jobs) rand ~runs in
   let c = E.Convergence.study ~probability xs in
   (match trace with
   | Some t ->
@@ -342,7 +485,7 @@ let convergence_cmd =
     (Cmd.info "convergence" ~doc)
     Term.(
       const convergence $ runs_arg $ seed_arg $ frames_arg $ probability $ jobs_arg
-      $ trace_arg $ trace_level_arg)
+      $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg)
 
 (* ------------------------------- paths -------------------------------- *)
 
@@ -501,6 +644,68 @@ let trace_cmd =
   let doc = "inspect JSONL campaign traces" in
   Cmd.group (Cmd.info "trace" ~doc) [ summary_cmd ]
 
+(* -------------------------------- cache -------------------------------- *)
+
+let cache_root dir =
+  if not (Sys.file_exists dir) then usage_error "cache directory %s does not exist" dir;
+  try M.Store.open_root ~dir with Sys_error e -> usage_error "%s" e
+
+let cache_ls dir =
+  let entries = M.Store.ls (cache_root dir) in
+  if entries = [] then print_endline "cache is empty"
+  else
+    List.iter (fun e -> Format.printf "%a@." M.Store.pp_entry e) entries;
+  0
+
+let cache_verify dir =
+  let entries = M.Store.ls (cache_root dir) in
+  let bad =
+    List.filter (fun e -> match e.M.Store.status with M.Store.Corrupt _ -> true | _ -> false) entries
+  in
+  List.iter (fun e -> Format.printf "%a@." M.Store.pp_entry e) entries;
+  Format.printf "%d record%s, %d corrupt@." (List.length entries)
+    (if List.length entries = 1 then "" else "s")
+    (List.length bad);
+  if bad = [] then 0 else 1
+
+let cache_gc partial dir =
+  let removed, freed = M.Store.gc ~partial (cache_root dir) in
+  List.iter (fun e -> Format.printf "removed %a@." M.Store.pp_entry e) removed;
+  Format.printf "%d record%s removed, %d bytes freed@." (List.length removed)
+    (if List.length removed = 1 then "" else "s")
+    freed;
+  0
+
+let cache_cmd =
+  let dir_pos =
+    let doc = "Store directory (the one passed to --cache-dir)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let ls_cmd =
+    let doc = "list every record: key, run count, coverage, size, status" in
+    Cmd.v (Cmd.info "ls" ~doc) Term.(const cache_ls $ dir_pos)
+  in
+  let verify_cmd =
+    let doc =
+      "fully validate every record (chunk layout, content digest vs filename); exit 1 \
+       if any record is corrupt"
+    in
+    Cmd.v (Cmd.info "verify" ~doc) Term.(const cache_verify $ dir_pos)
+  in
+  let gc_cmd =
+    let partial =
+      let doc =
+        "Also remove partial (interrupted but resumable) records, not just corrupt \
+         ones."
+      in
+      Arg.(value & flag & info [ "partial" ] ~doc)
+    in
+    let doc = "remove corrupt records (and, with --partial, interrupted ones)" in
+    Cmd.v (Cmd.info "gc" ~doc) Term.(const cache_gc $ partial $ dir_pos)
+  in
+  let doc = "inspect and maintain the content-addressed measurement store" in
+  Cmd.group (Cmd.info "cache" ~doc) [ ls_cmd; verify_cmd; gc_cmd ]
+
 (* -------------------------------- main -------------------------------- *)
 
 let () =
@@ -510,6 +715,15 @@ let () =
   let info = Cmd.info "mbpta_cli" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ analyze_cmd; iid_cmd; convergence_cmd; paths_cmd; qualify_cmd; plot_cmd; trace_cmd ]
+      [
+        analyze_cmd;
+        iid_cmd;
+        convergence_cmd;
+        paths_cmd;
+        qualify_cmd;
+        plot_cmd;
+        trace_cmd;
+        cache_cmd;
+      ]
   in
   exit (Cmd.eval' group)

@@ -2,7 +2,8 @@ module Stats = Repro_stats
 module Evt = Repro_evt
 
 let exceedance_plot ?(width = 72) ?(decades = 15) curve =
-  assert (width >= 20 && decades >= 2);
+  if width < 20 then invalid_arg "Ascii_plot.exceedance_plot: width must be >= 20";
+  if decades < 2 then invalid_arg "Ascii_plot.exceedance_plot: decades must be >= 2";
   let ecdf = Evt.Pwcet.sample_ecdf curve in
   let observed = Stats.Ecdf.ccdf_points ecdf in
   let x_min = Stats.Ecdf.order_statistic ecdf 0 in
@@ -58,7 +59,10 @@ let exceedance_plot ?(width = 72) ?(decades = 15) curve =
 
 let qq_plot ?(width = 64) ?(height = 20) ~data ~quantile () =
   let n = Array.length data in
-  assert (n >= 2 && width >= 10 && height >= 5);
+  if n < 2 then
+    invalid_arg (Printf.sprintf "Ascii_plot.qq_plot: %d points, need at least 2" n);
+  if width < 10 then invalid_arg "Ascii_plot.qq_plot: width must be >= 10";
+  if height < 5 then invalid_arg "Ascii_plot.qq_plot: height must be >= 5";
   let sorted = Array.copy data in
   Array.sort compare sorted;
   let nf = float_of_int n in

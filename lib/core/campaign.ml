@@ -74,7 +74,7 @@ let finish ?trace ~options ~engineering_factor ~det_sample ~rand_sample ~det_res
   in
   { det_sample; rand_sample; analysis; comparison; det_resilience; rand_resilience }
 
-let run ?jobs ?trace input =
+let run ?jobs ?trace ?store input =
   (match trace with
   | Some t -> Trace.emit t (Trace.Campaign_start { runs = input.runs; resilient = false })
   | None -> ());
@@ -83,10 +83,17 @@ let run ?jobs ?trace input =
     else begin
       (* Runs are independent by construction (per-run seed derivation), so
          both platforms' samples fan out over the domain pool; [jobs] only
-         changes wall-clock time, never a bit of the result. *)
+         changes wall-clock time, never a bit of the result.  With a store
+         session attached, each phase checkpoints per chunk and replays
+         cached chunks instead of measuring. *)
       let collect phase measure =
         in_phase trace phase (fun () ->
-            let sample = Parallel.init ?trace ?jobs input.runs measure in
+            let sample =
+              match store with
+              | None -> Parallel.init ?trace ?jobs input.runs measure
+              | Some session ->
+                  Store.collect ?trace ?jobs session ~phase input.runs measure
+            in
             (match trace with
             | Some t -> Trace.emit_sample t ~phase sample
             | None -> ());
@@ -111,14 +118,15 @@ let failure_of_resilience_error : Resilience.error -> Protocol.failure = functio
   | Resilience.Invalid_policy reason ->
       Protocol.Invalid_sample { index = -1; value = Float.nan; reason }
 
-let run_resilient ?jobs ?trace input =
+let run_resilient ?jobs ?trace ?store input =
   let { base; policy; measure_det_outcome; measure_rand_outcome } = input in
   (match trace with
   | Some t -> Trace.emit t (Trace.Campaign_start { runs = base.runs; resilient = true })
   | None -> ());
   let supervise phase measure =
     in_phase trace phase (fun () ->
-        Resilience.supervise ?jobs ?trace ~policy ~runs:base.runs ~measure ()
+        let store = Option.map (fun s -> (s, phase)) store in
+        Resilience.supervise ?jobs ?trace ?store ~policy ~runs:base.runs ~measure ()
         |> Result.map_error failure_of_resilience_error)
   in
   let result =

@@ -73,16 +73,38 @@ and comparison = Report.comparison
     records its full event stream — lifecycle, per-run samples, i.i.d. and
     fit verdicts — without changing a bit of the result; at the default
     trace level the trace file itself is bit-identical at every [jobs]
-    value. *)
-val run : ?jobs:int -> ?trace:Trace.t -> input -> (t, Protocol.failure) Stdlib.result
+    value.
+
+    With [store] attached — an open {!Store.session} for this campaign's
+    configuration (opened with [resilient:false] and [runs = input.runs]) —
+    both measurement phases checkpoint to the session's record at every
+    chunk barrier and replay any chunks already recorded: a warm record
+    calls neither measurement function at all, and an interrupted campaign
+    resumed from its record returns samples bit-identical to a cold
+    sequential run (the determinism contract above extends to every
+    cached/computed split). *)
+val run :
+  ?jobs:int ->
+  ?trace:Trace.t ->
+  ?store:Store.session ->
+  input ->
+  (t, Protocol.failure) Stdlib.result
 
 (** Supervised campaign on a fault-prone platform; fails with
     {!Protocol.Faulted_runs} (survival threshold missed) or
     {!Protocol.Budget_exhausted} (campaign retry budget gone).  [jobs] and
     [trace] as in {!run}; see {!Resilience.supervise} for the parallel
-    budget semantics and the per-run fault/retry events. *)
+    budget semantics and the per-run fault/retry events.  [store] as in
+    {!run}, except the session must be opened with [resilient:true]: whole
+    attempt trails (not just surviving latencies) are checkpointed, so a
+    resumed campaign reproduces retry accounting and fault records
+    bit-identically too. *)
 val run_resilient :
-  ?jobs:int -> ?trace:Trace.t -> resilient_input -> (t, Protocol.failure) Stdlib.result
+  ?jobs:int ->
+  ?trace:Trace.t ->
+  ?store:Store.session ->
+  resilient_input ->
+  (t, Protocol.failure) Stdlib.result
 
 (** Render the whole campaign as a text report (all four experiments, plus
     the fault/retry summary when the campaign ran resiliently). *)

@@ -46,6 +46,7 @@ let comparison_csv (c : Report.comparison) =
   Buffer.contents buffer
 
 let to_file ~path contents =
+  Trace.ensure_dir (Filename.dirname path);
   let oc = open_out path in
   (try output_string oc contents
    with e ->

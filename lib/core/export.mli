@@ -22,5 +22,8 @@ val curve_csv : ?decades:int -> Repro_evt.Pwcet.t -> string
     ["quantity,cycles"]. *)
 val comparison_csv : Report.comparison -> string
 
-(** [to_file ~path contents] — writes, creating/truncating [path]. *)
+(** [to_file ~path contents] — writes, creating/truncating [path].  The
+    parent directory (and any missing ancestors) is created first, so
+    [--csv-dir out/run3] works without a manual mkdir; an uncreatable
+    destination raises [Sys_error] naming the failing component. *)
 val to_file : path:string -> string -> unit

@@ -6,7 +6,11 @@ type result = {
 }
 
 let bound ?(engineering_factor = 1.5) xs =
-  assert (Array.length xs > 0 && engineering_factor >= 1.);
+  if Array.length xs = 0 then invalid_arg "Mbta.bound: empty sample";
+  if not (engineering_factor >= 1.) then
+    invalid_arg
+      (Printf.sprintf "Mbta.bound: engineering_factor must be >= 1 (got %g)"
+         engineering_factor);
   let high_watermark = Array.fold_left Float.max xs.(0) xs in
   {
     high_watermark;

@@ -88,3 +88,37 @@ let init ?trace ?jobs n f =
   end
 
 let map ?trace ?jobs f a = init ?trace ?jobs (Array.length a) (fun i -> f a.(i))
+
+(* Chunk-granular checkpoint barriers.  Checkpoint chunks are a fixed
+   [chunk_size] cut of the index space — deliberately independent of
+   [jobs], so the sequence of (lo, len) pairs handed to [persist] is a pure
+   function of [n] alone.  Each uncached chunk fans out over the domain
+   pool internally; [persist] runs on the calling domain after the chunk's
+   barrier, in ascending chunk order, which is what lets a store replay the
+   record as a prefix after an interruption at any job count. *)
+let init_checkpointed ?trace ?jobs ~chunk_size ~lookup ~persist n f =
+  if n < 0 then invalid_arg "Parallel.init_checkpointed: negative length";
+  if chunk_size < 1 then invalid_arg "Parallel.init_checkpointed: chunk_size must be >= 1";
+  let rec go lo acc =
+    if lo >= n then Array.concat (List.rev acc)
+    else begin
+      let len = Stdlib.min chunk_size (n - lo) in
+      let chunk =
+        match lookup ~lo ~len with
+        | Some a ->
+            if Array.length a <> len then
+              invalid_arg
+                (Printf.sprintf
+                   "Parallel.init_checkpointed: cached chunk at %d has %d values, expected \
+                    %d"
+                   lo (Array.length a) len);
+            a
+        | None ->
+            let a = init ?trace ?jobs len (fun i -> f (lo + i)) in
+            persist ~lo a;
+            a
+      in
+      go (lo + len) (chunk :: acc)
+    end
+  in
+  if n = 0 then [||] else go 0 []

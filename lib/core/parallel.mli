@@ -37,3 +37,28 @@ val init : ?trace:Trace.t -> ?jobs:int -> int -> (int -> 'a) -> 'a array
 
 (** [map ?trace ?jobs f a] — [Array.map] on the same pool. *)
 val map : ?trace:Trace.t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [init_checkpointed ?trace ?jobs ~chunk_size ~lookup ~persist n f] —
+    {!init} with chunk-granular checkpoint barriers for the measurement
+    store ({!Store}).
+
+    The index space is cut into fixed [chunk_size] checkpoint chunks —
+    independent of [jobs], so the chunk sequence is a pure function of [n].
+    For each chunk in ascending order: [lookup ~lo ~len] may serve it from
+    a cache (its [f] calls are skipped entirely); otherwise the chunk is
+    computed on the domain pool and handed to [persist ~lo] at the chunk
+    barrier, on the calling domain.  Under the purity contract of {!init}
+    the result is bit-identical to [init n f] at every [jobs] count and for
+    every cached/computed split.
+
+    Raises [Invalid_argument] on [n < 0], [chunk_size < 1], or a cached
+    chunk whose length does not match the layout. *)
+val init_checkpointed :
+  ?trace:Trace.t ->
+  ?jobs:int ->
+  chunk_size:int ->
+  lookup:(lo:int -> len:int -> 'a array option) ->
+  persist:(lo:int -> 'a array -> unit) ->
+  int ->
+  (int -> 'a) ->
+  'a array

@@ -10,7 +10,11 @@ type t = { paths : path_report list; analyzed_fraction : float }
 
 let analyze ?options ?(min_runs_per_path = 100) ~measurements ~signatures () =
   let n = Array.length measurements in
-  assert (n = Array.length signatures && n > 0);
+  if n = 0 then invalid_arg "Path_analysis.analyze: empty measurement sample";
+  if n <> Array.length signatures then
+    invalid_arg
+      (Printf.sprintf "Path_analysis.analyze: %d measurements but %d signatures" n
+         (Array.length signatures));
   let groups = Hashtbl.create 16 in
   for i = 0 to n - 1 do
     let s = signatures.(i) in

@@ -48,6 +48,35 @@ let measure_run ~policy ~measure run_index =
   in
   attempts_loop 0 []
 
+(* Store boundary: the measurement store persists attempt trails in its
+   own dependency-free outcome type; conversion is lossless (attempt
+   numbers are positional — [measure_run] numbers them 0.. by
+   construction), so a cached trail replays to exactly the attempts list
+   a fresh measurement would have produced. *)
+let store_outcome = function
+  | Completed v -> Store.Completed v
+  | Timeout { detail } -> Store.Timeout detail
+  | Crashed { detail } -> Store.Crashed detail
+  | Corrupted { detail } -> Store.Corrupted detail
+
+let of_store_outcome = function
+  | Store.Completed v -> Completed v
+  | Store.Timeout detail -> Timeout { detail }
+  | Store.Crashed detail -> Crashed { detail }
+  | Store.Corrupted detail -> Corrupted { detail }
+
+let trail_of_attempts attempts =
+  List.map (fun { outcome; _ } -> store_outcome outcome) attempts
+
+let attempts_of_trail trail =
+  let attempts =
+    List.mapi (fun i o -> { attempt = i; outcome = of_store_outcome o }) trail
+  in
+  let time =
+    match List.rev trail with Store.Completed v :: _ -> Some v | _ -> None
+  in
+  (attempts, time)
+
 let outcome_kind = function
   | Completed _ -> "completed"
   | Timeout _ -> "timeout"
@@ -95,15 +124,26 @@ let trace_run trace ~run_index ~attempts ~time =
              latency = time;
            })
 
-let supervise ?jobs ?trace ~policy ~runs ~measure () =
+let supervise ?jobs ?trace ?store ~policy ~runs ~measure () =
   if runs < 1 then Error (Invalid_policy "runs must be >= 1")
   else if policy.max_retries < 0 then Error (Invalid_policy "max_retries must be >= 0")
   else if not (policy.min_survival >= 0. && policy.min_survival <= 1.) then
     Error (Invalid_policy "min_survival must lie in [0, 1]")
   else begin
     (* Phase 1 — measurement, embarrassingly parallel: each run retries
-       locally up to [max_retries] with no global coordination. *)
-    let outcomes = Parallel.init ?trace ?jobs runs (measure_run ~policy ~measure) in
+       locally up to [max_retries] with no global coordination.  With a
+       store attached, whole attempt trails are checkpointed per chunk and
+       cached trails replace the measurement entirely; both the fresh and
+       the cached path go through the trail round-trip, so the accounting
+       phase sees identical values either way. *)
+    let outcomes =
+      match store with
+      | None -> Parallel.init ?trace ?jobs runs (measure_run ~policy ~measure)
+      | Some (session, phase) ->
+          Store.collect_trails ?trace ?jobs session ~phase runs (fun i ->
+              trail_of_attempts (fst (measure_run ~policy ~measure i)))
+          |> Array.map attempts_of_trail
+    in
     (* Phase 2 — sequential replay of the campaign accounting, in run order.
        The campaign-wide retry budget is inherently sequential (whether run
        [i] may retry depends on retries spent by runs [< i]); replaying it

@@ -79,10 +79,19 @@ type error =
     over the attempt trails in run order, so [Retry_budget_exhausted] carries
     the same fields at any job count (under [jobs > 1], runs past the point
     of exhaustion may have been measured speculatively — wasted work, never
-    a different answer). *)
+    a different answer).
+
+    With [store] attached — an open {!Store.session} (opened with
+    [resilient:true] and the same run count) plus the phase name to file
+    chunks under — whole attempt trails are checkpointed at every chunk
+    barrier and previously recorded trails are replayed instead of
+    re-measured.  Because the accounting phase runs over the trails either
+    way, a resumed or fully cached campaign reproduces the report (sample,
+    records, budget arithmetic) bit-identically. *)
 val supervise :
   ?jobs:int ->
   ?trace:Trace.t ->
+  ?store:Store.session * string ->
   policy:policy ->
   runs:int ->
   measure:(run_index:int -> attempt:int -> outcome) ->

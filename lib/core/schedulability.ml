@@ -1,7 +1,10 @@
 type task = { name : string; period : float; deadline : float; budget : float }
 
 let required_cutoff ~activations_per_hour ~target_failures_per_hour =
-  assert (activations_per_hour > 0. && target_failures_per_hour > 0.);
+  if not (activations_per_hour > 0.) then
+    invalid_arg "Schedulability.required_cutoff: activations_per_hour must be > 0";
+  if not (target_failures_per_hour > 0.) then
+    invalid_arg "Schedulability.required_cutoff: target_failures_per_hour must be > 0";
   Float.min 1. (target_failures_per_hour /. activations_per_hour)
 
 let budget_of_curve curve ~cutoff_probability =

@@ -1,0 +1,644 @@
+(* Persistent, content-addressed measurement store.
+
+   One JSONL record per campaign configuration, addressed by a digest of
+   everything that could change a stored byte (schema, chunk size, full
+   measurement config).  The record is append-only at chunk granularity:
+   [Parallel.init_checkpointed] hands us each checkpoint chunk in
+   ascending order on the calling domain, so an interruption leaves a
+   clean prefix (or, if the kill landed mid-write, a prefix plus one
+   malformed tail line which validation drops).  Because chunk layout is
+   a pure function of the run count, the same record serves any [--jobs]
+   count bit-identically — the resume contract in store.mli. *)
+
+module Json = Trace.Json
+
+let schema_version = "store/v1"
+let default_chunk_size = 256
+
+exception Injected_crash of { appended_chunks : int }
+
+(* ------------------------------------------------------------------ *)
+(* Store root *)
+
+type t = { root : string }
+
+let open_root ~dir =
+  Trace.ensure_dir dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "store: %s is not a directory" dir));
+  { root = dir }
+
+let dir t = t.root
+
+let key ?(chunk_size = default_chunk_size) config =
+  let b = Buffer.create 256 in
+  Buffer.add_string b schema_version;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "chunk_size=%d\n" chunk_size);
+  (* Canonical order plus %S-quoting: the digest cannot depend on how the
+     harness ordered the pairs, and a value containing '=' or '\n' cannot
+     collide with a differently-split pair. *)
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%S=%S\n" k v))
+    (List.sort compare config);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* Record lines *)
+
+type outcome =
+  | Completed of float
+  | Timeout of string
+  | Crashed of string
+  | Corrupted of string
+
+type trail = outcome list
+type payload = Floats of float array | Trails of trail array
+
+let payload_len = function
+  | Floats a -> Array.length a
+  | Trails a -> Array.length a
+
+let json_of_outcome = function
+  | Completed v -> Json.Obj [ ("k", Json.String "c"); ("v", Json.Float v) ]
+  | Timeout d -> Json.Obj [ ("k", Json.String "t"); ("d", Json.String d) ]
+  | Crashed d -> Json.Obj [ ("k", Json.String "x"); ("d", Json.String d) ]
+  | Corrupted d -> Json.Obj [ ("k", Json.String "o"); ("d", Json.String d) ]
+
+let outcome_of_json j =
+  let detail () =
+    match Option.bind (Json.member "d" j) Json.to_str with Some d -> d | None -> ""
+  in
+  match Option.bind (Json.member "k" j) Json.to_str with
+  | Some "c" -> (
+      match Option.bind (Json.member "v" j) Json.to_float with
+      | Some v -> Ok (Completed v)
+      | None -> Error "completed outcome without a numeric value")
+  | Some "t" -> Ok (Timeout (detail ()))
+  | Some "x" -> Ok (Crashed (detail ()))
+  | Some "o" -> Ok (Corrupted (detail ()))
+  | Some k -> Error (Printf.sprintf "unknown outcome kind %S" k)
+  | None -> Error "outcome without a kind"
+
+let meta_line ~skey ~runs ~resilient ~chunk_size ~config =
+  Json.to_string
+    (Json.Obj
+       [
+         ("kind", Json.String "meta");
+         ("schema", Json.String schema_version);
+         ("key", Json.String skey);
+         ("runs", Json.Int runs);
+         ("resilient", Json.Bool resilient);
+         ("chunk_size", Json.Int chunk_size);
+         ( "config",
+           Json.Obj
+             (List.map (fun (k, v) -> (k, Json.String v)) (List.sort compare config)) );
+       ])
+
+let chunk_line ~phase ~lo payload =
+  match payload with
+  | Floats values ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("kind", Json.String "chunk");
+             ("phase", Json.String phase);
+             ("lo", Json.Int lo);
+             ( "values",
+               Json.List (Array.to_list (Array.map (fun v -> Json.Float v) values)) );
+           ])
+  | Trails runs ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("kind", Json.String "rchunk");
+             ("phase", Json.String phase);
+             ("lo", Json.Int lo);
+             ( "runs",
+               Json.List
+                 (Array.to_list
+                    (Array.map
+                       (fun trail -> Json.List (List.map json_of_outcome trail))
+                       runs)) );
+           ])
+
+(* ------------------------------------------------------------------ *)
+(* Record parsing *)
+
+type meta = {
+  m_key : string;
+  m_runs : int;
+  m_resilient : bool;
+  m_csize : int;
+  m_config : (string * string) list;
+}
+
+let parse_meta line =
+  match Json.of_string line with
+  | Error e -> Error (Printf.sprintf "meta line unreadable (%s)" e)
+  | Ok j -> (
+      let str f = Option.bind (Json.member f j) Json.to_str in
+      let int f = Option.bind (Json.member f j) Json.to_int in
+      let bool f = Option.bind (Json.member f j) Json.to_bool in
+      match (str "kind", str "schema") with
+      | Some "meta", Some s when s = schema_version -> (
+          let config =
+            match Json.member "config" j with
+            | Some (Json.Obj fields) ->
+                let ok =
+                  List.for_all (function _, Json.String _ -> true | _ -> false) fields
+                in
+                if ok then
+                  Some
+                    (List.map
+                       (function
+                         | k, Json.String v -> (k, v)
+                         | _ -> assert false (* filtered above *))
+                       fields)
+                else None
+            | _ -> None
+          in
+          match (str "key", int "runs", bool "resilient", int "chunk_size", config) with
+          | Some m_key, Some m_runs, Some m_resilient, Some m_csize, Some m_config ->
+              Ok { m_key; m_runs; m_resilient; m_csize; m_config }
+          | _ -> Error "meta line is missing fields")
+      | Some "meta", Some s ->
+          Error (Printf.sprintf "schema %S, this build reads %S" s schema_version)
+      | _ -> Error "first line is not a meta line")
+
+let floats_of_json = function
+  | Json.List items ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | j :: rest -> (
+            match Json.to_float j with
+            | Some v -> go (v :: acc) rest
+            | None -> Error "non-numeric value in chunk")
+      in
+      go [] items
+  | _ -> Error "chunk values is not a list"
+
+let trails_of_json = function
+  | Json.List items ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | Json.List os :: rest -> (
+            let rec outcomes acc' = function
+              | [] -> Ok (List.rev acc')
+              | o :: tl -> (
+                  match outcome_of_json o with
+                  | Ok o -> outcomes (o :: acc') tl
+                  | Error e -> Error e)
+            in
+            match outcomes [] os with
+            | Ok trail -> go (trail :: acc) rest
+            | Error e -> Error e)
+        | _ :: _ -> Error "trail is not a list"
+      in
+      go [] items
+  | _ -> Error "rchunk runs is not a list"
+
+(* One parsed, layout-validated chunk line. *)
+type parsed_chunk = { c_phase : string; c_lo : int; c_payload : payload; c_line : string }
+
+(* Validate one chunk line against the fixed layout and the per-phase
+   write frontier.  Anything off — wrong kind for the record, lo not at
+   the frontier, wrong length, parse failure — is a tail defect: the
+   record's valid prefix ends just before this line. *)
+let parse_chunk_line ~meta ~frontier ~lineno line =
+  match Json.of_string line with
+  | Error e -> Error (Printf.sprintf "line %d unreadable (%s)" lineno e)
+  | Ok j -> (
+      let str f = Option.bind (Json.member f j) Json.to_str in
+      let int f = Option.bind (Json.member f j) Json.to_int in
+      let payload =
+        match str "kind" with
+        | Some "chunk" when not meta.m_resilient -> (
+            match Json.member "values" j with
+            | Some v -> Result.map (fun a -> Floats a) (floats_of_json v)
+            | None -> Error "chunk without values")
+        | Some "rchunk" when meta.m_resilient -> (
+            match Json.member "runs" j with
+            | Some v -> Result.map (fun a -> Trails a) (trails_of_json v)
+            | None -> Error "rchunk without runs")
+        | Some k -> Error (Printf.sprintf "unexpected line kind %S" k)
+        | None -> Error "line without a kind"
+      in
+      match (str "phase", int "lo", payload) with
+      | Some c_phase, Some c_lo, Ok c_payload ->
+          let front =
+            match Hashtbl.find_opt frontier c_phase with Some f -> f | None -> 0
+          in
+          let expected = Stdlib.min meta.m_csize (meta.m_runs - c_lo) in
+          if c_lo <> front then
+            Error
+              (Printf.sprintf "line %d: %s chunk at %d, expected frontier %d" lineno
+                 c_phase c_lo front)
+          else if c_lo >= meta.m_runs then
+            Error (Printf.sprintf "line %d: chunk beyond run count" lineno)
+          else if payload_len c_payload <> expected then
+            Error
+              (Printf.sprintf "line %d: chunk at %d has %d runs, layout expects %d"
+                 lineno c_lo (payload_len c_payload) expected)
+          else begin
+            Hashtbl.replace frontier c_phase (c_lo + expected);
+            Ok { c_phase; c_lo; c_payload; c_line = line }
+          end
+      | _, _, Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      | _ -> Error (Printf.sprintf "line %d: chunk without phase/lo" lineno))
+
+let read_lines file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+type parsed_record = {
+  r_meta : meta;
+  r_chunks : parsed_chunk list;  (* file order; the valid prefix *)
+  r_frontier : (string, int) Hashtbl.t;
+  r_defect : string option;  (* first invalid line, if any *)
+}
+
+let parse_record file =
+  match read_lines file with
+  | [] | (exception Sys_error _) -> Error "record unreadable or empty"
+  | meta_ln :: rest -> (
+      match parse_meta meta_ln with
+      | Error e -> Error e
+      | Ok r_meta ->
+          let frontier = Hashtbl.create 4 in
+          let rec go lineno acc = function
+            | [] -> (List.rev acc, None)
+            | "" :: tl -> go (lineno + 1) acc tl (* tolerate a trailing blank *)
+            | line :: tl -> (
+                match parse_chunk_line ~meta:r_meta ~frontier ~lineno line with
+                | Ok c -> go (lineno + 1) (c :: acc) tl
+                | Error e -> (List.rev acc, Some e))
+          in
+          let r_chunks, r_defect = go 2 [] rest in
+          Ok { r_meta; r_chunks; r_frontier = frontier; r_defect })
+
+(* ------------------------------------------------------------------ *)
+(* Sessions *)
+
+type session = {
+  skey : string;
+  file : string;
+  csize : int;
+  s_runs : int;
+  s_resilient : bool;
+  cached : (string * int, payload) Hashtbl.t;  (* (phase, lo) -> chunk *)
+  frontier : (string, int) Hashtbl.t;  (* phase -> next lo to append *)
+  at_open : (string, int) Hashtbl.t;  (* frontier snapshot at open time *)
+  mutable oc : out_channel option;
+  mutable fail_after : int option;
+  mutable appended : int;
+  mutable closed : bool;
+}
+
+let session_key s = s.skey
+let chunk_size s = s.csize
+
+let cached_runs s ~phase =
+  match Hashtbl.find_opt s.at_open phase with Some f -> f | None -> 0
+
+let complete s ~phase = cached_runs s ~phase >= s.s_runs
+let set_fail_after s n = s.fail_after <- Some n
+
+let fail_after_from_env () =
+  Option.bind (Sys.getenv_opt "MBPTA_STORE_FAIL_AFTER_CHUNKS") int_of_string_opt
+
+let mk_session ~skey ~file ~csize ~runs ~resilient ~cached ~frontier ~oc =
+  let at_open = Hashtbl.copy frontier in
+  {
+    skey;
+    file;
+    csize;
+    s_runs = runs;
+    s_resilient = resilient;
+    cached;
+    frontier;
+    at_open;
+    oc;
+    fail_after = fail_after_from_env ();
+    appended = 0;
+    closed = false;
+  }
+
+let open_session ?(chunk_size = default_chunk_size) ?(resume = false) t ~key:skey
+    ~config ~runs ~resilient =
+  if runs < 0 then invalid_arg "Store.open_session: negative runs";
+  if chunk_size < 1 then invalid_arg "Store.open_session: chunk_size must be >= 1";
+  let derived = key ~chunk_size config in
+  if derived <> skey then
+    Error
+      (Printf.sprintf "store: key %s does not match its configuration (digest %s)" skey
+         derived)
+  else begin
+    let file = Filename.concat t.root (skey ^ ".jsonl") in
+    let meta = meta_line ~skey ~runs ~resilient ~chunk_size ~config in
+    let fresh () =
+      (* Eager meta write: an unwritable store fails before any simulation
+         time is spent, and a killed campaign always leaves a parseable
+         record. *)
+      let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 file in
+      output_string oc meta;
+      output_char oc '\n';
+      flush oc;
+      Ok
+        (mk_session ~skey ~file ~csize:chunk_size ~runs ~resilient
+           ~cached:(Hashtbl.create 16) ~frontier:(Hashtbl.create 4) ~oc:(Some oc))
+    in
+    if not (Sys.file_exists file) then fresh ()
+    else
+      match parse_record file with
+      | Error e -> Error (Printf.sprintf "store: %s: %s" file e)
+      | Ok r ->
+          let m = r.r_meta in
+          if m.m_key <> skey || m.m_runs <> runs || m.m_resilient <> resilient
+             || m.m_csize <> chunk_size
+             || List.sort compare m.m_config <> List.sort compare config
+          then
+            Error
+              (Printf.sprintf
+                 "store: %s: record metadata disagrees with this campaign (inspect \
+                  with `cache ls`, reclaim with `cache gc`)"
+                 file)
+          else begin
+            let covered = Hashtbl.fold (fun _ f acc -> Stdlib.min f acc) r.r_frontier max_int in
+            let is_complete =
+              r.r_defect = None
+              && (runs = 0 || (Hashtbl.length r.r_frontier > 0 && covered >= runs))
+            in
+            let adopt () =
+              let cached = Hashtbl.create 16 in
+              List.iter
+                (fun c -> Hashtbl.replace cached (c.c_phase, c.c_lo) c.c_payload)
+                r.r_chunks;
+              mk_session ~skey ~file ~csize:chunk_size ~runs ~resilient ~cached
+                ~frontier:r.r_frontier ~oc:None
+            in
+            if is_complete then Ok (adopt ())
+            else if not resume then fresh ()
+            else begin
+              (* Resume: keep the valid prefix.  If validation dropped a
+                 defective tail, rewrite the record to exactly the prefix
+                 (atomically, tmp + rename) so the on-disk bytes and the
+                 in-memory cache agree before we append. *)
+              (match r.r_defect with
+              | None -> ()
+              | Some _ ->
+                  let tmp = file ^ ".tmp" in
+                  let oc =
+                    open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp
+                  in
+                  output_string oc meta;
+                  output_char oc '\n';
+                  List.iter
+                    (fun c ->
+                      output_string oc c.c_line;
+                      output_char oc '\n')
+                    r.r_chunks;
+                  close_out oc;
+                  Sys.rename tmp file);
+              Ok (adopt ())
+            end
+          end
+  end
+
+let close s =
+  if not s.closed then begin
+    s.closed <- true;
+    match s.oc with
+    | Some oc ->
+        s.oc <- None;
+        (try flush oc with Sys_error _ -> ());
+        close_out_noerr oc
+    | None -> ()
+  end
+
+let ensure_oc s =
+  match s.oc with
+  | Some oc -> oc
+  | None ->
+      let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 s.file in
+      s.oc <- Some oc;
+      oc
+
+let expected_len s ~lo = Stdlib.min s.csize (s.s_runs - lo)
+
+let lookup_payload s ~phase ~lo ~len =
+  match Hashtbl.find_opt s.cached (phase, lo) with
+  | Some p when payload_len p = len -> Some p
+  | _ -> None
+
+let persist_payload s ~phase ~lo payload =
+  if s.closed then invalid_arg "Store.persist: session is closed";
+  if lo < 0 || lo >= s.s_runs then
+    invalid_arg (Printf.sprintf "Store.persist: chunk offset %d out of range" lo);
+  let front = match Hashtbl.find_opt s.frontier phase with Some f -> f | None -> 0 in
+  if lo <> front then
+    invalid_arg
+      (Printf.sprintf "Store.persist: %s chunk at %d, write frontier is %d" phase lo
+         front);
+  let len = payload_len payload in
+  if len <> expected_len s ~lo then
+    invalid_arg
+      (Printf.sprintf "Store.persist: %s chunk at %d has %d runs, layout expects %d"
+         phase lo len (expected_len s ~lo));
+  (match (payload, s.s_resilient) with
+  | Floats _, true ->
+      invalid_arg "Store.persist: resilient record expects attempt trails"
+  | Trails _, false ->
+      invalid_arg "Store.persist_trails: fault-free record expects plain samples"
+  | _ -> ());
+  (match s.fail_after with
+  | Some n when n <= 0 -> raise (Injected_crash { appended_chunks = s.appended })
+  | Some n -> s.fail_after <- Some (n - 1)
+  | None -> ());
+  let oc = ensure_oc s in
+  output_string oc (chunk_line ~phase ~lo payload);
+  output_char oc '\n';
+  (* The flush is the checkpoint barrier: after it returns, this chunk
+     survives a kill. *)
+  flush oc;
+  s.appended <- s.appended + 1;
+  Hashtbl.replace s.cached (phase, lo) payload;
+  Hashtbl.replace s.frontier phase (lo + len)
+
+let lookup s ~phase ~lo ~len =
+  match lookup_payload s ~phase ~lo ~len with Some (Floats a) -> Some a | _ -> None
+
+let lookup_trails s ~phase ~lo ~len =
+  match lookup_payload s ~phase ~lo ~len with Some (Trails a) -> Some a | _ -> None
+
+let persist s ~phase ~lo a = persist_payload s ~phase ~lo (Floats a)
+let persist_trails s ~phase ~lo a = persist_payload s ~phase ~lo (Trails a)
+
+(* ------------------------------------------------------------------ *)
+(* Collect drivers *)
+
+let emit_cache_events trace s ~phase n =
+  match trace with
+  | None -> ()
+  | Some t ->
+      let cached = Stdlib.min (cached_runs s ~phase) n in
+      (if cached >= n then
+         Trace.emit t (Trace.Cache_hit { phase; key = s.skey; runs = n })
+       else if cached = 0 then Trace.emit t (Trace.Cache_miss { phase; key = s.skey })
+       else
+         Trace.emit t
+           (Trace.Resume { phase; key = s.skey; cached_runs = cached; total_runs = n }));
+      let counters = Trace.counters t in
+      Trace.Counters.add counters "cache.runs_cached" cached;
+      Trace.Counters.add counters "cache.runs_simulated" (n - cached)
+
+let check_runs s fn n =
+  if n <> s.s_runs then
+    invalid_arg
+      (Printf.sprintf "Store.%s: %d runs requested, session holds %d" fn n s.s_runs)
+
+let collect ?trace ?jobs s ~phase n f =
+  check_runs s "collect" n;
+  emit_cache_events trace s ~phase n;
+  Parallel.init_checkpointed ?trace ?jobs ~chunk_size:s.csize
+    ~lookup:(fun ~lo ~len -> lookup s ~phase ~lo ~len)
+    ~persist:(fun ~lo a -> persist s ~phase ~lo a)
+    n f
+
+let collect_trails ?trace ?jobs s ~phase n f =
+  check_runs s "collect_trails" n;
+  emit_cache_events trace s ~phase n;
+  Parallel.init_checkpointed ?trace ?jobs ~chunk_size:s.csize
+    ~lookup:(fun ~lo ~len -> lookup_trails s ~phase ~lo ~len)
+    ~persist:(fun ~lo a -> persist_trails s ~phase ~lo a)
+    n f
+
+(* ------------------------------------------------------------------ *)
+(* Inspection *)
+
+type status = Complete | Partial of string | Corrupt of string
+
+type entry = {
+  file : string;
+  entry_key : string;
+  runs : int;
+  resilient : bool;
+  config : (string * string) list;
+  phases : (string * int) list;
+  bytes : int;
+  status : status;
+}
+
+let file_bytes file =
+  match open_in_bin file with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> in_channel_length ic)
+  | exception Sys_error _ -> 0
+
+let entry_of_file t name =
+  let file = Filename.concat t.root name in
+  let entry_key = Filename.chop_suffix name ".jsonl" in
+  let bytes = file_bytes file in
+  let corrupt reason =
+    {
+      file;
+      entry_key;
+      runs = 0;
+      resilient = false;
+      config = [];
+      phases = [];
+      bytes;
+      status = Corrupt reason;
+    }
+  in
+  match parse_record file with
+  | Error e -> corrupt e
+  | Ok r ->
+      let m = r.r_meta in
+      let derived = key ~chunk_size:m.m_csize m.m_config in
+      if m.m_key <> entry_key then
+        corrupt (Printf.sprintf "meta key %s does not match filename" m.m_key)
+      else if derived <> entry_key then
+        corrupt
+          (Printf.sprintf "content digest %s does not match filename (record edited?)"
+             derived)
+      else begin
+        let phases =
+          Hashtbl.fold (fun p f acc -> (p, f) :: acc) r.r_frontier []
+          |> List.sort compare
+        in
+        let covered = List.fold_left (fun acc (_, f) -> Stdlib.min acc f) max_int phases in
+        let status =
+          match r.r_defect with
+          | Some d when phases = [] -> Corrupt d
+          | Some d ->
+              Partial
+                (Printf.sprintf "valid prefix kept, tail dropped: %s" d)
+          | None ->
+              if m.m_runs = 0 || (phases <> [] && covered >= m.m_runs) then Complete
+              else if phases = [] then Partial "no samples collected yet"
+              else
+                Partial
+                  (String.concat ", "
+                     (List.map
+                        (fun (p, f) -> Printf.sprintf "%s %d/%d" p f m.m_runs)
+                        phases))
+        in
+        {
+          file;
+          entry_key;
+          runs = m.m_runs;
+          resilient = m.m_resilient;
+          config = m.m_config;
+          phases;
+          bytes;
+          status;
+        }
+      end
+
+let ls t =
+  Sys.readdir t.root |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+  |> List.sort compare
+  |> List.map (entry_of_file t)
+
+let gc ?(partial = false) t =
+  let victims =
+    List.filter
+      (fun e ->
+        match e.status with
+        | Corrupt _ -> true
+        | Partial _ -> partial
+        | Complete -> false)
+      (ls t)
+  in
+  let freed =
+    List.fold_left
+      (fun acc e ->
+        match Sys.remove e.file with
+        | () -> acc + e.bytes
+        | exception Sys_error _ -> acc)
+      0 victims
+  in
+  (victims, freed)
+
+let pp_entry ppf e =
+  let status =
+    match e.status with
+    | Complete -> "complete"
+    | Partial d -> "partial (" ^ d ^ ")"
+    | Corrupt d -> "corrupt (" ^ d ^ ")"
+  in
+  Format.fprintf ppf "%s  runs=%d%s  %dB  %s" e.entry_key e.runs
+    (if e.resilient then "  resilient" else "")
+    e.bytes status

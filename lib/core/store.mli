@@ -1,0 +1,190 @@
+(** Persistent, content-addressed measurement store with campaign
+    checkpoint/resume.
+
+    The paper's protocol needs 3,000+ end-to-end simulator runs per
+    configuration; at production scale campaigns must survive interruption
+    and a re-analysis must not re-simulate measurements that already exist
+    — the same reason fault-tolerant satellite software checkpoints to
+    bound re-execution cost.  This module is that checkpoint layer.
+
+    {b Content addressing.}  A campaign record is addressed by {!key}: a
+    stable digest of the full measurement configuration (platform config,
+    scenario, seeds, run count, SEU/fault settings) plus {!schema_version}
+    and the checkpoint chunk size.  Anything that could change a stored
+    byte changes the key, so records never need invalidation — a stale
+    configuration simply hashes somewhere else.  Analysis-only options
+    (tail model, gates, engineering factor) are deliberately {e not} part
+    of the key: re-analysing the same measurements is a pure cache hit.
+
+    {b Record format.}  One JSONL file per key, [<key>.jsonl] under the
+    store root, reusing {!Trace.Json} (bit-exact float round-trip):
+
+    - line 1 — [meta]: schema, key, runs, resilient flag, chunk size, and
+      the full config for human inspection ([cache ls]);
+    - then [chunk] (fault-free: an array of measured cycles) or [rchunk]
+      (resilient: per-run attempt trails) lines, appended at every
+      checkpoint barrier in deterministic ascending order per phase.
+
+    Each phase's chunks must form a contiguous prefix of the fixed chunk
+    layout; the first malformed or out-of-place line (a campaign killed
+    mid-write, a corrupted disk block) invalidates that line and everything
+    after it, never the valid prefix before it.
+
+    {b Determinism contract.}  Chunk layout is a pure function of the run
+    count (never of [--jobs]), each run's value is a pure function of its
+    index (the seed-derivation contract), and floats round-trip bit-exact.
+    Hence a campaign resumed from any valid prefix — or served entirely
+    from cache — returns samples bit-identical to a cold sequential run at
+    any job count. *)
+
+val schema_version : string
+(** ["store/v1"] — bumped on any record-format change, which (being part
+    of the digest) retires every old record automatically. *)
+
+val default_chunk_size : int
+(** Runs per checkpoint chunk (256): small enough that an interrupted
+    3,000-run campaign loses little work, large enough that the per-chunk
+    fsync/append cost disappears next to simulation time. *)
+
+exception Injected_crash of { appended_chunks : int }
+(** Raised by the crash-injection test hook: when a session's fail-after
+    budget (the [MBPTA_STORE_FAIL_AFTER_CHUNKS] environment variable, or
+    {!set_fail_after}) is exhausted, the next checkpoint append raises
+    instead of writing — a deterministic mid-campaign kill for the resume
+    tests, bench, and CI smoke. *)
+
+(** {1 Store root} *)
+
+type t
+(** A store root directory. *)
+
+val open_root : dir:string -> t
+(** Create [dir] (and parents) if missing.  Raises [Sys_error]. *)
+
+val dir : t -> string
+
+val key : ?chunk_size:int -> (string * string) list -> string
+(** Stable content address of a campaign configuration: a hex digest of
+    {!schema_version}, the chunk size, and the config pairs in canonical
+    (name-sorted) order — so the digest does not depend on the order the
+    harness assembled the list in. *)
+
+(** {1 Sessions} *)
+
+(** One measurement attempt as persisted — mirrors
+    {!Resilience.outcome} without depending on it (the supervisor converts
+    at its boundary). *)
+type outcome =
+  | Completed of float
+  | Timeout of string
+  | Crashed of string
+  | Corrupted of string
+
+type trail = outcome list
+(** One run's attempt trail, attempt 0 first. *)
+
+type session
+(** An open campaign record: cached chunks parsed into memory, appends go
+    to the record file (flushed at every checkpoint barrier). *)
+
+val open_session :
+  ?chunk_size:int ->
+  ?resume:bool ->
+  t ->
+  key:string ->
+  config:(string * string) list ->
+  runs:int ->
+  resilient:bool ->
+  (session, string) result
+(** Open (or create) the record for [key].
+
+    - no record on disk — fresh session, meta line written immediately
+      (an unwritable store fails fast);
+    - complete record — every chunk served from cache, regardless of
+      [resume];
+    - partial or tail-corrupt record — with [resume = true] (default
+      [false]) the valid prefix is kept (the file is rewritten to exactly
+      that prefix) and the campaign continues from the first missing
+      chunk; with [resume = false] the record is discarded and the
+      campaign starts cold;
+    - meta mismatch (foreign schema, key/config/runs/resilient/chunk-size
+      disagreement) — [Error]: the record is not touched; inspect it with
+      [cache verify] / reclaim it with [cache gc].
+
+    Raises [Sys_error] when the record file cannot be created. *)
+
+val close : session -> unit
+(** Flush and close the record file.  Idempotent. *)
+
+val session_key : session -> string
+val chunk_size : session -> int
+
+val cached_runs : session -> phase:string -> int
+(** Runs of [phase] served by the record's valid prefix. *)
+
+val complete : session -> phase:string -> bool
+
+val set_fail_after : session -> int -> unit
+(** Crash-injection hook: allow this many more checkpoint appends, then
+    raise {!Injected_crash} (see the exception above). *)
+
+(** {1 Chunk-granular access}
+
+    The lookup/persist pair handed to {!Parallel.init_checkpointed}.
+    [lookup] only serves exact layout matches; [persist] appends at the
+    record's write frontier for that phase (out-of-order appends are
+    rejected with [Invalid_argument] — the checkpoint driver calls in
+    ascending order by construction). *)
+
+val lookup : session -> phase:string -> lo:int -> len:int -> float array option
+val persist : session -> phase:string -> lo:int -> float array -> unit
+val lookup_trails : session -> phase:string -> lo:int -> len:int -> trail array option
+val persist_trails : session -> phase:string -> lo:int -> trail array -> unit
+
+(** {1 Collect drivers} *)
+
+val collect :
+  ?trace:Trace.t -> ?jobs:int -> session -> phase:string -> int -> (int -> float) -> float array
+(** [collect session ~phase runs f] — the checkpointed fault-free
+    measurement pass: cached chunks are served without calling [f],
+    missing chunks are computed on the domain pool and appended at their
+    checkpoint barrier.  Emits one {!Trace.Cache_hit} / {!Trace.Resume} /
+    {!Trace.Cache_miss} event and bumps the [cache.runs_cached] /
+    [cache.runs_simulated] counters when a trace is attached.  Raises
+    [Invalid_argument] if [runs] disagrees with the session. *)
+
+val collect_trails :
+  ?trace:Trace.t -> ?jobs:int -> session -> phase:string -> int -> (int -> trail) -> trail array
+(** Resilient-campaign counterpart of {!collect}: per-run attempt trails
+    instead of bare cycle counts. *)
+
+(** {1 Inspection — the [cache] subcommand} *)
+
+type status =
+  | Complete  (** every phase chunk present and valid *)
+  | Partial of string  (** valid but unfinished; the payload says how far it got *)
+  | Corrupt of string  (** first defect found; the record is unusable as-is *)
+
+type entry = {
+  file : string;  (** absolute path of the record *)
+  entry_key : string;  (** key from the filename *)
+  runs : int;
+  resilient : bool;
+  config : (string * string) list;
+  phases : (string * int) list;  (** phase -> runs covered by valid chunks *)
+  bytes : int;
+  status : status;
+}
+
+val ls : t -> entry list
+(** Parse and fully validate every [*.jsonl] record under the root, sorted
+    by key.  Validation includes re-deriving the digest from the stored
+    config and comparing it with the filename — a record whose content no
+    longer matches its address is [Corrupt]. *)
+
+val gc : ?partial:bool -> t -> entry list * int
+(** Remove corrupt records — and, with [partial = true], incomplete ones
+    (which are otherwise kept: they are resumable).  Returns the removed
+    entries and the bytes freed. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -47,6 +47,9 @@ type event =
       gof_ks_p : float;
       gof_ad_stat : float;
     }
+  | Cache_hit of { phase : string; key : string; runs : int }
+  | Cache_miss of { phase : string; key : string }
+  | Resume of { phase : string; key : string; cached_runs : int; total_runs : int }
   | Counter of { name : string; value : int }
   | Note of string
 
@@ -371,6 +374,26 @@ let json_of_event e =
           kv "gof_ks_p" (Float gof_ks_p);
           kv "gof_ad_stat" (Float gof_ad_stat);
         ]
+  | Cache_hit { phase; key; runs } ->
+      Obj
+        [
+          kv "kind" (String "cache_hit");
+          kv "phase" (String phase);
+          kv "key" (String key);
+          kv "runs" (Int runs);
+        ]
+  | Cache_miss { phase; key } ->
+      Obj
+        [ kv "kind" (String "cache_miss"); kv "phase" (String phase); kv "key" (String key) ]
+  | Resume { phase; key; cached_runs; total_runs } ->
+      Obj
+        [
+          kv "kind" (String "resume");
+          kv "phase" (String phase);
+          kv "key" (String key);
+          kv "cached_runs" (Int cached_runs);
+          kv "total_runs" (Int total_runs);
+        ]
   | Counter { name; value } ->
       Obj [ kv "kind" (String "counter"); kv "name" (String name); kv "value" (Int value) ]
   | Note note -> Obj [ kv "kind" (String "note"); kv "note" (String note) ]
@@ -459,6 +482,21 @@ let event_of_json j =
             | _ -> []
           in
           Ok (Evt_fit { tail; block_size; params; gof_ks_p; gof_ad_stat })
+      | "cache_hit" ->
+          let* phase = str "phase" in
+          let* key = str "key" in
+          let* runs = int "runs" in
+          Ok (Cache_hit { phase; key; runs })
+      | "cache_miss" ->
+          let* phase = str "phase" in
+          let* key = str "key" in
+          Ok (Cache_miss { phase; key })
+      | "resume" ->
+          let* phase = str "phase" in
+          let* key = str "key" in
+          let* cached_runs = int "cached_runs" in
+          let* total_runs = int "total_runs" in
+          Ok (Resume { phase; key; cached_runs; total_runs })
       | "counter" ->
           let* name = str "name" in
           let* value = int "value" in
@@ -529,7 +567,24 @@ type t = {
   mutex : Mutex.t;
 }
 
+(* mkdir -p for a trace/store destination; raises [Sys_error] with the
+   offending path when a component cannot be created. *)
+let rec ensure_dir dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let create ?(level = Runs) ~path () =
+  (* Fail fast: opening the file lazily at flush time would report a bad
+     path only after the whole campaign ran.  Touch it (append mode, so an
+     existing trace is preserved) before any measurement starts. *)
+  ensure_dir (Filename.dirname path);
+  (match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path with
+  | oc -> close_out oc
+  | exception Sys_error e -> raise (Sys_error (Printf.sprintf "trace: cannot open %s" e)));
   let t =
     {
       lvl = level;
@@ -553,7 +608,8 @@ let event_level = function
   | Chunk _ -> Debug
   | Run _ | Fault _ -> Runs
   | Meta _ | Config _ | Campaign_start _ | Campaign_end _ | Phase_start _ | Phase_end _
-  | Iid_result _ | Convergence _ | Evt_fit _ | Counter _ | Note _ ->
+  | Iid_result _ | Convergence _ | Evt_fit _ | Counter _ | Note _ | Cache_hit _
+  | Cache_miss _ | Resume _ ->
       Summary
 
 let emit t e =
@@ -686,6 +742,7 @@ let summarize events =
   let convergence = ref None in
   let fits = ref [] in
   let counters = ref [] in
+  let cache = ref [] (* store activity, reverse encounter order *) in
   let meta = ref None in
   List.iter
     (fun e ->
@@ -723,6 +780,16 @@ let summarize events =
       | Convergence { converged; runs_used } -> convergence := Some (converged, runs_used)
       | Evt_fit { tail; block_size; params; gof_ks_p; gof_ad_stat } ->
           fits := (tail, block_size, params, gof_ks_p, gof_ad_stat) :: !fits
+      | Cache_hit { phase; key; runs } ->
+          cache :=
+            Printf.sprintf "%s: full cache hit (%d runs, key %s)" phase runs key :: !cache
+      | Cache_miss { phase; key } ->
+          cache := Printf.sprintf "%s: cache miss (key %s)" phase key :: !cache
+      | Resume { phase; key; cached_runs; total_runs } ->
+          cache :=
+            Printf.sprintf "%s: resumed (%d of %d runs cached, key %s)" phase cached_runs
+              total_runs key
+            :: !cache
       | Counter { name; value } -> counters := (name, value) :: !counters
       | Note n -> notes := n :: !notes)
     events;
@@ -794,6 +861,9 @@ let summarize events =
       List.iter (fun (k, v) -> add ", %s=%.4g" k v) params;
       add " (KS p=%.4f, AD=%.3f)\n" gof_ks_p gof_ad_stat)
     (List.rev !fits);
+  (match List.rev !cache with
+  | [] -> ()
+  | cs -> List.iter (fun c -> add "store %s\n" c) cs);
   (match List.rev !notes with
   | [] -> ()
   | ns -> List.iter (fun n -> add "note: %s\n" n) ns);

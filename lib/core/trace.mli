@@ -33,6 +33,33 @@ type level = Summary | Runs | Debug
 val level_of_string : string -> (level, string) result
 val level_to_string : level -> string
 
+(** Minimal JSON used by the trace schema and the measurement store
+    ({!Store}): exactly the value subset the writers emit.  Floats are
+    printed with [%.17g] (plus a forced decimal point), so a written float
+    parses back to the same bits — the property the store's bit-identical
+    resume contract rests on. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  (** Parse one JSON document; [Error] carries the offset of the defect. *)
+  val of_string : string -> (t, string) result
+
+  val member : string -> t -> t option
+  val to_int : t -> int option
+  val to_float : t -> float option
+  val to_str : t -> string option
+  val to_bool : t -> bool option
+end
+
 (** Trace event schema, version [trace/v1] (see DESIGN.md section 9).
     Every event serializes to one JSON object per line; [of_line] inverts
     [to_line] (numeric fields round-trip exactly). *)
@@ -72,6 +99,12 @@ type event =
       gof_ks_p : float;
       gof_ad_stat : float;
     }
+  | Cache_hit of { phase : string; key : string; runs : int }
+      (** a phase's whole sample was served from the measurement store *)
+  | Cache_miss of { phase : string; key : string }
+      (** no cached chunks for this phase; a full measurement pass runs *)
+  | Resume of { phase : string; key : string; cached_runs : int; total_runs : int }
+      (** an interrupted campaign continues from its last complete chunk *)
   | Counter of { name : string; value : int }
       (** rolled-up counter totals, one per registered name, appended on
           flush in name order *)
@@ -93,9 +126,15 @@ end
 
 type t
 
+(** [ensure_dir dir] — create [dir] and any missing parents ([mkdir -p]).
+    Raises [Sys_error] naming the component that could not be created. *)
+val ensure_dir : string -> unit
+
 (** [create ?level ~path ()] opens a trace that will be written to [path]
     (appending if the file exists) on {!close}/{!flush}.  [level] defaults
-    to {!Runs}. *)
+    to {!Runs}.  The parent directory is created if missing and the file is
+    touched immediately, so an unwritable destination fails fast (with
+    [Sys_error]) instead of after the campaign ran. *)
 val create : ?level:level -> path:string -> unit -> t
 
 val level : t -> level

@@ -25,9 +25,14 @@ let percentile sorted p =
 
 let pwcet_interval ?(replicates = 200) ?(confidence = 0.95) ~prng ~sample
     ~cutoff_probability () =
-  assert (replicates >= 20 && confidence > 0. && confidence < 1.);
+  if replicates < 20 then
+    invalid_arg "Bootstrap.pwcet_interval: replicates must be >= 20";
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Bootstrap.pwcet_interval: confidence must lie in (0, 1)";
   let n = Array.length sample in
-  assert (n >= 60);
+  if n < 60 then
+    invalid_arg
+      (Printf.sprintf "Bootstrap.pwcet_interval: %d observations, need at least 60" n);
   let point = estimate_on sample ~cutoff_probability in
   let resample = Array.make n 0. in
   let estimates =

@@ -13,7 +13,12 @@ let estimate_at xs probability =
 let study ?(probability = 1e-9) ?(step = 100) ?(tolerance = 0.01) ?(stable_steps = 3)
     ?(min_runs = 100) xs =
   let n = Array.length xs in
-  assert (n >= min_runs && step >= 1 && stable_steps >= 1);
+  if step < 1 then invalid_arg "Convergence.study: step must be >= 1";
+  if stable_steps < 1 then invalid_arg "Convergence.study: stable_steps must be >= 1";
+  if n < min_runs then
+    invalid_arg
+      (Printf.sprintf "Convergence.study: %d runs, need at least min_runs = %d" n
+         min_runs);
   let rec go used previous streak acc =
     if used > n then
       { converged = false; runs_used = n; history = List.rev acc }

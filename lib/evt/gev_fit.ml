@@ -24,7 +24,10 @@ let log2 = log 2.
 let gamma_fn x = exp (Stats.Special.log_gamma x)
 
 let fit_pwm xs =
-  assert (Array.length xs >= 4);
+  if Array.length xs < 4 then
+    invalid_arg
+      (Printf.sprintf "Gev_fit.fit_pwm: %d block maxima, need at least 4"
+         (Array.length xs));
   let b0, b1, b2 = pwm xs in
   let c = (((2. *. b1) -. b0) /. ((3. *. b2) -. b0)) -. (log2 /. log 3.) in
   (* Hosking's approximation of the shape (his k = -xi). *)

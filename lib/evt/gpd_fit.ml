@@ -7,7 +7,10 @@ type method_ = Pwm | Mle | Exponential
    a1 = E[X (1 - F(X))] of the excesses:
      xi = 2 - a0 / (a0 - 2 a1),  sigma = 2 a0 a1 / (a0 - 2 a1). *)
 let fit_pwm ~threshold excesses =
-  assert (Array.length excesses >= 4);
+  if Array.length excesses < 4 then
+    invalid_arg
+      (Printf.sprintf "Gpd_fit.fit_pwm: %d excesses, need at least 4"
+         (Array.length excesses));
   let sorted = Array.copy excesses in
   Array.sort compare sorted;
   let n = Array.length sorted in
@@ -57,12 +60,13 @@ let fit_mle ~threshold excesses =
    of the excesses. *)
 let fit_exponential ~threshold excesses =
   let n = Array.length excesses in
-  assert (n >= 1);
+  if n < 1 then invalid_arg "Gpd_fit.fit_exponential: empty excess sample";
   let mean = Array.fold_left ( +. ) 0. excesses /. float_of_int n in
   Gpd.create ~u:threshold ~sigma:(Float.max mean 1e-9) ~xi:0.
 
 let fit ?(method_ = Pwm) ~threshold excesses =
-  assert (Array.for_all (fun e -> e >= 0.) excesses);
+  if not (Array.for_all (fun e -> e >= 0.) excesses) then
+    invalid_arg "Gpd_fit.fit: excesses must be non-negative (x - threshold)";
   match method_ with
   | Pwm -> fit_pwm ~threshold excesses
   | Mle -> fit_mle ~threshold excesses
@@ -77,7 +81,8 @@ module Pot = struct
   }
 
   let analyze ?(method_ = Pwm) ?(quantile = 0.9) xs =
-    assert (quantile > 0. && quantile < 1.);
+    if not (quantile > 0. && quantile < 1.) then
+      invalid_arg "Pot.analyze: quantile must lie in (0, 1)";
     let threshold = Stats.Descriptive.quantile xs quantile in
     let excesses =
       Array.to_list xs
@@ -96,6 +101,11 @@ module Pot = struct
     else t.exceedance_rate *. Gpd.survival t.model x
 
   let quantile_of_exceedance t p =
-    assert (p > 0. && p < t.exceedance_rate);
+    if not (p > 0. && p < t.exceedance_rate) then
+      invalid_arg
+        (Printf.sprintf
+           "Pot.quantile_of_exceedance: probability %g outside (0, %g) (the \
+            exceedance rate)"
+           p t.exceedance_rate);
     Gpd.quantile t.model (1. -. (p /. t.exceedance_rate))
 end

@@ -39,7 +39,8 @@ let fit_pwm xs =
    exponentials for numerical stability. *)
 let fit_mle xs =
   let n = Array.length xs in
-  assert (n >= 2);
+  if n < 2 then
+    invalid_arg (Printf.sprintf "Gumbel_fit.fit_mle: %d block maxima, need at least 2" n);
   let xmax = Stats.Descriptive.max xs in
   let neg_profile_log_likelihood beta =
     if beta <= 0. then infinity
@@ -62,7 +63,10 @@ let fit_mle xs =
   Gumbel.create ~mu ~beta
 
 let fit ?(method_ = Pwm) xs =
-  assert (Array.length xs >= 2);
+  if Array.length xs < 2 then
+    invalid_arg
+      (Printf.sprintf "Gumbel_fit.fit: %d block maxima, need at least 2"
+         (Array.length xs));
   match method_ with
   | Moments -> fit_moments xs
   | Pwm -> fit_pwm xs

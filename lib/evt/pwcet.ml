@@ -63,7 +63,7 @@ let estimate t ~cutoff_probability =
   model_quantile_of_exceedance t p_block
 
 let ccdf_series t ~decades_below =
-  assert (decades_below >= 1);
+  if decades_below < 1 then invalid_arg "Pwcet.ccdf_series: decades_below must be >= 1";
   let rec go k acc =
     (* two points per decade: 10^-k and 3.16 * 10^-(k+1) *)
     if k > float_of_int decades_below then List.rev acc

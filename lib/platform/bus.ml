@@ -7,7 +7,12 @@ type t = {
 }
 
 let create ~latencies ~contenders =
-  List.iter (fun p -> assert (p >= 0. && p <= 1.)) contenders;
+  List.iter
+    (fun p ->
+      if not (p >= 0. && p <= 1.) then
+        invalid_arg
+          (Printf.sprintf "Bus.create: contention probability %g outside [0, 1]" p))
+    contenders;
   {
     transfer = latencies.Config.bus_transfer;
     contenders = Array.of_list contenders;

@@ -109,7 +109,7 @@ let consume t (r : Instr.retired) =
   | Instr.No_op -> ()
 
 let advance t n =
-  assert (n >= 0);
+  if n < 0 then invalid_arg (Printf.sprintf "Core_sim.advance: negative cycles (%d)" n);
   t.cycles <- t.cycles + n
 
 let cycles t = t.cycles

@@ -11,7 +11,8 @@ type t = {
 }
 
 let create ~mode ~banks ~row_bytes ~latencies =
-  assert (banks >= 1 && row_bytes >= 1);
+  if banks < 1 then invalid_arg "Dram.create: banks must be >= 1";
+  if row_bytes < 1 then invalid_arg "Dram.create: row_bytes must be >= 1";
   {
     mode;
     banks;

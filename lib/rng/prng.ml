@@ -50,7 +50,8 @@ let rec float_pos t =
   if u > 0. then u else float_pos t
 
 let int_below t n =
-  assert (n >= 1 && n <= 0x100000000);
+  if not (n >= 1 && n <= 0x100000000) then
+    invalid_arg (Printf.sprintf "Prng.int_below: n %d outside [1, 2^32]" n);
   if n land (n - 1) = 0 then bits32 t land (n - 1)
   else begin
     (* Rejection sampling over the largest multiple of [n] below 2^32. *)
@@ -63,7 +64,8 @@ let int_below t n =
   end
 
 let int_in_range t ~lo ~hi =
-  assert (lo <= hi);
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Prng.int_in_range: empty range [%d, %d]" lo hi);
   lo + int_below t (hi - lo + 1)
 
 let bool t = bits32 t land 1 = 1

@@ -45,7 +45,12 @@ let chi_square_upper_tail ~df x =
   end
 
 let chi_square_uniformity ?(alpha = 0.01) ?(buckets = 64) prng ~draws =
-  assert (buckets >= 2 && draws >= buckets * 5);
+  if buckets < 2 then invalid_arg "Quality.chi_square_uniformity: buckets must be >= 2";
+  if draws < buckets * 5 then
+    invalid_arg
+      (Printf.sprintf
+         "Quality.chi_square_uniformity: %d draws, need at least 5 per bucket (%d)"
+         draws (buckets * 5));
   let counts = Array.make buckets 0 in
   for _ = 1 to draws do
     let b = int_of_float (Prng.float prng *. float_of_int buckets) in
@@ -76,7 +81,7 @@ let monobit ?(alpha = 0.01) prng ~draws =
   { statistic = z; p_value = p; passed = p >= alpha }
 
 let runs ?(alpha = 0.01) prng ~draws =
-  assert (draws >= 20);
+  if draws < 20 then invalid_arg "Quality.runs: draws must be >= 20";
   let xs = Array.init draws (fun _ -> Prng.float prng) in
   let sorted = Array.copy xs in
   Array.sort compare sorted;
@@ -97,7 +102,11 @@ let runs ?(alpha = 0.01) prng ~draws =
   { statistic = z; p_value = p; passed = p >= alpha }
 
 let serial_correlation ?(alpha = 0.01) ?(lag = 1) prng ~draws =
-  assert (lag >= 1 && draws > lag + 2);
+  if lag < 1 then invalid_arg "Quality.serial_correlation: lag must be >= 1";
+  if draws <= lag + 2 then
+    invalid_arg
+      (Printf.sprintf "Quality.serial_correlation: %d draws, need more than lag + 2 (%d)"
+         draws (lag + 2));
   let xs = Array.init draws (fun _ -> Prng.float prng) in
   let n = float_of_int draws in
   let mean = Array.fold_left ( +. ) 0. xs /. n in
@@ -113,10 +122,14 @@ let serial_correlation ?(alpha = 0.01) ?(lag = 1) prng ~draws =
   { statistic = r; p_value = p; passed = p >= alpha }
 
 let block_frequency ?(alpha = 0.01) ?(block_bits = 128) prng ~draws =
-  assert (block_bits mod 32 = 0 && block_bits >= 32);
+  if not (block_bits mod 32 = 0 && block_bits >= 32) then
+    invalid_arg "Quality.block_frequency: block_bits must be a positive multiple of 32";
   let words_per_block = block_bits / 32 in
   let blocks = draws / words_per_block in
-  assert (blocks >= 10);
+  if blocks < 10 then
+    invalid_arg
+      (Printf.sprintf "Quality.block_frequency: %d draws yield %d blocks, need >= 10"
+         draws blocks);
   let rec popcount acc x = if x = 0 then acc else popcount (acc + (x land 1)) (x lsr 1) in
   let stat = ref 0. in
   for _ = 1 to blocks do
@@ -132,7 +145,7 @@ let block_frequency ?(alpha = 0.01) ?(block_bits = 128) prng ~draws =
   { statistic; p_value = p; passed = p >= alpha }
 
 let gap ?(alpha = 0.01) prng ~draws =
-  assert (draws >= 2000);
+  if draws < 2000 then invalid_arg "Quality.gap: draws must be >= 2000";
   (* Target interval [0, 0.5): hit probability 1/2, so a gap of length g
      (draws between successive hits) occurs with probability 2^-(g+1);
      lengths >= 8 are pooled. *)

@@ -277,7 +277,10 @@ let emit_normalize b (g : Controller.gains) =
   B.label b done_
 
 let program ?(variant = Full) ?(gains = Controller.default_gains) ~frames () =
-  assert (frames >= 1 && frames <= Controller.history_length);
+  if not (frames >= 1 && frames <= Controller.history_length) then
+    invalid_arg
+      (Printf.sprintf "Codegen.program: frames %d outside [1, %d]" frames
+         Controller.history_length);
   let b = B.create ~name:"tvca" in
   List.iter
     (fun axis ->

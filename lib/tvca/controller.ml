@@ -88,7 +88,10 @@ let fresh_state () =
 let clamp ~limit v = if v >= limit then limit else if v <= -.limit then -.limit else v
 
 let sensor_channel g samples =
-  assert (Array.length samples = Array.length fir_taps);
+  if Array.length samples <> Array.length fir_taps then
+    invalid_arg
+      (Printf.sprintf "Controller.sensor_channel: %d samples, FIR expects %d"
+         (Array.length samples) (Array.length fir_taps));
   let s = Array.copy samples in
   (* Outlier rejection: a jump larger than the threshold is replaced by the
      previous sample (exact branch shape of the generated code). *)
@@ -130,7 +133,10 @@ let sensor_axis g ~cov_proxy ~position ~rate ~acceleration =
    Codegen.emit_control_axis; [frame] indexes the history ring (one entry per
    frame; a run never exceeds [history_length] frames). *)
 let control_axis g st ~axis ~frame ~reference =
-  assert (frame >= 0 && frame < history_length);
+  if not (frame >= 0 && frame < history_length) then
+    invalid_arg
+      (Printf.sprintf "Controller.control_axis: frame %d outside [0, %d)" frame
+         history_length);
   let filtered, integ, prev_e, history =
     match axis with
     | `X -> (st.filt_x, st.integ_x, st.prev_e_x, st.history_x)

@@ -28,7 +28,10 @@ let make_channel_data n =
   { position = Array.make n 0.; rate = Array.make n 0.; acceleration = Array.make n 0. }
 
 let generate ?(frames = default_frames) ?(gains = Controller.default_gains) ~seed () =
-  assert (frames >= 1 && frames <= Controller.history_length);
+  if not (frames >= 1 && frames <= Controller.history_length) then
+    invalid_arg
+      (Printf.sprintf "Mission.generate: frames %d outside [1, %d]" frames
+         Controller.history_length);
   let prng = Prng.create seed in
   let samples = Codegen.samples_per_frame in
   let plant = Dynamics.default_params in

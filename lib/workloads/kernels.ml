@@ -33,7 +33,7 @@ let compare_arrays ~what expected got =
    comparison is a data-dependent branch). *)
 
 let bubble_sort ?(n = 32) () =
-  assert (n >= 2);
+  if n < 2 then invalid_arg "Kernels.bubble_sort: n must be >= 2";
   let b = B.create ~name:"bubble_sort" in
   B.declare_data b ~symbol:"arr" ~elements:n;
   B.label b "main";
@@ -73,7 +73,8 @@ let bubble_sort ?(n = 32) () =
 let midpoint lo hi = int_of_float (0.5 *. float_of_int (lo + hi))
 
 let binary_search ?(n = 256) ?(lookups = 32) () =
-  assert (n >= 2 && lookups >= 1);
+  if n < 2 then invalid_arg "Kernels.binary_search: n must be >= 2";
+  if lookups < 1 then invalid_arg "Kernels.binary_search: lookups must be >= 1";
   let b = B.create ~name:"binary_search" in
   B.declare_data b ~symbol:"sorted" ~elements:n;
   B.declare_data b ~symbol:"keys" ~elements:lookups;
@@ -139,7 +140,7 @@ let binary_search ?(n = 256) ?(lookups = 32) () =
 (* matrix_multiply: C = A * B over n x n row-major matrices. *)
 
 let matrix_multiply ?(n = 16) () =
-  assert (n >= 2);
+  if n < 2 then invalid_arg "Kernels.matrix_multiply: n must be >= 2";
   let b = B.create ~name:"matrix_multiply" in
   List.iter (fun s -> B.declare_data b ~symbol:s ~elements:(n * n)) [ "a"; "bm"; "c" ];
   B.label b "main";
@@ -196,7 +197,9 @@ let matrix_multiply ?(n = 16) () =
 (* fir_filter: out[i] = sum_t coeffs[t] * input[i + t]. *)
 
 let fir_filter ?(taps = 16) ?(n = 256) () =
-  assert (taps >= 1 && n > taps);
+  if taps < 1 then invalid_arg "Kernels.fir_filter: taps must be >= 1";
+  if n <= taps then
+    invalid_arg (Printf.sprintf "Kernels.fir_filter: n (%d) must exceed taps (%d)" n taps);
   let outputs = n - taps + 1 in
   let b = B.create ~name:"fir_filter" in
   B.declare_data b ~symbol:"input" ~elements:n;
@@ -245,7 +248,8 @@ let fir_filter ?(taps = 16) ?(n = 256) () =
    the value-dependent-latency workload. *)
 
 let newton_roots ?(n = 64) ?(iterations = 8) () =
-  assert (n >= 1 && iterations >= 1);
+  if n < 1 then invalid_arg "Kernels.newton_roots: n must be >= 1";
+  if iterations < 1 then invalid_arg "Kernels.newton_roots: iterations must be >= 1";
   let b = B.create ~name:"newton_roots" in
   B.declare_data b ~symbol:"values" ~elements:n;
   B.declare_data b ~symbol:"roots" ~elements:n;
@@ -293,7 +297,8 @@ let newton_roots ?(n = 64) ?(iterations = 8) () =
 (* Default bins span 32KB — twice the DL1 — so which lines are hot (and
    which DRAM rows are touched) genuinely depends on the sample values. *)
 let histogram ?(bins = 4096) ?(n = 2048) () =
-  assert (bins >= 2 && n >= 1);
+  if bins < 2 then invalid_arg "Kernels.histogram: bins must be >= 2";
+  if n < 1 then invalid_arg "Kernels.histogram: n must be >= 1";
   let b = B.create ~name:"histogram" in
   B.declare_data b ~symbol:"samples" ~elements:n;
   B.declare_data b ~symbol:"counts" ~elements:bins;

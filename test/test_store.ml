@@ -1,0 +1,397 @@
+(* Content-addressed sample store: key stability, bit-exact round-trips,
+   crash-injection resume, corruption detection, and gc policy.
+
+   Every measurement function below is a pure function of its run index
+   (or of [(run_index, attempt)]) — the seed-derivation contract that makes
+   resume-equals-cold provable, and that these tests check bit-for-bit. *)
+
+module M = Repro_mbpta
+module Store = M.Store
+
+let temp_dir () =
+  let f = Filename.temp_file "store_test" "" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_root f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f (Store.open_root ~dir))
+
+let config = [ ("scenario", "unit-test"); ("seed", "42"); ("frames", "25") ]
+
+let open_exn ?chunk_size ?resume root ~key ~runs ~resilient =
+  match Store.open_session ?chunk_size ?resume root ~key ~config ~runs ~resilient with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "open_session: %s" e
+
+(* Awkward floats: irrationals, subnormals, negative zero — anything that
+   would expose a lossy decimal round-trip. *)
+let awkward i =
+  match i mod 5 with
+  | 0 -> Float.pi *. float_of_int (i + 1)
+  | 1 -> 1. /. 3. *. (10. ** float_of_int (i mod 17))
+  | 2 -> Float.min_float *. float_of_int (i + 1)
+  | 3 -> -0.
+  | _ -> sin (float_of_int i) *. 1e9
+
+let check_bits name expected actual =
+  let b a = Array.to_list (Array.map Int64.bits_of_float a) in
+  Alcotest.(check (list int64)) name (b expected) (b actual)
+
+(* ------------------------------------------------------------------ *)
+(* keys *)
+
+let test_key_canonical () =
+  let k1 = Store.key [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+  let k2 = Store.key [ ("c", "3"); ("a", "1"); ("b", "2") ] in
+  Alcotest.(check string) "order-independent" k1 k2;
+  let k3 = Store.key [ ("a", "1"); ("b", "2"); ("c", "4") ] in
+  Alcotest.(check bool) "value changes the key" false (k1 = k3);
+  let k4 = Store.key ~chunk_size:64 [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+  Alcotest.(check bool) "chunk size changes the key" false (k1 = k4)
+
+let test_key_is_hex_digest () =
+  let k = Store.key config in
+  Alcotest.(check int) "MD5 hex length" 32 (String.length k);
+  String.iter
+    (fun c ->
+      if not ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) then
+        Alcotest.failf "non-hex digest character %C" c)
+    k
+
+(* ------------------------------------------------------------------ *)
+(* round trip *)
+
+let test_roundtrip_bit_exact () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let cold = open_exn ~chunk_size:8 root ~key ~runs:30 ~resilient:false in
+  let expected = Store.collect cold ~phase:"collect_det" 30 awkward in
+  Store.close cold;
+  let warm = open_exn ~chunk_size:8 root ~key ~runs:30 ~resilient:false in
+  Alcotest.(check bool) "phase complete" true (Store.complete warm ~phase:"collect_det");
+  Alcotest.(check int) "all runs cached" 30 (Store.cached_runs warm ~phase:"collect_det");
+  let calls = ref 0 in
+  let served =
+    Store.collect warm ~jobs:1 ~phase:"collect_det" 30 (fun i -> incr calls; awkward i)
+  in
+  Store.close warm;
+  Alcotest.(check int) "warm hit computes nothing" 0 !calls;
+  check_bits "values bit-identical after reload" expected served
+
+let test_trails_roundtrip () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:4 config in
+  let trail i : Store.trail =
+    match i mod 4 with
+    | 0 -> [ Store.Completed (awkward i) ]
+    | 1 -> [ Store.Timeout "watchdog"; Store.Completed (awkward i) ]
+    | 2 -> [ Store.Crashed "trap"; Store.Corrupted "checksum"; Store.Completed (-0.) ]
+    | _ -> [ Store.Timeout "t0"; Store.Timeout "t1"; Store.Crashed "gave up" ]
+  in
+  let cold = open_exn ~chunk_size:4 root ~key ~runs:13 ~resilient:true in
+  let expected = Store.collect_trails cold ~phase:"collect_rand" 13 trail in
+  Store.close cold;
+  let warm = open_exn ~chunk_size:4 root ~key ~runs:13 ~resilient:true in
+  let calls = ref 0 in
+  let served =
+    Store.collect_trails warm ~jobs:1 ~phase:"collect_rand" 13 (fun i ->
+        incr calls;
+        trail i)
+  in
+  Store.close warm;
+  Alcotest.(check int) "warm hit computes nothing" 0 !calls;
+  Alcotest.(check bool) "trails round-trip exactly" true (expected = served)
+
+(* ------------------------------------------------------------------ *)
+(* session guards *)
+
+let test_session_guards () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:20 ~resilient:false in
+  let reject name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  reject "persist off the frontier" (fun () ->
+      Store.persist s ~phase:"collect_det" ~lo:8 (Array.make 8 1.));
+  reject "persist with a wrong-length chunk" (fun () ->
+      Store.persist s ~phase:"collect_det" ~lo:0 (Array.make 5 1.));
+  reject "trails persist into a fault-free record" (fun () ->
+      Store.persist_trails s ~phase:"collect_det" ~lo:0
+        (Array.make 8 [ Store.Completed 1. ]));
+  reject "collect with a runs mismatch" (fun () ->
+      ignore (Store.collect s ~jobs:1 ~phase:"collect_det" 21 float_of_int));
+  Store.close s;
+  (* Same key on disk, different declared runs: meta mismatch is an
+     [Error], never silent reuse. *)
+  match Store.open_session ~chunk_size:8 root ~key ~config ~runs:40 ~resilient:false with
+  | Ok _ -> Alcotest.fail "runs mismatch must not open"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* crash injection and resume *)
+
+let session_phase = "collect_det"
+
+let interrupt session ~runs ~after f =
+  Store.set_fail_after session after;
+  match Store.collect session ~jobs:1 ~phase:session_phase runs f with
+  | _ -> Alcotest.fail "expected Injected_crash"
+  | exception Store.Injected_crash _ -> Store.close session
+
+let test_resume_equals_cold () =
+  with_root @@ fun root ->
+  let runs = 30 in
+  let reference = Array.init runs awkward in
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs ~resilient:false in
+  interrupt s ~runs ~after:2 awkward;
+  (* Resume at a different job count: layout is a function of [runs] alone,
+     so the cached/computed split must be invisible in the result. *)
+  let r = open_exn ~chunk_size:8 ~resume:true root ~key ~runs ~resilient:false in
+  Alcotest.(check int) "two chunks survived the crash" 16
+    (Store.cached_runs r ~phase:session_phase);
+  let resumed = Store.collect r ~jobs:4 ~phase:session_phase runs awkward in
+  Store.close r;
+  check_bits "resumed run is bit-identical to cold" reference resumed;
+  (* And the record is now complete: a third open is a pure warm hit. *)
+  let w = open_exn ~chunk_size:8 root ~key ~runs ~resilient:false in
+  let calls = ref 0 in
+  let warm = Store.collect w ~jobs:1 ~phase:session_phase runs (fun i -> incr calls; awkward i) in
+  Store.close w;
+  Alcotest.(check int) "no recompute after resume completed" 0 !calls;
+  check_bits "warm serve is bit-identical to cold" reference warm
+
+let test_no_resume_discards_partial () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:30 ~resilient:false in
+  interrupt s ~runs:30 ~after:2 awkward;
+  let fresh = open_exn ~chunk_size:8 root ~key ~runs:30 ~resilient:false in
+  Alcotest.(check int) "partial prefix discarded without --resume" 0
+    (Store.cached_runs fresh ~phase:session_phase);
+  Store.close fresh
+
+(* ------------------------------------------------------------------ *)
+(* whole campaigns through the store *)
+
+let measure_det i = (float_of_int i *. 17.25) +. sin (float_of_int i) +. 1500.
+let measure_rand i = (float_of_int i *. 13.5) +. cos (float_of_int (i * 3)) +. 1500.
+
+let campaign_input runs =
+  { (M.Campaign.default_input ~measure_det ~measure_rand) with runs }
+
+let campaign_samples = function
+  | Ok (c : M.Campaign.t) -> (c.det_sample, c.rand_sample)
+  | Error f -> Alcotest.failf "campaign failed: %a" M.Protocol.pp_failure f
+
+let test_campaign_resume_jobs_invariant () =
+  with_root @@ fun root ->
+  let runs = 40 in
+  let input = campaign_input runs in
+  let det_cold, rand_cold = campaign_samples (M.Campaign.run ~jobs:1 input) in
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs ~resilient:false in
+  Store.set_fail_after s 3;
+  (match M.Campaign.run ~jobs:1 ~store:s input with
+  | _ -> Alcotest.fail "expected Injected_crash"
+  | exception Store.Injected_crash _ -> Store.close s);
+  let r = open_exn ~chunk_size:8 ~resume:true root ~key ~runs ~resilient:false in
+  let det_res, rand_res = campaign_samples (M.Campaign.run ~jobs:4 ~store:r input) in
+  Store.close r;
+  check_bits "det sample: resumed(jobs=4) = cold(jobs=1)" det_cold det_res;
+  check_bits "rand sample: resumed(jobs=4) = cold(jobs=1)" rand_cold rand_res;
+  (* Warm re-analysis: both phases served from cache, zero simulator runs. *)
+  let det_calls = ref 0 and rand_calls = ref 0 in
+  let counting =
+    {
+      input with
+      measure_det = (fun i -> incr det_calls; measure_det i);
+      measure_rand = (fun i -> incr rand_calls; measure_rand i);
+    }
+  in
+  let w = open_exn ~chunk_size:8 root ~key ~runs ~resilient:false in
+  let det_warm, rand_warm = campaign_samples (M.Campaign.run ~jobs:1 ~store:w counting) in
+  Store.close w;
+  Alcotest.(check int) "warm: zero det measurements" 0 !det_calls;
+  Alcotest.(check int) "warm: zero rand measurements" 0 !rand_calls;
+  check_bits "warm det sample bit-identical" det_cold det_warm;
+  check_bits "warm rand sample bit-identical" rand_cold rand_warm
+
+let outcome_of ~base ~run_index ~attempt : M.Resilience.outcome =
+  (* Deterministic fault pattern in (run_index, attempt): some runs time
+     out or trap on their first attempts, then recover. *)
+  match ((run_index * 7) + attempt) mod 11 with
+  | 0 when attempt < 2 -> Timeout { detail = Printf.sprintf "wd run=%d a=%d" run_index attempt }
+  | 5 when attempt < 1 -> Crashed { detail = Printf.sprintf "trap run=%d" run_index }
+  | _ ->
+      Completed (base +. (float_of_int run_index *. 11.5) +. (float_of_int attempt *. 0.125))
+
+let test_resilient_campaign_resume () =
+  with_root @@ fun root ->
+  let runs = 40 in
+  let input =
+    M.Campaign.resilient_input ~base:(campaign_input runs)
+      ~measure_det_outcome:(outcome_of ~base:1600.)
+      ~measure_rand_outcome:(outcome_of ~base:1900.) ()
+  in
+  let cold = M.Campaign.run_resilient ~jobs:1 input in
+  let det_cold, rand_cold = campaign_samples cold in
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs ~resilient:true in
+  Store.set_fail_after s 3;
+  (match M.Campaign.run_resilient ~jobs:1 ~store:s input with
+  | _ -> Alcotest.fail "expected Injected_crash"
+  | exception Store.Injected_crash _ -> Store.close s);
+  let r = open_exn ~chunk_size:8 ~resume:true root ~key ~runs ~resilient:true in
+  let resumed = M.Campaign.run_resilient ~jobs:4 ~store:r input in
+  Store.close r;
+  let det_res, rand_res = campaign_samples resumed in
+  check_bits "resilient det sample: resumed = cold" det_cold det_res;
+  check_bits "resilient rand sample: resumed = cold" rand_cold rand_res;
+  (* Retry accounting is checkpointed with the trails, so the fault reports
+     reproduce exactly too. *)
+  match (cold, resumed) with
+  | Ok c, Ok r ->
+      Alcotest.(check bool) "det resilience report identical" true
+        (c.det_resilience = r.det_resilience);
+      Alcotest.(check bool) "rand resilience report identical" true
+        (c.rand_resilience = r.rand_resilience)
+  | _ -> Alcotest.fail "campaigns must succeed"
+
+(* ------------------------------------------------------------------ *)
+(* inspection and gc *)
+
+let append_line file line =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc
+
+let record_file root key = Filename.concat (Store.dir root) (key ^ ".jsonl")
+
+let test_ls_statuses_and_gc () =
+  with_root @@ fun root ->
+  (* complete record *)
+  let key_ok = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key:key_ok ~runs:16 ~resilient:false in
+  ignore (Store.collect s ~jobs:1 ~phase:"collect_det" 16 awkward);
+  Store.close s;
+  (* partial record: killed after one chunk, then a torn trailing line *)
+  let config_p = ("variant", "partial") :: config in
+  let key_p = Store.key ~chunk_size:8 config_p in
+  let p =
+    match
+      Store.open_session ~chunk_size:8 root ~key:key_p ~config:config_p ~runs:16
+        ~resilient:false
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "open: %s" e
+  in
+  Store.set_fail_after p 1;
+  (match Store.collect p ~jobs:1 ~phase:"collect_det" 16 awkward with
+  | _ -> Alcotest.fail "expected Injected_crash"
+  | exception Store.Injected_crash _ -> Store.close p);
+  append_line (record_file root key_p) "{\"kind\":\"chunk\",\"phase\":\"collect_det\",\"lo\":8,\"val";
+  (* corrupt record: content that cannot possibly match its address *)
+  let key_c = String.make 32 'd' in
+  append_line (record_file root key_c) "not json at all";
+  let entries = Store.ls root in
+  Alcotest.(check int) "three records listed" 3 (List.length entries);
+  let status_of k =
+    (List.find (fun (e : Store.entry) -> e.entry_key = k) entries).status
+  in
+  (match status_of key_ok with
+  | Store.Complete -> ()
+  | _ -> Alcotest.fail "finished record must be Complete");
+  (match status_of key_p with
+  | Store.Partial _ -> ()
+  | _ -> Alcotest.fail "torn tail after a valid prefix must stay Partial (resumable)");
+  (match status_of key_c with
+  | Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "unparseable record must be Corrupt");
+  (* default gc: corrupt only; partial records are resumable state *)
+  let removed, bytes = Store.gc root in
+  Alcotest.(check int) "gc removes the corrupt record" 1 (List.length removed);
+  Alcotest.(check bool) "gc reports bytes freed" true (bytes > 0);
+  Alcotest.(check int) "partial and complete survive" 2 (List.length (Store.ls root));
+  let removed, _ = Store.gc ~partial:true root in
+  Alcotest.(check int) "gc --partial removes the partial record" 1 (List.length removed);
+  match Store.ls root with
+  | [ e ] -> Alcotest.(check string) "only the complete record remains" key_ok e.entry_key
+  | l -> Alcotest.failf "expected 1 record, found %d" (List.length l)
+
+let test_tail_corruption_keeps_prefix () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:24 ~resilient:false in
+  ignore (Store.collect s ~jobs:1 ~phase:"collect_det" 24 awkward);
+  Store.close s;
+  (* Tear the final chunk line in half — a write that died mid-flush. *)
+  let file = record_file root key in
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  (match !lines with
+  | last :: rest ->
+      let oc = open_out file in
+      List.iter (fun l -> output_string oc l; output_char oc '\n') (List.rev rest);
+      output_string oc (String.sub last 0 (String.length last / 2));
+      close_out oc
+  | [] -> Alcotest.fail "record is empty");
+  let r = open_exn ~chunk_size:8 ~resume:true root ~key ~runs:24 ~resilient:false in
+  Alcotest.(check int) "prefix before the bad chunk survives" 16
+    (Store.cached_runs r ~phase:"collect_det");
+  let calls = ref 0 in
+  let out = Store.collect r ~jobs:1 ~phase:"collect_det" 24 (fun i -> incr calls; awkward i) in
+  Store.close r;
+  Alcotest.(check int) "only the dropped chunk recomputes" 8 !calls;
+  check_bits "repaired record is bit-identical" (Array.init 24 awkward) out
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "canonical ordering" `Quick test_key_canonical;
+          Alcotest.test_case "hex digest shape" `Quick test_key_is_hex_digest;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "floats bit-exact" `Quick test_roundtrip_bit_exact;
+          Alcotest.test_case "attempt trails" `Quick test_trails_roundtrip;
+        ] );
+      ( "guards",
+        [ Alcotest.test_case "session guards" `Quick test_session_guards ] );
+      ( "resume",
+        [
+          Alcotest.test_case "resume equals cold" `Quick test_resume_equals_cold;
+          Alcotest.test_case "no --resume discards partial" `Quick
+            test_no_resume_discards_partial;
+          Alcotest.test_case "campaign resume, jobs-invariant" `Quick
+            test_campaign_resume_jobs_invariant;
+          Alcotest.test_case "resilient campaign resume" `Quick
+            test_resilient_campaign_resume;
+        ] );
+      ( "inspect",
+        [
+          Alcotest.test_case "ls statuses and gc" `Quick test_ls_statuses_and_gc;
+          Alcotest.test_case "tail corruption keeps prefix" `Quick
+            test_tail_corruption_keeps_prefix;
+        ] );
+    ]
