@@ -1,15 +1,16 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (DESIGN.md experiment index E1-E4) plus the ablations A1-A4,
-   runs the campaign-throughput / hot-path benchmarks (section P1; results
-   optionally emitted as machine-readable JSON for the perf trajectory),
-   then runs Bechamel micro-benchmarks of the pipeline's own cost.
+   runs the campaign-throughput / hot-path / analysis-throughput
+   benchmarks (sections P1-P3; results optionally emitted as
+   machine-readable JSON for the perf trajectory), then runs Bechamel
+   micro-benchmarks of the pipeline's own cost.
 
    Usage:  dune exec bench/main.exe [-- --runs N] [-- --skip-micro]
                                     [-- --smoke] [-- --json PATH]
                                     [-- --trace PATH]
    Default N is 3000 (the paper's run count).  [--smoke] runs only the
-   P1/P2 perf sections at a reduced run count (the CI mode); [--json PATH]
-   writes the P1/P2 results to PATH (e.g. BENCH_pr4.json); [--trace PATH]
+   P1-P3 perf sections at a reduced run count (the CI mode); [--json PATH]
+   writes the P1-P3 results to PATH (e.g. BENCH_pr5.json); [--trace PATH]
    keeps the JSONL trace written by the P1 trace-overhead probe. *)
 
 module P = Repro_platform
@@ -720,11 +721,217 @@ let p2_store_perf () =
     resumed_identical;
   }
 
-let json_of_perf r s =
+(* ------------------------------------------------------------------ *)
+(* P3: analysis throughput — the incremental/parallel analysis engine of
+   this PR against the retired implementations, timed in the same run so
+   the baseline shares the machine, the compiler and the sample.  The
+   retired code paths (from-scratch convergence study, shared-PRNG
+   sequential bootstrap, per-lag ACF) are inlined verbatim below; the
+   convergence baseline doubles as a bit-identity oracle. *)
+
+type bootstrap_row = { boot_jobs : int; boot_seconds : float; boot_speedup : float }
+
+type analysis_results = {
+  analysis_runs : int;
+  conv_steps : int;
+  conv_retired_seconds : float;
+  conv_incremental_seconds : float;
+  conv_speedup : float;
+  conv_comparisons : int;
+  conv_identical : bool;
+  boot_replicates : int;
+  boot_retired_seconds : float;
+  boot_rows : bootstrap_row list;
+  boot_identical_across_jobs : bool;
+  acf_lags : int;
+  acf_per_lag_seconds : float;
+  acf_single_pass_seconds : float;
+  acf_speedup : float;
+  acf_identical : bool;
+}
+
+(* Retired [Convergence.study]: re-sorts the prefix and re-extracts every
+   block maximum at each step — O(k * n log n) over k steps. *)
+let retired_convergence ?(probability = 1e-9) ?(step = 100) ?(tolerance = 0.01)
+    ?(stable_steps = 3) ?(min_runs = 100) xs =
+  let estimate_at xs probability =
+    let block_size = E.Block_maxima.suggest_block_size (Array.length xs) in
+    let maxima = E.Block_maxima.extract ~block_size xs in
+    let gumbel = E.Gumbel_fit.fit ~method_:E.Gumbel_fit.Pwm maxima in
+    let curve =
+      E.Pwcet.create ~model:(E.Pwcet.Gumbel_tail gumbel) ~block_size ~sample:xs
+    in
+    E.Pwcet.estimate curve ~cutoff_probability:probability
+  in
+  let n = Array.length xs in
+  let rec go used previous streak acc =
+    if used > n then (false, n, List.rev acc)
+    else begin
+      let sub = Array.sub xs 0 used in
+      let est = estimate_at sub probability in
+      let acc = (used, est) :: acc in
+      let streak =
+        match previous with
+        | Some prev when Float.abs (est -. prev) /. Float.abs prev <= tolerance ->
+            streak + 1
+        | Some _ | None -> 0
+      in
+      if streak >= stable_steps then (true, used, List.rev acc)
+      else go (used + step) (Some est) streak acc
+    end
+  in
+  go min_runs None 0 []
+
+(* Retired [Bootstrap.pwcet_interval]: every replicate drawn sequentially
+   from the one shared PRNG — inherently unparallelizable.  Wall-time
+   baseline only; the derived-seed engine pins its own (new) stream. *)
+let retired_bootstrap ~prng ~sample ~cutoff_probability ~replicates ~confidence =
+  let estimate_on xs =
+    let block_size = E.Block_maxima.suggest_block_size (Array.length xs) in
+    let maxima = E.Block_maxima.extract ~block_size xs in
+    let model = E.Gumbel_fit.fit maxima in
+    let curve =
+      E.Pwcet.create ~model:(E.Pwcet.Gumbel_tail model) ~block_size ~sample:xs
+    in
+    E.Pwcet.estimate curve ~cutoff_probability
+  in
+  let n = Array.length sample in
+  let point = estimate_on sample in
+  let resample = Array.make n 0. in
+  let estimates =
+    Array.init replicates (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- sample.(Repro_rng.Prng.int_below prng n)
+        done;
+        estimate_on resample)
+  in
+  Array.sort Float.compare estimates;
+  let tail = (1. -. confidence) /. 2. in
+  (E.Bootstrap.percentile estimates tail, point, E.Bootstrap.percentile estimates (1. -. tail))
+
+let p3_analysis_perf () =
+  section
+    "P3  Analysis throughput: incremental convergence, fanned-out bootstrap, one-pass ACF";
+  let n = Stdlib.max 2000 !runs in
+  let e = T.Experiment.create ~config:P.Config.mbpta_compliant ~base_seed:777L () in
+  let xs = T.Experiment.collect e ~runs:n in
+  (* Convergence: retired from-scratch study vs the incremental engine,
+     same sample, and the histories must be bit-identical. *)
+  let (r_conv, r_used, r_hist), conv_retired_seconds =
+    time_it (fun () -> retired_convergence xs)
+  in
+  let c, conv_incremental_seconds = time_it (fun () -> E.Convergence.study xs) in
+  let conv_identical =
+    r_conv = c.E.Convergence.converged
+    && r_used = c.E.Convergence.runs_used
+    && r_hist
+       = List.map
+           (fun p -> (p.E.Convergence.runs, p.E.Convergence.estimate))
+           c.E.Convergence.history
+  in
+  if not conv_identical then
+    failwith "P3: incremental convergence diverged from the retired reference";
+  let conv_speedup = conv_retired_seconds /. conv_incremental_seconds in
+  Format.printf "convergence study over %d runs (%d estimates):@." n
+    (List.length c.E.Convergence.history);
+  Format.printf "  retired (from scratch per step)  %10.4fs@." conv_retired_seconds;
+  Format.printf "  incremental (this PR)            %10.4fs  (%.1fx, %d comparisons)@."
+    conv_incremental_seconds conv_speedup c.E.Convergence.comparisons;
+  Format.printf "  histories bit-identical: %b@." conv_identical;
+  (* Bootstrap: retired sequential baseline, then the derived-seed engine
+     at increasing job counts — intervals bit-identical at every count. *)
+  let replicates = if !smoke then 100 else 200 in
+  let confidence = 0.95 in
+  let cutoff_probability = 1e-9 in
+  let _, boot_retired_seconds =
+    time_it (fun () ->
+        retired_bootstrap
+          ~prng:(Repro_rng.Prng.create 4321L)
+          ~sample:xs ~cutoff_probability ~replicates ~confidence)
+  in
+  Format.printf "@.bootstrap (%d replicates over %d observations):@." replicates n;
+  Format.printf "  retired (shared PRNG, sequential) %9.4fs@." boot_retired_seconds;
+  let reference = ref None in
+  let boot_rows =
+    List.map
+      (fun jobs ->
+        let iv, boot_seconds =
+          time_it (fun () ->
+              E.Bootstrap.pwcet_interval ~replicates ~confidence ~jobs
+                ~prng:(Repro_rng.Prng.create 4321L)
+                ~sample:xs ~cutoff_probability ())
+        in
+        (match !reference with
+        | None -> reference := Some iv
+        | Some r ->
+            if r <> iv then
+              failwith "P3: bootstrap interval differs across job counts");
+        { boot_jobs = jobs; boot_seconds; boot_speedup = 0. })
+      [ 1; 2; 4; 8 ]
+  in
+  let base = (List.hd boot_rows).boot_seconds in
+  let boot_rows =
+    List.map (fun r -> { r with boot_speedup = base /. r.boot_seconds }) boot_rows
+  in
+  List.iter
+    (fun r ->
+      Format.printf "  jobs=%d %26s %9.4fs  (%.2fx vs jobs=1)@." r.boot_jobs ""
+        r.boot_seconds r.boot_speedup)
+    boot_rows;
+  Format.printf "  intervals bit-identical across job counts: %b@." true;
+  (* ACF: per-lag sweep vs the single-pass sweep, bit-identical output. *)
+  let acf_lags = 50 in
+  let reps = if !smoke then 50 else 200 in
+  let per_lag () =
+    Array.init acf_lags (fun i -> S.Autocorrelation.acf xs ~lag:(i + 1))
+  in
+  let acf_ref = per_lag () in
+  let _, acf_per_lag_seconds =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          ignore (per_lag ())
+        done)
+  in
+  let acf_new = S.Autocorrelation.acf_up_to xs ~max_lag:acf_lags in
+  let _, acf_single_pass_seconds =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          ignore (S.Autocorrelation.acf_up_to xs ~max_lag:acf_lags)
+        done)
+  in
+  let acf_identical = acf_ref = acf_new in
+  if not acf_identical then
+    failwith "P3: single-pass ACF diverged from the per-lag reference";
+  let acf_speedup = acf_per_lag_seconds /. acf_single_pass_seconds in
+  Format.printf "@.ACF sweep to lag %d (x%d repetitions):@." acf_lags reps;
+  Format.printf "  per-lag passes                   %10.4fs@." acf_per_lag_seconds;
+  Format.printf "  single pass (this PR)            %10.4fs  (%.1fx)@."
+    acf_single_pass_seconds acf_speedup;
+  Format.printf "  lag values bit-identical: %b@." acf_identical;
+  {
+    analysis_runs = n;
+    conv_steps = List.length c.E.Convergence.history;
+    conv_retired_seconds;
+    conv_incremental_seconds;
+    conv_speedup;
+    conv_comparisons = c.E.Convergence.comparisons;
+    conv_identical;
+    boot_replicates = replicates;
+    boot_retired_seconds;
+    boot_rows;
+    boot_identical_across_jobs = true;
+    acf_lags;
+    acf_per_lag_seconds;
+    acf_single_pass_seconds;
+    acf_speedup;
+    acf_identical;
+  }
+
+let json_of_perf r s a =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"bench_pr4/v1\",\n";
+  add "  \"schema\": \"bench_pr5/v1\",\n";
   add "  \"smoke\": %b,\n" !smoke;
   add "  \"campaign_runs\": %d,\n" r.campaign_runs;
   add "  \"recommended_domain_count\": %d,\n" r.domain_count;
@@ -756,6 +963,37 @@ let json_of_perf r s =
   add "    \"warm_zero_recompute\": %b,\n" s.warm_zero_recompute;
   add "    \"warm_samples_identical\": %b,\n" s.warm_identical;
   add "    \"resumed_samples_identical\": %b\n" s.resumed_identical;
+  add "  },\n";
+  add "  \"analysis\": {\n";
+  add "    \"runs\": %d,\n" a.analysis_runs;
+  add "    \"convergence\": {\n";
+  add "      \"steps\": %d,\n" a.conv_steps;
+  add "      \"retired_seconds\": %.6f,\n" a.conv_retired_seconds;
+  add "      \"incremental_seconds\": %.6f,\n" a.conv_incremental_seconds;
+  add "      \"speedup\": %.2f,\n" a.conv_speedup;
+  add "      \"comparisons\": %d,\n" a.conv_comparisons;
+  add "      \"bit_identical_to_retired\": %b\n" a.conv_identical;
+  add "    },\n";
+  add "    \"bootstrap\": {\n";
+  add "      \"replicates\": %d,\n" a.boot_replicates;
+  add "      \"retired_seconds\": %.6f,\n" a.boot_retired_seconds;
+  add "      \"jobs\": [\n";
+  List.iteri
+    (fun i r ->
+      add "        {\"jobs\": %d, \"seconds\": %.6f, \"speedup_vs_jobs1\": %.3f}%s\n"
+        r.boot_jobs r.boot_seconds r.boot_speedup
+        (if i = List.length a.boot_rows - 1 then "" else ","))
+    a.boot_rows;
+  add "      ],\n";
+  add "      \"intervals_identical_across_jobs\": %b\n" a.boot_identical_across_jobs;
+  add "    },\n";
+  add "    \"acf\": {\n";
+  add "      \"lags\": %d,\n" a.acf_lags;
+  add "      \"per_lag_seconds\": %.6f,\n" a.acf_per_lag_seconds;
+  add "      \"single_pass_seconds\": %.6f,\n" a.acf_single_pass_seconds;
+  add "      \"speedup\": %.2f,\n" a.acf_speedup;
+  add "      \"bit_identical_to_per_lag\": %b\n" a.acf_identical;
+  add "    }\n";
   add "  }\n";
   add "}\n";
   Buffer.contents b
@@ -832,8 +1070,9 @@ let () =
   end;
   let perf = p1_parallel_perf () in
   let store = p2_store_perf () in
+  let analysis = p3_analysis_perf () in
   (match !json_out with
-  | Some path -> write_json path (json_of_perf perf store)
+  | Some path -> write_json path (json_of_perf perf store analysis)
   | None -> ());
   if (not !skip_micro) && not !smoke then micro ();
   Format.printf "@.done.@."

@@ -58,6 +58,14 @@ let no_gates_arg =
   let doc = "Report the i.i.d./convergence verdicts but do not fail on them." in
   Arg.(value & flag & info [ "no-gates" ] ~doc)
 
+let bootstrap_arg =
+  let doc =
+    "Bootstrap replicates for a sampling-uncertainty interval on the pWCET estimate \
+     (0 disables, minimum 20).  Replicates fan out over --jobs with bit-identical \
+     intervals at any job count."
+  in
+  Arg.(value & opt int 0 & info [ "bootstrap" ] ~docv:"REPLICATES" ~doc)
+
 let jobs_arg =
   let doc =
     "Measurement runs execute on $(docv) domains (0 = one per core).  Per-run seed \
@@ -224,13 +232,36 @@ let collect_par ?trace ?store ~jobs exp ~runs =
 let experiment ~config ~seed ~frames =
   T.Experiment.create ~frames ~config ~base_seed:seed ()
 
-let options_of ~tail ~no_gates =
+let options_of ?(bootstrap = 0) ?(seed = 2017L) ~tail ~no_gates () =
+  let bootstrap =
+    if bootstrap = 0 then None
+    else
+      Some
+        {
+          M.Protocol.default_bootstrap_options with
+          M.Protocol.replicates = bootstrap;
+          M.Protocol.bootstrap_seed = seed;
+        }
+  in
   {
     M.Protocol.default_options with
     M.Protocol.tail;
     M.Protocol.gate_on_iid = not no_gates;
     M.Protocol.check_convergence = not no_gates;
+    M.Protocol.bootstrap = bootstrap;
   }
+
+(* Analysis-phase bracketing for subcommands that call the estimators
+   directly (iid, convergence) rather than through [Campaign.run]; gives
+   the trace digest the same per-phase wall-clock it gets for campaigns. *)
+let in_analysis_phase trace f =
+  match trace with
+  | None -> f ()
+  | Some t ->
+      M.Trace.phase_start t "analyze";
+      let v = f () in
+      M.Trace.phase_end t "analyze";
+      v
 
 let tail_name = function
   | M.Protocol.Gumbel -> "gumbel"
@@ -264,14 +295,17 @@ let resilience_outcome_of = function
       M.Resilience.Corrupted
         { detail = Printf.sprintf "worst output error %g" worst_error }
 
-let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budget
-    max_retries min_survival jobs trace_path trace_level cache_dir resume no_cache =
+let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
+    watchdog_budget max_retries min_survival jobs trace_path trace_level cache_dir resume
+    no_cache =
   let jobs = resolve_jobs jobs in
   validate_runs runs;
   validate_frames frames;
   validate_engineering_factor factor;
   validate_min_survival min_survival;
   if seu_rate < 0. then usage_error "--seu-rate must be >= 0 (got %g)" seu_rate;
+  if bootstrap <> 0 && bootstrap < 20 then
+    usage_error "--bootstrap must be 0 (off) or >= 20 replicates (got %d)" bootstrap;
   let resilient = seu_rate > 0. || watchdog_budget <> None in
   let config =
     base_config ~subcommand:"analyze" ~runs ~seed ~frames
@@ -311,7 +345,7 @@ let analyze runs seed frames tail no_gates factor csv_dir seu_rate watchdog_budg
       M.Campaign.runs;
       measure_det = measure_with_counters trace det ~prefix:"det.";
       measure_rand = measure_with_counters trace rand ~prefix:"rand.";
-      options = options_of ~tail ~no_gates;
+      options = options_of ~bootstrap ~seed ~tail ~no_gates ();
       engineering_factor = factor;
     }
   in
@@ -402,8 +436,9 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
-      const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg $ factor
-      $ csv_dir $ seu_rate $ watchdog_budget $ max_retries $ min_survival $ jobs_arg
+      const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg
+      $ bootstrap_arg $ factor $ csv_dir $ seu_rate $ watchdog_budget $ max_retries
+      $ min_survival $ jobs_arg
       $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg)
 
 (* -------------------------------- iid -------------------------------- *)
@@ -432,7 +467,7 @@ let iid runs seed frames jobs trace_path trace_level cache_dir resume no_cache =
   @@ fun store ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
   let xs = collect_par ?trace ?store ~jobs:(resolve_jobs jobs) rand ~runs in
-  let verdict = M.Iid.check xs in
+  let verdict = in_analysis_phase trace (fun () -> M.Iid.check xs) in
   (match trace with Some t -> M.Trace.emit t (M.Trace.iid_event verdict) | None -> ());
   Format.printf "%a@." M.Iid.pp verdict;
   0
@@ -464,9 +499,11 @@ let convergence runs seed frames probability jobs trace_path trace_level cache_d
   @@ fun store ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
   let xs = collect_par ?trace ?store ~jobs:(resolve_jobs jobs) rand ~runs in
-  let c = E.Convergence.study ~probability xs in
+  let c = in_analysis_phase trace (fun () -> E.Convergence.study ~probability xs) in
   (match trace with
   | Some t ->
+      M.Trace.Counters.add (M.Trace.counters t) "analysis.convergence_steps"
+        (List.length c.E.Convergence.history);
       M.Trace.emit t
         (M.Trace.Convergence
            { converged = c.E.Convergence.converged; runs_used = c.E.Convergence.runs_used })
@@ -584,7 +621,7 @@ let plot runs seed frames tail qq trace_path trace_level =
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
   let xs = collect_par ?trace ~jobs:1 rand ~runs in
-  let options = options_of ~tail ~no_gates:true in
+  let options = options_of ~tail ~no_gates:true () in
   (match M.Protocol.analyze ~options ?trace xs with
   | Ok a ->
       print_string (M.Ascii_plot.exceedance_plot a.M.Protocol.curve);

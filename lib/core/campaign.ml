@@ -62,10 +62,11 @@ let trace_campaign_end trace result =
       in
       Trace.emit t (Trace.Campaign_end { ok; failure })
 
-let finish ?trace ~options ~engineering_factor ~det_sample ~rand_sample ~det_resilience
-    ~rand_resilience () =
+let finish ?jobs ?trace ~options ~engineering_factor ~det_sample ~rand_sample
+    ~det_resilience ~rand_resilience () =
   let analysis =
-    in_phase trace phase_analyze (fun () -> Protocol.analyze ~options ?trace rand_sample)
+    in_phase trace phase_analyze (fun () ->
+        Protocol.analyze ~options ?jobs ?trace rand_sample)
   in
   let comparison =
     match analysis with
@@ -102,7 +103,7 @@ let run ?jobs ?trace ?store input =
       let det_sample = collect phase_collect_det input.measure_det in
       let rand_sample = collect phase_collect_rand input.measure_rand in
       Ok
-        (finish ?trace ~options:input.options
+        (finish ?jobs ?trace ~options:input.options
            ~engineering_factor:input.engineering_factor ~det_sample ~rand_sample
            ~det_resilience:None ~rand_resilience:None ())
     end
@@ -137,7 +138,7 @@ let run_resilient ?jobs ?trace ?store input =
         | Error _ as e -> e
         | Ok rand_report ->
             Ok
-              (finish ?trace ~options:base.options
+              (finish ?jobs ?trace ~options:base.options
                  ~engineering_factor:base.engineering_factor
                  ~det_sample:det_report.Resilience.sample
                  ~rand_sample:rand_report.Resilience.sample

@@ -1,93 +1,31 @@
-(* Deterministic domain-parallel execution for measurement campaigns.
+(* Observability-aware face of the domain pool.
 
-   The design is work-stealing-free on purpose: indices are split into
-   [jobs] contiguous chunks fixed before any domain starts, every chunk is
-   evaluated in ascending index order, and chunk results are blitted back
-   into a single output array at their original offsets.  Because each
-   index's result depends only on the index (the determinism contract the
-   campaign seed-derivation scheme guarantees), the output is bit-identical
-   regardless of job count or OS scheduling order — [jobs = 1] is the
-   sequential reference and every other job count must agree with it. *)
+   The pool itself — static contiguous sharding, ascending in-chunk
+   evaluation, lowest-chunk error propagation — lives in the dependency-free
+   [Repro_parallel] library so that analysis code below this layer
+   (bootstrap replicates, convergence studies) can fan out over the same
+   scheduler.  This wrapper only translates the chunk-layout callback into
+   {!Trace.Chunk} events and keeps the checkpointed variant, which needs the
+   store-facing barrier discipline and belongs with the campaign layer. *)
 
-let default_jobs () = Domain.recommended_domain_count ()
-
-let chunks ~jobs n =
-  if n < 0 then invalid_arg "Parallel.chunks: negative length";
-  if jobs < 1 then invalid_arg "Parallel.chunks: jobs must be >= 1";
-  if n = 0 then []
-  else begin
-    (* Never more chunks than indices: every chunk is non-empty. *)
-    let jobs = Stdlib.min jobs n in
-    let base = n / jobs and extra = n mod jobs in
-    List.init jobs (fun d ->
-        let lo = (d * base) + Stdlib.min d extra in
-        let len = base + if d < extra then 1 else 0 in
-        (lo, len))
-  end
-
-(* [Array.init]'s evaluation order is unspecified; campaigns need the
-   ascending order so that a stateful [f] still sees indices in run order
-   under [jobs = 1] (the sequential reference mode). *)
-let init_ascending n f =
-  if n = 0 then [||]
-  else begin
-    let a = Array.make n (f 0) in
-    for i = 1 to n - 1 do
-      a.(i) <- f i
-    done;
-    a
-  end
+let default_jobs = Repro_parallel.default_jobs
+let chunks = Repro_parallel.chunks
 
 (* Chunk-scheduling events are Debug-level observability: the layout is a
    pure function of (jobs, n), so it legitimately differs across job
    counts — which is exactly why the default trace level excludes it. *)
-let trace_layout trace layout =
-  match trace with
-  | None -> ()
+let on_chunk_of_trace = function
+  | None -> None
   | Some t ->
-      let phase = Trace.current_phase t in
-      List.iteri
-        (fun i (lo, len) -> Trace.emit t (Trace.Chunk { phase; chunk_index = i; lo; len }))
-        layout
+      Some
+        (fun ~chunk_index ~lo ~len ->
+          Trace.emit t (Trace.Chunk { phase = Trace.current_phase t; chunk_index; lo; len }))
 
 let init ?trace ?jobs n f =
-  if n < 0 then invalid_arg "Parallel.init: negative length";
-  let jobs = match jobs with None -> default_jobs () | Some j -> j in
-  if jobs < 1 then invalid_arg "Parallel.init: jobs must be >= 1";
-  if n = 0 then [||]
-  else if jobs = 1 || n = 1 then begin
-    trace_layout trace [ (0, n) ];
-    init_ascending n f
-  end
-  else begin
-    let layout = chunks ~jobs n in
-    trace_layout trace layout;
-    let eval (lo, len) =
-      match init_ascending len (fun i -> f (lo + i)) with
-      | a -> Ok a
-      | exception e -> Error e
-    in
-    match layout with
-    | [] -> assert false (* n >= 1 *)
-    | first_chunk :: rest ->
-        let spawned = List.map (fun c -> Domain.spawn (fun () -> eval c)) rest in
-        (* The first chunk runs on the calling domain — with [jobs] domains
-           requested we only ever spawn [jobs - 1]. *)
-        let first = eval first_chunk in
-        let results = first :: List.map Domain.join spawned in
-        (* Re-raise the failure of the lowest-indexed chunk, so an exception
-           escapes deterministically no matter which domains also failed. *)
-        let arrays =
-          List.map (function Ok a -> a | Error e -> raise e) results
-        in
-        let out = Array.make n (List.hd arrays).(0) in
-        List.iter2
-          (fun (lo, _) a -> Array.blit a 0 out lo (Array.length a))
-          layout arrays;
-        out
-  end
+  Repro_parallel.init ?on_chunk:(on_chunk_of_trace trace) ?jobs n f
 
-let map ?trace ?jobs f a = init ?trace ?jobs (Array.length a) (fun i -> f a.(i))
+let map ?trace ?jobs f a =
+  Repro_parallel.map ?on_chunk:(on_chunk_of_trace trace) ?jobs f a
 
 (* Chunk-granular checkpoint barriers.  Checkpoint chunks are a fixed
    [chunk_size] cut of the index space — deliberately independent of

@@ -3,6 +3,21 @@ module Evt = Repro_evt
 
 type tail = Gumbel | Gev | Pot | Exponential_pot
 
+type bootstrap_options = {
+  replicates : int;
+  bootstrap_confidence : float;
+  bootstrap_seed : int64;
+  bootstrap_probability : float;
+}
+
+let default_bootstrap_options =
+  {
+    replicates = 200;
+    bootstrap_confidence = 0.95;
+    bootstrap_seed = 0x9E3779B97F4A7C15L;
+    bootstrap_probability = 1e-9;
+  }
+
 type options = {
   alpha : float;
   gate_on_iid : bool;
@@ -12,6 +27,7 @@ type options = {
   check_convergence : bool;
   convergence_probability : float;
   convergence_tolerance : float;
+  bootstrap : bootstrap_options option;
 }
 
 let default_options =
@@ -24,6 +40,7 @@ let default_options =
     check_convergence = true;
     convergence_probability = 1e-9;
     convergence_tolerance = 0.01;
+    bootstrap = None;
   }
 
 type analysis = {
@@ -35,6 +52,7 @@ type analysis = {
   goodness_of_fit : Stats.Ks.result;
   goodness_of_fit_ad : Stats.Anderson_darling.result;
   tail_diagnostic : Evt.Tail_test.verdict option;
+  bootstrap : Evt.Bootstrap.interval option;
 }
 
 type failure =
@@ -85,7 +103,12 @@ let validate_sample xs =
   in
   go 0
 
-let fit_curve (options : options) xs =
+(* [xs] is the sample in measurement (time) order — block maxima must be
+   formed over it, a block is a window of consecutive runs.  [sorted_xs] is
+   the same multiset sorted ascending once by [analyze]; every consumer
+   that only needs order statistics (the curve's ECDF, the POT threshold
+   quantile) takes the pre-sorted array instead of re-sorting. *)
+let fit_curve (options : options) ~sorted_xs xs =
   let block_size =
     match options.block_size with
     | Some b -> b
@@ -99,7 +122,8 @@ let fit_curve (options : options) xs =
       in
       let model = Evt.Gumbel_fit.fit ~method_ maxima in
       let curve =
-        Evt.Pwcet.create ~model:(Evt.Pwcet.Gumbel_tail model) ~block_size ~sample:xs
+        Evt.Pwcet.create_sorted ~model:(Evt.Pwcet.Gumbel_tail model) ~block_size
+          ~sample:sorted_xs
       in
       let ad =
         Stats.Anderson_darling.test maxima ~cdf:(Stats.Distribution.Gumbel.cdf model)
@@ -111,7 +135,10 @@ let fit_curve (options : options) xs =
         match options.fit_method with `Pwm -> Evt.Gev_fit.Pwm | `Mle -> Evt.Gev_fit.Mle
       in
       let model = Evt.Gev_fit.fit ~method_ maxima in
-      let curve = Evt.Pwcet.create ~model:(Evt.Pwcet.Gev_tail model) ~block_size ~sample:xs in
+      let curve =
+        Evt.Pwcet.create_sorted ~model:(Evt.Pwcet.Gev_tail model) ~block_size
+          ~sample:sorted_xs
+      in
       let ad =
         Stats.Anderson_darling.test maxima ~cdf:(Stats.Distribution.Gev.cdf model)
       in
@@ -123,10 +150,13 @@ let fit_curve (options : options) xs =
           | `Pwm -> Evt.Gpd_fit.Pwm
           | `Mle -> Evt.Gpd_fit.Mle
       in
-      let pot = Evt.Gpd_fit.Pot.analyze ~method_ xs in
-      let curve = Evt.Pwcet.create ~model:(Evt.Pwcet.Pot_tail pot) ~block_size:1 ~sample:xs in
+      let pot = Evt.Gpd_fit.Pot.analyze ~method_ ~sorted:true sorted_xs in
+      let curve =
+        Evt.Pwcet.create_sorted ~model:(Evt.Pwcet.Pot_tail pot) ~block_size:1
+          ~sample:sorted_xs
+      in
       let above_threshold =
-        Array.to_list xs
+        Array.to_list sorted_xs
         |> List.filter_map (fun x ->
                if x > pot.Evt.Gpd_fit.Pot.threshold then Some x else None)
         |> Array.of_list
@@ -184,7 +214,13 @@ let trace_fit trace ~block_size ~curve ~gof ~ad =
              gof_ad_stat = ad.Stats.Anderson_darling.statistic;
            })
 
-let analyze ?(options = default_options) ?trace xs =
+let counter_add trace name v =
+  match trace with
+  | None -> ()
+  | Some t -> Trace.Counters.add (Trace.counters t) name v
+
+let analyze ?(options = default_options) ?(jobs = 1) ?trace xs =
+  if jobs < 1 then invalid_arg "Protocol.analyze: jobs must be >= 1";
   let n = Array.length xs in
   if n < min_runs then Error (Not_enough_runs { have = n; need = min_runs })
   else
@@ -196,6 +232,13 @@ let analyze ?(options = default_options) ?trace xs =
     (match trace with None -> () | Some t -> Trace.emit t (Trace.iid_event iid));
     if options.gate_on_iid && not iid.Iid.accepted then Error (Iid_rejected iid)
     else begin
+      (* The one sort of the measurement vector: every downstream consumer
+         that needs order statistics (curve ECDF, POT threshold, tail-test
+         threshold) takes this array; the i.i.d. checks, convergence study
+         and block-maxima extraction keep the time-ordered [xs], where run
+         order is the point. *)
+      let sorted_xs = Array.copy xs in
+      Array.sort Float.compare sorted_xs;
       let convergence =
         if options.check_convergence then
           Some
@@ -205,6 +248,8 @@ let analyze ?(options = default_options) ?trace xs =
       in
       (match convergence with
       | Some c ->
+          counter_add trace "analysis.convergence_steps"
+            (List.length c.Evt.Convergence.history);
           trace_emit trace
             (Trace.Convergence
                {
@@ -216,14 +261,28 @@ let analyze ?(options = default_options) ?trace xs =
       | Some c when not c.Evt.Convergence.converged -> Error (Not_converged c)
       | Some _ | None ->
           let block_size, curve, goodness_of_fit, goodness_of_fit_ad =
-            fit_curve options xs
+            fit_curve options ~sorted_xs xs
           in
           trace_fit trace ~block_size ~curve ~gof:goodness_of_fit
             ~ad:goodness_of_fit_ad;
           let tail_diagnostic =
             (* near-constant samples (a jitterless platform) have no
                excesses to diagnose; that is fine, not an error *)
-            try Some (Evt.Tail_test.exponentiality xs) with Invalid_argument _ -> None
+            try Some (Evt.Tail_test.exponentiality ~sorted:true sorted_xs)
+            with Invalid_argument _ -> None
+          in
+          let bootstrap =
+            match options.bootstrap with
+            | None -> None
+            | Some b ->
+                let prng = Repro_rng.Prng.create b.bootstrap_seed in
+                let itv =
+                  Evt.Bootstrap.pwcet_interval ~replicates:b.replicates
+                    ~confidence:b.bootstrap_confidence ~jobs ~prng ~sample:xs
+                    ~cutoff_probability:b.bootstrap_probability ()
+                in
+                counter_add trace "analysis.bootstrap_replicates" b.replicates;
+                Some itv
           in
           Ok
             {
@@ -235,11 +294,12 @@ let analyze ?(options = default_options) ?trace xs =
               goodness_of_fit;
               goodness_of_fit_ad;
               tail_diagnostic;
+              bootstrap;
             }
     end
   end
 
-let collect_and_analyze ?options ?store ~runs ~measure () =
+let collect_and_analyze ?options ?jobs ?store ~runs ~measure () =
   (* Explicit ascending loop: [Array.init]'s evaluation order is
      unspecified, and stateful measurement sources rely on run order.  The
      store path is sequential too ([jobs:1]), so checkpointing keeps the
@@ -249,7 +309,7 @@ let collect_and_analyze ?options ?store ~runs ~measure () =
     | None -> Parallel.init ~jobs:1 runs measure
     | Some (session, phase) -> Store.collect ~jobs:1 session ~phase runs measure
   in
-  analyze ?options xs
+  analyze ?options ?jobs xs
 
 let standard_cutoffs = [ 1e-6; 1e-7; 1e-8; 1e-9; 1e-10; 1e-11; 1e-12; 1e-13; 1e-14; 1e-15 ]
 
@@ -270,6 +330,9 @@ let pp_analysis ppf a =
     a.tail_diagnostic;
   (match a.convergence with
   | Some c -> Format.fprintf ppf "convergence: %a@," Evt.Convergence.pp_result c
+  | None -> ());
+  (match a.bootstrap with
+  | Some b -> Format.fprintf ppf "bootstrap interval: %a@," Evt.Bootstrap.pp_interval b
   | None -> ());
   Format.fprintf ppf "pWCET estimates:@,";
   List.iter

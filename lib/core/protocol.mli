@@ -22,6 +22,21 @@ type tail =
           original MBPTA formulation; pair with the {!Repro_evt.Tail_test}
           exponentiality diagnostic *)
 
+(** Bootstrap sub-options: when attached to {!options}, the analysis also
+    computes a {!Repro_evt.Bootstrap} confidence interval on the pWCET at
+    [bootstrap_probability].  The replicate PRNG is created from
+    [bootstrap_seed], so the interval is a pure function of (sample,
+    options) — bit-identical at every job count. *)
+type bootstrap_options = {
+  replicates : int;  (** bootstrap resamples, >= 20 (default 200) *)
+  bootstrap_confidence : float;  (** interval confidence, default 0.95 *)
+  bootstrap_seed : int64;  (** base seed of the replicate-PRNG derivation *)
+  bootstrap_probability : float;
+      (** cutoff probability of the bounded estimate, default 1e-9 *)
+}
+
+val default_bootstrap_options : bootstrap_options
+
 type options = {
   alpha : float;  (** significance level of the i.i.d. tests, 0.05 *)
   gate_on_iid : bool;
@@ -35,6 +50,8 @@ type options = {
   check_convergence : bool;
   convergence_probability : float;  (** reference exceedance, 1e-9 *)
   convergence_tolerance : float;  (** relative stability threshold, 0.01 *)
+  bootstrap : bootstrap_options option;
+      (** [None] (default): no bootstrap pass, analysis output unchanged *)
 }
 
 val default_options : options
@@ -52,6 +69,9 @@ type analysis = {
   tail_diagnostic : Repro_evt.Tail_test.verdict option;
       (** [None] when the sample is too concentrated to form excesses
           (e.g. a jitterless platform producing near-constant times) *)
+  bootstrap : Repro_evt.Bootstrap.interval option;
+      (** sampling-uncertainty band on the pWCET estimate, present when
+          {!options.bootstrap} was set *)
 }
 
 (** Everything that can stop the protocol (or a whole campaign) from
@@ -73,12 +93,25 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
-(** [analyze ?options ?trace xs] runs the protocol on a collected sample.
+(** [analyze ?options ?jobs ?trace xs] runs the protocol on a collected
+    sample.  [jobs] (default 1) fans the bootstrap replicates (when
+    {!options.bootstrap} is set) out over the domain pool — results are
+    bit-identical at every job count, the analysis-side extension of the
+    campaign determinism contract.  The measurement vector is sorted exactly
+    once and threaded through the EVT fit, ECDF, and tail diagnostics.
+
     With [trace] attached, every intermediate verdict is also recorded as a
     trace event ({!Trace.Iid_result}, {!Trace.Convergence}, {!Trace.Evt_fit})
-    — observation only, the returned analysis is unchanged. *)
+    and the counters [analysis.convergence_steps] /
+    [analysis.bootstrap_replicates] are bumped — observation only, the
+    returned analysis is unchanged.  Raises [Invalid_argument] on
+    [jobs < 1]. *)
 val analyze :
-  ?options:options -> ?trace:Trace.t -> float array -> (analysis, failure) Stdlib.result
+  ?options:options ->
+  ?jobs:int ->
+  ?trace:Trace.t ->
+  float array ->
+  (analysis, failure) Stdlib.result
 
 (** [collect_and_analyze ?options ~runs ~measure ()] drives the measurement
     protocol itself: performs [runs] measurements by calling [measure i]
@@ -97,6 +130,7 @@ val analyze :
     contract, exactly as parallel collection does. *)
 val collect_and_analyze :
   ?options:options ->
+  ?jobs:int ->
   ?store:Store.session * string ->
   runs:int ->
   measure:(int -> float) ->

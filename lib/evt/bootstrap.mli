@@ -6,7 +6,15 @@
     replacement, refits the tail each time, and returns percentile
     intervals of the pWCET quantile — the standard nonparametric bootstrap
     applied at the level of whole runs, so block re-formation is part of
-    the resampling. *)
+    the resampling.
+
+    {b Determinism contract.}  The caller's [prng] is consumed for exactly
+    two 32-bit draws, which form a 64-bit base seed; replicate [k]'s
+    resampling generator is then re-created from a Splitmix64 counter-mode
+    derivation of [(base_seed, k)] — a pure function of the pair, using the
+    same splitting discipline as [Experiment.scenario_seed].  Replicates
+    therefore fan out over the domain pool with results bit-identical to
+    the [jobs:1] sequential reference at any job count. *)
 
 type interval = {
   lower : float;
@@ -16,17 +24,33 @@ type interval = {
   replicates : int;
 }
 
-(** [pwcet_interval ?replicates ?confidence ~prng ~sample ~cutoff_probability ()]
-    — Gumbel tail on block maxima (block size from
+(** [pwcet_interval ?replicates ?confidence ?jobs ~prng ~sample
+    ~cutoff_probability ()] — Gumbel tail on block maxima (block size from
     {!Block_maxima.suggest_block_size} of the sample size), [replicates]
-    defaults to 200 and [confidence] to 0.95. *)
+    defaults to 200, [confidence] to 0.95 and [jobs] to 1 (the sequential
+    reference; any other job count returns bit-identical intervals).
+
+    If any replicate's refit degenerates to NaN, [lower] and [upper] are
+    NaN — a corrupted replicate set must be visible, never a silently
+    shifted percentile.
+
+    Raises [Invalid_argument] when [replicates < 20], [confidence] is
+    outside (0, 1), [jobs < 1], or the sample has fewer than 60
+    observations. *)
 val pwcet_interval :
   ?replicates:int ->
   ?confidence:float ->
+  ?jobs:int ->
   prng:Repro_rng.Prng.t ->
   sample:float array ->
   cutoff_probability:float ->
   unit ->
   interval
+
+(** [percentile sorted p] — type-7 interpolated percentile of an
+    already-sorted replicate set (exposed for tests of the degenerate
+    single-replicate and empty paths).  Raises [Invalid_argument] on an
+    empty array. *)
+val percentile : float array -> float -> float
 
 val pp_interval : Format.formatter -> interval -> unit

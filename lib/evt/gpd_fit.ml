@@ -12,7 +12,7 @@ let fit_pwm ~threshold excesses =
       (Printf.sprintf "Gpd_fit.fit_pwm: %d excesses, need at least 4"
          (Array.length excesses));
   let sorted = Array.copy excesses in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let nf = float_of_int n in
   let a0 = ref 0. and a1 = ref 0. in
@@ -80,10 +80,13 @@ module Pot = struct
     n_exceedances : int;
   }
 
-  let analyze ?(method_ = Pwm) ?(quantile = 0.9) xs =
+  let analyze ?(method_ = Pwm) ?(quantile = 0.9) ?(sorted = false) xs =
     if not (quantile > 0. && quantile < 1.) then
       invalid_arg "Pot.analyze: quantile must lie in (0, 1)";
-    let threshold = Stats.Descriptive.quantile xs quantile in
+    let threshold =
+      if sorted then Stats.Descriptive.quantile_sorted xs quantile
+      else Stats.Descriptive.quantile xs quantile
+    in
     let excesses =
       Array.to_list xs
       |> List.filter_map (fun x -> if x > threshold then Some (x -. threshold) else None)

@@ -21,9 +21,11 @@ module Pot : sig
     n_exceedances : int;
   }
 
-  (** [analyze ?method_ ?quantile xs] selects the threshold as the empirical
-      [quantile] (default 0.9) of [xs] and fits the excesses. *)
-  val analyze : ?method_:method_ -> ?quantile:float -> float array -> t
+  (** [analyze ?method_ ?quantile ?sorted xs] selects the threshold as the
+      empirical [quantile] (default 0.9) of [xs] and fits the excesses.
+      [sorted:true] declares [xs] already ascending, skipping the threshold
+      quantile's internal sort. *)
+  val analyze : ?method_:method_ -> ?quantile:float -> ?sorted:bool -> float array -> t
 
   (** [survival t x] is the per-observation exceedance probability
       P(X > x) for x above the threshold, combining the exceedance rate and

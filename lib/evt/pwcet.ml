@@ -9,7 +9,7 @@ type tail_model =
 
 type t = { model : tail_model; block_size : int; ecdf : Stats.Ecdf.t }
 
-let create ~model ~block_size ~sample =
+let make ~sorted ~model ~block_size ~sample =
   if block_size < 1 then invalid_arg "Pwcet.create: block_size must be >= 1";
   if Array.length sample = 0 then invalid_arg "Pwcet.create: empty sample";
   (match model with
@@ -17,7 +17,13 @@ let create ~model ~block_size ~sample =
       if block_size <> 1 then
         invalid_arg "Pwcet.create: POT models describe per-run values (block_size 1)"
   | Gumbel_tail _ | Gev_tail _ -> ());
-  { model; block_size; ecdf = Stats.Ecdf.of_sample sample }
+  let ecdf =
+    if sorted then Stats.Ecdf.of_sorted sample else Stats.Ecdf.of_sample sample
+  in
+  { model; block_size; ecdf }
+
+let create ~model ~block_size ~sample = make ~sorted:false ~model ~block_size ~sample
+let create_sorted ~model ~block_size ~sample = make ~sorted:true ~model ~block_size ~sample
 
 let model t = t.model
 let block_size t = t.block_size
@@ -29,8 +35,8 @@ let model_survival t v =
   | Gev_tail g -> Gev.survival g v
   | Pot_tail pot -> Gpd_fit.Pot.survival pot v
 
-let model_quantile_of_exceedance t p =
-  match t.model with
+let model_quantile_of_exceedance' model p =
+  match model with
   | Gumbel_tail g -> Gumbel.quantile_of_exceedance g p
   | Gev_tail g -> Gev.quantile_of_exceedance g p
   | Pot_tail pot -> Gpd_fit.Pot.quantile_of_exceedance pot p
@@ -47,20 +53,23 @@ let exceedance_probability t v =
     -.Float.expm1 (log_f_block /. float_of_int t.block_size)
   end
 
-let estimate t ~cutoff_probability =
+let estimate_of_model ~model ~block_size ~cutoff_probability =
   if not (cutoff_probability > 0. && cutoff_probability < 1.) then
     invalid_arg "Pwcet.estimate: cutoff_probability must lie in (0, 1)";
   let p_block =
-    if t.block_size = 1 then cutoff_probability
+    if block_size = 1 then cutoff_probability
     else
       (* exceedance at block level: 1 - (1 - p)^b *)
-      -.Float.expm1 (float_of_int t.block_size *. Float.log1p (-.cutoff_probability))
+      -.Float.expm1 (float_of_int block_size *. Float.log1p (-.cutoff_probability))
   in
   (* For moderate per-run probabilities and large blocks the block-level
      exceedance rounds to 1.0; clamp just inside the open interval (the
      corresponding quantile is deep in the left tail, only plots use it). *)
   let p_block = Float.min p_block (1. -. 1e-12) in
-  model_quantile_of_exceedance t p_block
+  model_quantile_of_exceedance' model p_block
+
+let estimate t ~cutoff_probability =
+  estimate_of_model ~model:t.model ~block_size:t.block_size ~cutoff_probability
 
 let ccdf_series t ~decades_below =
   if decades_below < 1 then invalid_arg "Pwcet.ccdf_series: decades_below must be >= 1";

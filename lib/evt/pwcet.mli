@@ -23,6 +23,14 @@ type t
     the full per-run observation set, kept for plots and tightness checks. *)
 val create : model:tail_model -> block_size:int -> sample:float array -> t
 
+(** [create_sorted ~model ~block_size ~sample] — {!create} for a sample the
+    caller has already sorted ascending: the internal ECDF skips its
+    O(n log n) sort ({!Repro_stats.Ecdf.of_sorted}).  Bit-identical to
+    {!create} on the same multiset; the entry point for pipelines
+    ({!Repro_mbpta.Protocol}, {!Convergence}) that sort the measurement
+    vector exactly once. *)
+val create_sorted : model:tail_model -> block_size:int -> sample:float array -> t
+
 val model : t -> tail_model
 val block_size : t -> int
 val sample_ecdf : t -> Repro_stats.Ecdf.t
@@ -33,6 +41,15 @@ val exceedance_probability : t -> float -> float
 (** [estimate t ~cutoff_probability] — the pWCET at the given per-run
     exceedance probability (e.g. [1e-15]). *)
 val estimate : t -> cutoff_probability:float -> float
+
+(** [estimate_of_model ~model ~block_size ~cutoff_probability] — the same
+    quantile without building a curve (no ECDF, hence no O(n log n) sort
+    of the sample): the estimate is a pure function of the fitted model
+    and the block size.  Bit-identical to {!estimate} on a curve carrying
+    the same model; the hot path of {!Bootstrap} replicates, which only
+    need the number. *)
+val estimate_of_model :
+  model:tail_model -> block_size:int -> cutoff_probability:float -> float
 
 (** [ccdf_series t ~decades_below] returns [(value, per-run exceedance)]
     points of the analytical curve, one per half-decade of probability from

@@ -2,8 +2,11 @@ module Stats = Repro_stats
 
 type verdict = { cv : float; z : float; p_value : float; exponential : bool }
 
-let excesses_over xs quantile =
-  let threshold = Stats.Descriptive.quantile xs quantile in
+let excesses_over ~sorted xs quantile =
+  let threshold =
+    if sorted then Stats.Descriptive.quantile_sorted xs quantile
+    else Stats.Descriptive.quantile xs quantile
+  in
   let es =
     Array.to_list xs
     |> List.filter_map (fun x -> if x > threshold then Some (x -. threshold) else None)
@@ -13,8 +16,8 @@ let excesses_over xs quantile =
     invalid_arg "Tail_test: fewer than 10 excesses; lower the quantile";
   es
 
-let exponentiality ?(alpha = 0.05) ?(quantile = 0.75) xs =
-  let es = excesses_over xs quantile in
+let exponentiality ?(alpha = 0.05) ?(quantile = 0.75) ?(sorted = false) xs =
+  let es = excesses_over ~sorted xs quantile in
   let n = float_of_int (Array.length es) in
   let cv = Stats.Descriptive.sample_std es /. Stats.Descriptive.mean es in
   (* For exponential data, sqrt(n) (CV - 1) -> N(0, 1) asymptotically. *)
@@ -22,9 +25,9 @@ let exponentiality ?(alpha = 0.05) ?(quantile = 0.75) xs =
   let p_value = Stats.Special.erfc (Float.abs z /. sqrt 2.) in
   { cv; z; p_value; exponential = p_value >= alpha }
 
-let qq_correlation ?(quantile = 0.75) xs =
-  let es = excesses_over xs quantile in
-  Array.sort compare es;
+let qq_correlation ?(quantile = 0.75) ?(sorted = false) xs =
+  let es = excesses_over ~sorted xs quantile in
+  Array.sort Float.compare es;
   let n = Array.length es in
   let nf = float_of_int n in
   (* Exponential theoretical quantiles at plotting positions i/(n+1). *)

@@ -6,15 +6,21 @@
     exponential's CV is exactly 1), with the acceptance band derived from the
     asymptotic normality of the sample CV.  [qq_correlation] is a second
     diagnostic: the Pearson correlation between empirical and exponential
-    theoretical quantiles of the excesses (close to 1 for a good fit). *)
+    theoretical quantiles of the excesses (close to 1 for a good fit).
+
+    Both diagnostics accept [sorted:true] when the caller has already sorted
+    the sample ascending — the threshold quantile then skips its internal
+    sort, letting {!Repro_mbpta.Protocol} sort the measurement vector
+    exactly once. *)
 
 type verdict = { cv : float; z : float; p_value : float; exponential : bool }
 
-(** [exponentiality ?alpha ?quantile xs] tests excesses over the empirical
-    [quantile] (default 0.75) of [xs]. *)
-val exponentiality : ?alpha:float -> ?quantile:float -> float array -> verdict
+(** [exponentiality ?alpha ?quantile ?sorted xs] tests excesses over the
+    empirical [quantile] (default 0.75) of [xs]. *)
+val exponentiality :
+  ?alpha:float -> ?quantile:float -> ?sorted:bool -> float array -> verdict
 
-(** [qq_correlation ?quantile xs] in [[0, 1]]. *)
-val qq_correlation : ?quantile:float -> float array -> float
+(** [qq_correlation ?quantile ?sorted xs] in [[0, 1]]. *)
+val qq_correlation : ?quantile:float -> ?sorted:bool -> float array -> float
 
 val pp_verdict : Format.formatter -> verdict -> unit

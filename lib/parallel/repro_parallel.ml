@@ -1,0 +1,87 @@
+(* Deterministic domain-parallel execution.
+
+   The design is work-stealing-free on purpose: indices are split into
+   [jobs] contiguous chunks fixed before any domain starts, every chunk is
+   evaluated in ascending index order, and chunk results are blitted back
+   into a single output array at their original offsets.  Because each
+   index's result depends only on the index (the determinism contract the
+   campaign seed-derivation scheme guarantees), the output is bit-identical
+   regardless of job count or OS scheduling order — [jobs = 1] is the
+   sequential reference and every other job count must agree with it.
+
+   This module carries no tracing dependency; [on_chunk] is a plain
+   callback so the core layer can forward the layout into its trace
+   stream while the EVT layer uses the pool directly. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let chunks ~jobs n =
+  if n < 0 then invalid_arg "Parallel.chunks: negative length";
+  if jobs < 1 then invalid_arg "Parallel.chunks: jobs must be >= 1";
+  if n = 0 then []
+  else begin
+    (* Never more chunks than indices: every chunk is non-empty. *)
+    let jobs = Stdlib.min jobs n in
+    let base = n / jobs and extra = n mod jobs in
+    List.init jobs (fun d ->
+        let lo = (d * base) + Stdlib.min d extra in
+        let len = base + if d < extra then 1 else 0 in
+        (lo, len))
+  end
+
+(* [Array.init]'s evaluation order is unspecified; campaigns need the
+   ascending order so that a stateful [f] still sees indices in run order
+   under [jobs = 1] (the sequential reference mode). *)
+let init_ascending n f =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
+let notify_layout on_chunk layout =
+  match on_chunk with
+  | None -> ()
+  | Some k -> List.iteri (fun i (lo, len) -> k ~chunk_index:i ~lo ~len) layout
+
+let init ?on_chunk ?jobs n f =
+  if n < 0 then invalid_arg "Parallel.init: negative length";
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Parallel.init: jobs must be >= 1";
+  if n = 0 then [||]
+  else if jobs = 1 || n = 1 then begin
+    notify_layout on_chunk [ (0, n) ];
+    init_ascending n f
+  end
+  else begin
+    let layout = chunks ~jobs n in
+    notify_layout on_chunk layout;
+    let eval (lo, len) =
+      match init_ascending len (fun i -> f (lo + i)) with
+      | a -> Ok a
+      | exception e -> Error e
+    in
+    match layout with
+    | [] -> assert false (* n >= 1 *)
+    | first_chunk :: rest ->
+        let spawned = List.map (fun c -> Domain.spawn (fun () -> eval c)) rest in
+        (* The first chunk runs on the calling domain — with [jobs] domains
+           requested we only ever spawn [jobs - 1]. *)
+        let first = eval first_chunk in
+        let results = first :: List.map Domain.join spawned in
+        (* Re-raise the failure of the lowest-indexed chunk, so an exception
+           escapes deterministically no matter which domains also failed. *)
+        let arrays =
+          List.map (function Ok a -> a | Error e -> raise e) results
+        in
+        let out = Array.make n (List.hd arrays).(0) in
+        List.iter2
+          (fun (lo, _) a -> Array.blit a 0 out lo (Array.length a))
+          layout arrays;
+        out
+  end
+
+let map ?on_chunk ?jobs f a = init ?on_chunk ?jobs (Array.length a) (fun i -> f a.(i))

@@ -84,7 +84,7 @@ let runs ?(alpha = 0.01) prng ~draws =
   if draws < 20 then invalid_arg "Quality.runs: draws must be >= 20";
   let xs = Array.init draws (fun _ -> Prng.float prng) in
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let median = sorted.(draws / 2) in
   let signs = Array.map (fun x -> x >= median) xs in
   let n_plus = Array.fold_left (fun a s -> if s then a + 1 else a) 0 signs in

@@ -11,4 +11,34 @@ let acf xs ~lag =
   done;
   if !c0 = 0. then 0. else !ck /. !c0
 
-let acf_up_to xs ~max_lag = Array.init max_lag (fun i -> acf xs ~lag:(i + 1))
+(* Single sweep: the mean and the lag-0 autocovariance are hoisted out of
+   the per-lag loop (the per-lag [acf] recomputes both every call), and all
+   lag products accumulate during one pass over the data.  Each lag's sum
+   collects its terms in ascending index order — the same order as the
+   per-lag reference — so every returned value is bit-identical to
+   [acf ~lag]. *)
+let acf_up_to xs ~max_lag =
+  if max_lag <= 0 then Array.init max_lag (fun _ -> 0.)
+  else begin
+    let n = Array.length xs in
+    if max_lag >= n then
+      invalid_arg "Autocorrelation.acf: lag must satisfy 1 <= lag < n";
+    let mean = Descriptive.mean xs in
+    let d = Array.make n 0. in
+    let c0 = ref 0. in
+    for i = 0 to n - 1 do
+      let di = xs.(i) -. mean in
+      d.(i) <- di;
+      c0 := !c0 +. (di *. di)
+    done;
+    let ck = Array.make max_lag 0. in
+    for i = 0 to n - 1 do
+      let di = d.(i) in
+      let kmax = Stdlib.min max_lag (n - 1 - i) in
+      for k = 1 to kmax do
+        ck.(k - 1) <- ck.(k - 1) +. (di *. d.(i + k))
+      done
+    done;
+    if !c0 = 0. then Array.make max_lag 0.
+    else Array.map (fun c -> c /. !c0) ck
+  end

@@ -5,5 +5,8 @@
     (biased estimator, normalized by the lag-0 autocovariance). *)
 val acf : float array -> lag:int -> float
 
-(** [acf_up_to xs ~max_lag] returns [| r_1; ...; r_max_lag |]. *)
+(** [acf_up_to xs ~max_lag] returns [| r_1; ...; r_max_lag |], bit-identical
+    to calling {!acf} per lag but computed in a single sweep: the mean and
+    the lag-0 autocovariance are evaluated once instead of [max_lag] times,
+    and all lag sums accumulate during one pass over the data. *)
 val acf_up_to : float array -> max_lag:int -> float array

@@ -73,6 +73,12 @@ let quantile xs p =
   Array.sort Float.compare sorted;
   quantile_of_sorted sorted p
 
+let quantile_sorted sorted p =
+  require_nonempty "Descriptive.quantile_sorted" sorted;
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Descriptive.quantile_sorted: p outside [0, 1]";
+  quantile_of_sorted sorted p
+
 let median xs = quantile xs 0.5
 
 type summary = {

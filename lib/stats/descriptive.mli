@@ -31,6 +31,12 @@ val kurtosis_excess : float array -> float
     statistics (R type-7, the common default).  [xs] need not be sorted. *)
 val quantile : float array -> float -> float
 
+(** [quantile_sorted sorted p] — {!quantile} over an array the caller has
+    already sorted ascending (no copy, no re-sort); bit-identical to
+    [quantile] on the same multiset.  For pipelines that sort the sample
+    once and thread it through every consumer. *)
+val quantile_sorted : float array -> float -> float
+
 val median : float array -> float
 
 (** Everything at once, from a single sorted copy and a single mean. *)

@@ -6,6 +6,15 @@ let of_sample xs =
   Array.sort Float.compare copy;
   { xs = copy }
 
+let of_sorted xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Ecdf.of_sorted: empty sample";
+  for i = 1 to n - 1 do
+    if Float.compare xs.(i - 1) xs.(i) > 0 then
+      invalid_arg "Ecdf.of_sorted: sample not sorted ascending"
+  done;
+  { xs = Array.copy xs }
+
 let size t = Array.length t.xs
 let order_statistic t i = t.xs.(i)
 let sorted t = t.xs

@@ -10,6 +10,13 @@ type t
 (** [of_sample xs] sorts a private copy of [xs]. *)
 val of_sample : float array -> t
 
+(** [of_sorted xs] builds the ECDF from an already-sorted sample (still a
+    private copy, but skipping the O(n log n) sort) — the entry point for
+    analysis pipelines that sort the measurement vector once and thread it
+    through every consumer.  Raises [Invalid_argument] when [xs] is empty
+    or not ascending under [Float.compare]. *)
+val of_sorted : float array -> t
+
 val size : t -> int
 
 (** The i-th order statistic, [i] in [[0, size-1]]. *)

@@ -61,7 +61,7 @@ let bubble_sort ?(n = 32) () =
     check =
       (fun memory ->
         let expected = Array.copy !current in
-        Array.sort compare expected;
+        Array.sort Float.compare expected;
         compare_arrays ~what:"bubble_sort" expected (Memory.read_array memory "arr"));
   }
 
@@ -124,7 +124,7 @@ let binary_search ?(n = 256) ?(lookups = 32) () =
     load_input =
       (fun memory prng ->
         let sorted = Array.init n (fun _ -> 100. *. Prng.float prng) in
-        Array.sort compare sorted;
+        Array.sort Float.compare sorted;
         let keys = Array.init lookups (fun _ -> 100. *. Prng.float prng) in
         current := (sorted, keys);
         Memory.load_array memory "sorted" sorted;

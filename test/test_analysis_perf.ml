@@ -1,0 +1,319 @@
+(* Tests for the parallel/incremental analysis engine: the fanned-out
+   bootstrap must be bit-identical at every job count, the incremental
+   convergence study must match the retired from-scratch implementation
+   (kept here as the oracle) bit for bit, the single-pass ACF must equal
+   the per-lag reference, and the comparison counter must stay within the
+   O(n log n) budget the retired implementation would blow. *)
+
+module S = Repro_stats
+module E = Repro_evt
+module M = Repro_mbpta
+module P = Repro_platform
+module T = Repro_tvca
+module Prng = Repro_rng.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let check_raises_invalid msg f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  | exception Invalid_argument _ -> ()
+
+let rand_sample =
+  lazy
+    (let e = T.Experiment.create ~config:P.Config.mbpta_compliant ~base_seed:2017L () in
+     T.Experiment.collect e ~runs:3000)
+
+let prefix n = Array.sub (Lazy.force rand_sample) 0 n
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap *)
+
+let check_interval_eq msg (a : E.Bootstrap.interval) (b : E.Bootstrap.interval) =
+  let checkf what = Alcotest.check (Alcotest.float 0.) (msg ^ ": " ^ what) in
+  checkf "lower" a.E.Bootstrap.lower b.E.Bootstrap.lower;
+  checkf "point" a.E.Bootstrap.point b.E.Bootstrap.point;
+  checkf "upper" a.E.Bootstrap.upper b.E.Bootstrap.upper;
+  checki (msg ^ ": replicates") a.E.Bootstrap.replicates b.E.Bootstrap.replicates
+
+let bootstrap_interval ~jobs xs =
+  E.Bootstrap.pwcet_interval ~replicates:60 ~jobs ~prng:(Prng.create 4321L) ~sample:xs
+    ~cutoff_probability:1e-9 ()
+
+let test_bootstrap_jobs_identical () =
+  let xs = prefix 400 in
+  let reference = bootstrap_interval ~jobs:1 xs in
+  List.iter
+    (fun jobs ->
+      check_interval_eq
+        (Printf.sprintf "jobs=%d vs jobs=1" jobs)
+        reference (bootstrap_interval ~jobs xs))
+    [ 2; 4 ]
+
+let test_bootstrap_prng_discipline () =
+  (* The caller's generator advances by exactly two 32-bit draws, no matter
+     how many replicates ran or on how many domains. *)
+  let xs = prefix 200 in
+  let consumed jobs replicates =
+    let prng = Prng.create 99L in
+    ignore
+      (E.Bootstrap.pwcet_interval ~replicates ~jobs ~prng ~sample:xs
+         ~cutoff_probability:1e-9 ());
+    Prng.bits32 prng
+  in
+  let reference = Prng.create 99L in
+  ignore (Prng.bits32 reference);
+  ignore (Prng.bits32 reference);
+  let expected = Prng.bits32 reference in
+  checki "jobs=1, 20 replicates" expected (consumed 1 20);
+  checki "jobs=4, 60 replicates" expected (consumed 4 60)
+
+let test_percentile_degenerate () =
+  check_raises_invalid "empty replicate set" (fun () ->
+      E.Bootstrap.percentile [||] 0.5);
+  Alcotest.check (Alcotest.float 0.) "singleton returns its element" 42.
+    (E.Bootstrap.percentile [| 42. |] 0.025);
+  Alcotest.check (Alcotest.float 0.) "singleton ignores p" 42.
+    (E.Bootstrap.percentile [| 42. |] 0.975)
+
+let test_bootstrap_nan_poisons () =
+  (* A sample carrying a NaN makes replicate fits NaN; the interval must
+     report NaN bounds, never a finite band sorted around the NaNs. *)
+  let xs = Array.init 100 (fun i -> 1000. +. float_of_int i) in
+  xs.(57) <- Float.nan;
+  let iv =
+    E.Bootstrap.pwcet_interval ~replicates:40 ~prng:(Prng.create 7L) ~sample:xs
+      ~cutoff_probability:1e-9 ()
+  in
+  checkb "lower is NaN" true (Float.is_nan iv.E.Bootstrap.lower);
+  checkb "upper is NaN" true (Float.is_nan iv.E.Bootstrap.upper)
+
+(* ------------------------------------------------------------------ *)
+(* Convergence: retired from-scratch implementation, verbatim, as the
+   bit-identity oracle for the incremental engine. *)
+
+let retired_estimate_at xs probability =
+  let block_size = E.Block_maxima.suggest_block_size (Array.length xs) in
+  let maxima = E.Block_maxima.extract ~block_size xs in
+  let gumbel = E.Gumbel_fit.fit ~method_:E.Gumbel_fit.Pwm maxima in
+  let curve = E.Pwcet.create ~model:(E.Pwcet.Gumbel_tail gumbel) ~block_size ~sample:xs in
+  E.Pwcet.estimate curve ~cutoff_probability:probability
+
+let retired_study ?(probability = 1e-9) ?(step = 100) ?(tolerance = 0.01)
+    ?(stable_steps = 3) ?(min_runs = 100) xs =
+  let n = Array.length xs in
+  let rec go used previous streak acc =
+    if used > n then (false, n, List.rev acc)
+    else begin
+      let sub = Array.sub xs 0 used in
+      let est = retired_estimate_at sub probability in
+      let acc = (used, est) :: acc in
+      let streak =
+        match previous with
+        | Some prev when Float.abs (est -. prev) /. Float.abs prev <= tolerance ->
+            streak + 1
+        | Some _ | None -> 0
+      in
+      if streak >= stable_steps then (true, used, List.rev acc)
+      else go (used + step) (Some est) streak acc
+    end
+  in
+  go min_runs None 0 []
+
+let history_pairs (c : E.Convergence.result) =
+  List.map (fun p -> (p.E.Convergence.runs, p.E.Convergence.estimate)) c.E.Convergence.history
+
+let check_against_oracle msg ?probability ?step ?tolerance xs =
+  let r_conv, r_used, r_hist = retired_study ?probability ?step ?tolerance xs in
+  let c = E.Convergence.study ?probability ?step ?tolerance xs in
+  checkb (msg ^ ": converged") r_conv c.E.Convergence.converged;
+  checki (msg ^ ": runs_used") r_used c.E.Convergence.runs_used;
+  let pairs = history_pairs c in
+  checki (msg ^ ": history length") (List.length r_hist) (List.length pairs);
+  List.iter2
+    (fun (ro, eo) (ri, ei) ->
+      checki (msg ^ ": step runs") ro ri;
+      Alcotest.check (Alcotest.float 0.) (msg ^ ": step estimate") eo ei)
+    r_hist pairs
+
+let test_convergence_oracle_prefixes () =
+  (* Several prefix lengths: block size suggestions double at different
+     points, so every doubling/extension path of the incremental engine is
+     exercised. *)
+  List.iter
+    (fun n -> check_against_oracle (Printf.sprintf "n=%d" n) (prefix n))
+    [ 150; 400; 1000; 3000 ];
+  (* Non-default stepping, including a step that overshoots the sample. *)
+  check_against_oracle "step=37" ~step:37 (prefix 500);
+  check_against_oracle "step=5000 (single estimate)" ~step:5000 (prefix 500);
+  check_against_oracle "tolerance=0 (full walk)" ~tolerance:0. (prefix 800)
+
+let test_convergence_oracle_faulted () =
+  (* Survivor samples from the SEU-injected runner: realistic, slightly
+     irregular data (retries, discarded runs) through the same oracle. *)
+  let e = T.Experiment.create ~config:P.Config.mbpta_compliant ~base_seed:77L () in
+  let fault = T.Experiment.fault_config ~seu_rate:2.0 () in
+  let survivors =
+    List.init 300 (fun run_index ->
+        match T.Experiment.run_faulty e ~fault ~run_index () with
+        | T.Experiment.Completed { metrics; _ } ->
+            Some (float_of_int (P.Metrics.cycles metrics))
+        | _ -> None)
+    |> List.filter_map Fun.id |> Array.of_list
+  in
+  checkb "enough survivors for a study" true (Array.length survivors >= 100);
+  check_against_oracle "SEU survivors" survivors
+
+let test_convergence_comparison_budget () =
+  (* The counter the CI regression check pins: a full (never-converging)
+     walk over n runs must stay within c * n * log2 n comparisons.  The
+     retired implementation re-sorted every prefix, which alone costs
+     ~sum_k (k*step) log2 (k*step) — several times this budget. *)
+  let n = 3000 in
+  let c = E.Convergence.study ~tolerance:0. (prefix n) in
+  checkb "walked the whole sample" false c.E.Convergence.converged;
+  let budget =
+    int_of_float (6. *. float_of_int n *. (Float.log (float_of_int n) /. Float.log 2.))
+  in
+  checkb
+    (Printf.sprintf "comparisons %d within budget %d" c.E.Convergence.comparisons budget)
+    true
+    (c.E.Convergence.comparisons <= budget);
+  checkb "counter is live" true (c.E.Convergence.comparisons > 0)
+
+(* ------------------------------------------------------------------ *)
+(* ACF *)
+
+let check_acf_equal msg xs ~max_lag =
+  let per_lag = Array.init max_lag (fun i -> S.Autocorrelation.acf xs ~lag:(i + 1)) in
+  let single = S.Autocorrelation.acf_up_to xs ~max_lag in
+  checki (msg ^ ": length") max_lag (Array.length single);
+  Array.iteri
+    (fun i r ->
+      Alcotest.check (Alcotest.float 0.)
+        (Printf.sprintf "%s: lag %d" msg (i + 1))
+        per_lag.(i) r)
+    single
+
+let test_acf_single_pass () =
+  check_acf_equal "RAND sample" (prefix 500) ~max_lag:50;
+  check_acf_equal "tie-heavy series"
+    (Array.init 200 (fun i -> float_of_int (i mod 7)))
+    ~max_lag:20;
+  check_acf_equal "short series, max feasible lag"
+    (Array.init 8 (fun i -> float_of_int (i * i)))
+    ~max_lag:7
+
+let test_acf_degenerate () =
+  let constant = Array.make 50 3.25 in
+  let rs = S.Autocorrelation.acf_up_to constant ~max_lag:10 in
+  Array.iteri
+    (fun i r ->
+      Alcotest.check (Alcotest.float 0.)
+        (Printf.sprintf "constant series lag %d" (i + 1))
+        0. r)
+    rs;
+  checki "max_lag 0 returns empty" 0
+    (Array.length (S.Autocorrelation.acf_up_to (prefix 100) ~max_lag:0));
+  check_raises_invalid "max_lag >= n" (fun () ->
+      S.Autocorrelation.acf_up_to (Array.make 5 1.) ~max_lag:5)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: counters and the bootstrap interval are invariant in jobs. *)
+
+let temp_path () =
+  let path = Filename.temp_file "test_analysis_perf" ".jsonl" in
+  Sys.remove path;
+  path
+
+let test_protocol_jobs_invariant () =
+  let xs = prefix 1000 in
+  let options =
+    {
+      M.Protocol.default_options with
+      M.Protocol.gate_on_iid = false;
+      M.Protocol.check_convergence = false;
+      M.Protocol.bootstrap =
+        Some { M.Protocol.default_bootstrap_options with M.Protocol.replicates = 40 };
+    }
+  in
+  let run jobs =
+    let path = temp_path () in
+    let trace = M.Trace.create ~path () in
+    let result = M.Protocol.analyze ~options ~jobs ~trace xs in
+    let counters = M.Trace.Counters.snapshot (M.Trace.counters trace) in
+    M.Trace.close trace;
+    (try Sys.remove path with Sys_error _ -> ());
+    match result with
+    | Ok a -> (a, counters)
+    | Error f -> Alcotest.failf "analyze (jobs=%d) failed: %a" jobs M.Protocol.pp_failure f
+  in
+  let a1, c1 = run 1 in
+  let a4, c4 = run 4 in
+  (match (a1.M.Protocol.bootstrap, a4.M.Protocol.bootstrap) with
+  | Some i1, Some i4 -> check_interval_eq "analyze bootstrap jobs=4 vs jobs=1" i1 i4
+  | _ -> Alcotest.fail "expected a bootstrap interval from both analyses");
+  checkb "counter snapshots identical across jobs" true (c1 = c4);
+  checki "bootstrap replicate counter" 40
+    (try List.assoc "analysis.bootstrap_replicates" c1 with Not_found -> -1)
+
+let test_protocol_convergence_counter () =
+  let xs = prefix 3000 in
+  let options =
+    { M.Protocol.default_options with M.Protocol.gate_on_iid = false }
+  in
+  let path = temp_path () in
+  let trace = M.Trace.create ~path () in
+  let result = M.Protocol.analyze ~options ~trace xs in
+  let counters = M.Trace.Counters.snapshot (M.Trace.counters trace) in
+  M.Trace.close trace;
+  (try Sys.remove path with Sys_error _ -> ());
+  match result with
+  | Error f -> Alcotest.failf "analyze failed: %a" M.Protocol.pp_failure f
+  | Ok a ->
+      let steps =
+        match a.M.Protocol.convergence with
+        | Some c -> List.length c.E.Convergence.history
+        | None -> Alcotest.fail "expected a convergence study"
+      in
+      checki "analysis.convergence_steps matches the history" steps
+        (try List.assoc "analysis.convergence_steps" counters with Not_found -> -1)
+
+let () =
+  Alcotest.run "analysis_perf"
+    [
+      ( "bootstrap",
+        [
+          Alcotest.test_case "bit-identical across jobs" `Quick
+            test_bootstrap_jobs_identical;
+          Alcotest.test_case "caller PRNG advances exactly two draws" `Quick
+            test_bootstrap_prng_discipline;
+          Alcotest.test_case "percentile degenerate cases" `Quick
+            test_percentile_degenerate;
+          Alcotest.test_case "NaN sample poisons the interval" `Quick
+            test_bootstrap_nan_poisons;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "incremental matches retired oracle" `Quick
+            test_convergence_oracle_prefixes;
+          Alcotest.test_case "oracle equality on SEU survivors" `Quick
+            test_convergence_oracle_faulted;
+          Alcotest.test_case "comparison budget is O(n log n)" `Quick
+            test_convergence_comparison_budget;
+        ] );
+      ( "acf",
+        [
+          Alcotest.test_case "single pass equals per-lag reference" `Quick
+            test_acf_single_pass;
+          Alcotest.test_case "degenerate series" `Quick test_acf_degenerate;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "counters and interval invariant in jobs" `Quick
+            test_protocol_jobs_invariant;
+          Alcotest.test_case "convergence counter matches history" `Quick
+            test_protocol_convergence_counter;
+        ] );
+    ]
