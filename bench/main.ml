@@ -927,11 +927,164 @@ let p3_analysis_perf () =
     acf_identical;
   }
 
-let json_of_perf r s a =
+(* ------------------------------------------------------------------ *)
+(* P4: distributed campaigns — sharded collection (in-process workers
+   under the coordinator's supervision loop) plus the integrity-verified
+   merge, against the single-process store path.  Re-checks the merge
+   contract as it runs: the merged record must be byte-identical to the
+   single-process record, the final samples bit-identical, and a
+   bit-flipped shard record must be quarantined, never merged. *)
+
+type distributed_results = {
+  dist_runs : int;
+  dist_shards : int;
+  dist_chunk_size : int;
+  single_seconds : float;
+  sharded_seconds : float;  (* supervised shard collection, one domain each *)
+  merge_seconds : float;
+  merged_record_identical : bool;
+  merged_samples_identical : bool;
+  quarantine_detected : bool;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let p4_distributed_perf () =
+  section "P4  Distributed campaigns: sharded collection + integrity-verified merge";
+  let n = Stdlib.max 60 (Stdlib.min !runs 600) in
+  let chunk_size = 64 in
+  let shards = 3 in
+  let input =
+    {
+      (M.Campaign.default_input
+         ~measure_det:(fun i -> T.Experiment.measure det_experiment ~run_index:i)
+         ~measure_rand:(fun i -> T.Experiment.measure rand_experiment ~run_index:i))
+      with
+      M.Campaign.runs = n;
+      M.Campaign.options =
+        {
+          M.Protocol.default_options with
+          M.Protocol.gate_on_iid = false;
+          M.Protocol.check_convergence = false;
+        };
+    }
+  in
+  let config =
+    [ ("bench", "p4"); ("seed", Int64.to_string base_seed); ("runs", string_of_int n) ]
+  in
+  let key = M.Store.key ~chunk_size config in
+  let record_path dir = Filename.concat dir (key ^ ".jsonl") in
+  let temp_dir () =
+    let d = Filename.temp_file "bench_dist" "" in
+    Sys.remove d;
+    d
+  in
+  let dirs = List.init (shards + 2) (fun _ -> temp_dir ()) in
+  Fun.protect ~finally:(fun () -> List.iter rm_rf dirs) @@ fun () ->
+  let single_dir, merge_dir, shard_dirs =
+    match dirs with a :: b :: rest -> (a, b, rest) | _ -> assert false
+  in
+  let open_session ?shard dir =
+    match
+      M.Store.open_session ~chunk_size ~resume:true ?shard
+        (M.Store.open_root ~dir) ~key ~config ~runs:n ~resilient:false
+    with
+    | Ok s -> s
+    | Error e -> failwith ("P4: open_session: " ^ e)
+  in
+  let samples = function
+    | Ok c -> (c.M.Campaign.det_sample, c.M.Campaign.rand_sample)
+    | Error f -> Format.kasprintf failwith "P4 campaign failed: %a" M.Protocol.pp_failure f
+  in
+  (* single-process reference *)
+  let single_session = open_session single_dir in
+  let single, single_seconds =
+    time_it (fun () -> M.Campaign.run ~jobs:1 ~store:single_session input)
+  in
+  M.Store.close single_session;
+  let single_samples = samples single in
+  (* sharded collection under the supervision loop (workers in-process) *)
+  let policy = M.Coordinator.default_policy ~shards in
+  let run_shard ~shard ~span ~attempt:_ =
+    let s = open_session ~shard:span (List.nth shard_dirs (shard - 1)) in
+    match M.Campaign.collect_shard ~jobs:1 ~store:s input with
+    | Ok () ->
+        M.Store.close s;
+        Ok ()
+    | Error f ->
+        M.Store.close s;
+        Error (M.Coordinator.Crashed (Format.asprintf "%a" M.Protocol.pp_failure f))
+  in
+  let report, sharded_seconds =
+    time_it (fun () ->
+        M.Coordinator.supervise ~policy ~chunk_size ~runs:n ~run_shard ())
+  in
+  if report.M.Coordinator.unrecoverable > 0 then failwith "P4: shard collection failed";
+  let src = List.map (fun dir -> M.Store.open_root ~dir) shard_dirs in
+  let dst = M.Store.open_root ~dir:merge_dir in
+  let merge_result, merge_seconds = time_it (fun () -> M.Store.merge ~src dst) in
+  (match merge_result with
+  | Ok _ -> ()
+  | Error e -> failwith ("P4: merge: " ^ e));
+  let merged_record_identical =
+    read_file (record_path merge_dir) = read_file (record_path single_dir)
+  in
+  let merged_session = open_session merge_dir in
+  let merged = M.Campaign.run ~jobs:1 ~store:merged_session input in
+  M.Store.close merged_session;
+  let merged_samples_identical = samples merged = single_samples in
+  if not (merged_record_identical && merged_samples_identical) then
+    failwith "P4: sharded campaign diverged from the single-process reference";
+  (* a bit-flipped shard record must be quarantined, never merged *)
+  let victim = record_path (List.nth shard_dirs 1) in
+  let bytes = Bytes.of_string (read_file victim) in
+  Bytes.set bytes
+    (Bytes.length bytes / 2)
+    (Char.chr (Char.code (Bytes.get bytes (Bytes.length bytes / 2)) lxor 1));
+  let oc = open_out_bin victim in
+  output_bytes oc bytes;
+  close_out oc;
+  let quarantine_dst = M.Store.open_root ~dir:(List.nth dirs 0 ^ ".q") in
+  let quarantine_detected =
+    match M.Store.merge ~src quarantine_dst with
+    | Ok m -> m.M.Store.quarantined <> []
+    | Error e -> failwith ("P4: quarantine merge: " ^ e)
+  in
+  rm_rf (List.nth dirs 0 ^ ".q");
+  if not quarantine_detected then
+    failwith "P4: a bit-flipped shard record was merged without quarantine";
+  Format.printf "campaign of 2x%d runs, chunk size %d, %d shards@.@." n chunk_size shards;
+  Format.printf "%-44s %10.3fs@." "single-process (simulate + checkpoint)" single_seconds;
+  Format.printf "%-44s %10.3fs@."
+    (Printf.sprintf "sharded collection (%d supervised workers)" shards)
+    sharded_seconds;
+  Format.printf "%-44s %10.3fs@." "integrity-verified merge" merge_seconds;
+  Format.printf "merged record byte-identical to single-process: %b@."
+    merged_record_identical;
+  Format.printf "merged samples bit-identical to single-process: %b@."
+    merged_samples_identical;
+  Format.printf "bit-flipped shard record quarantined by merge:  %b@." quarantine_detected;
+  {
+    dist_runs = n;
+    dist_shards = shards;
+    dist_chunk_size = chunk_size;
+    single_seconds;
+    sharded_seconds;
+    merge_seconds;
+    merged_record_identical;
+    merged_samples_identical;
+    quarantine_detected;
+  }
+
+let json_of_perf r s a d =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"bench_pr5/v1\",\n";
+  add "  \"schema\": \"bench_pr6/v1\",\n";
   add "  \"smoke\": %b,\n" !smoke;
   add "  \"campaign_runs\": %d,\n" r.campaign_runs;
   add "  \"recommended_domain_count\": %d,\n" r.domain_count;
@@ -963,6 +1116,17 @@ let json_of_perf r s a =
   add "    \"warm_zero_recompute\": %b,\n" s.warm_zero_recompute;
   add "    \"warm_samples_identical\": %b,\n" s.warm_identical;
   add "    \"resumed_samples_identical\": %b\n" s.resumed_identical;
+  add "  },\n";
+  add "  \"distributed\": {\n";
+  add "    \"campaign_runs\": %d,\n" d.dist_runs;
+  add "    \"shards\": %d,\n" d.dist_shards;
+  add "    \"chunk_size\": %d,\n" d.dist_chunk_size;
+  add "    \"single_process_seconds\": %.6f,\n" d.single_seconds;
+  add "    \"sharded_collection_seconds\": %.6f,\n" d.sharded_seconds;
+  add "    \"merge_seconds\": %.6f,\n" d.merge_seconds;
+  add "    \"merged_record_byte_identical\": %b,\n" d.merged_record_identical;
+  add "    \"merged_samples_identical\": %b,\n" d.merged_samples_identical;
+  add "    \"bit_flip_quarantined\": %b\n" d.quarantine_detected;
   add "  },\n";
   add "  \"analysis\": {\n";
   add "    \"runs\": %d,\n" a.analysis_runs;
@@ -1071,8 +1235,9 @@ let () =
   let perf = p1_parallel_perf () in
   let store = p2_store_perf () in
   let analysis = p3_analysis_perf () in
+  let distributed = p4_distributed_perf () in
   (match !json_out with
-  | Some path -> write_json path (json_of_perf perf store analysis)
+  | Some path -> write_json path (json_of_perf perf store analysis distributed)
   | None -> ());
   if (not !skip_micro) && not !smoke then micro ();
   Format.printf "@.done.@."

@@ -163,23 +163,81 @@ let no_cache_arg =
   let doc = "Ignore --cache-dir for this invocation (measure everything afresh)." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let cache_sync_arg =
+  let doc =
+    "fsync the store record at every checkpoint barrier, so an acknowledged chunk \
+     survives power loss as well as a process kill.  Off by default: the durability \
+     unit is the chunk, and campaigns tolerate losing the tail chunk."
+  in
+  Arg.(value & flag & info [ "cache-sync" ] ~doc)
+
 (* [with_store ... f] runs [f (Some session)] against an open store session
    (closed on the way out, even on exceptions) — or [f None] when no cache
    directory was given.  A record whose metadata disagrees with this
    campaign is a usage error, pointing at `cache ls`/`cache gc`. *)
-let with_store ~cache_dir ~resume ~no_cache ~config ~runs ~resilient f =
+let with_store ~cache_dir ~resume ~no_cache ~sync ~config ~runs ~resilient f =
   match cache_dir with
   | None -> f None
   | Some _ when no_cache -> f None
   | Some dir -> (
       let store = try M.Store.open_root ~dir with Sys_error e -> usage_error "%s" e in
       let key = M.Store.key config in
-      match M.Store.open_session ~resume store ~key ~config ~runs ~resilient with
+      match M.Store.open_session ~resume ~sync store ~key ~config ~runs ~resilient with
       | Error e -> usage_error "%s" e
       | Ok session ->
           Fun.protect
             ~finally:(fun () -> M.Store.close session)
             (fun () -> f (Some session)))
+
+(* ------------------------ distributed campaigns ------------------------ *)
+
+let shard_arg =
+  let doc =
+    "Worker mode: compute only shard $(docv) (written k/N, 1-based) of the campaign's \
+     checkpoint-chunk span into the store and exit without running analysis.  \
+     Requires --cache-dir; shard records recombine with `cache merge` (or are spawned \
+     and merged automatically by --workers)."
+  in
+  Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"K/N" ~doc)
+
+let workers_arg =
+  let doc =
+    "Coordinator mode: spawn $(docv) worker processes (one per shard, re-invoking this \
+     executable with --shard k/N into per-shard store directories), supervise them \
+     with retry/timeout/backoff, merge the shard stores into --cache-dir, and run the \
+     analysis over the merged record — byte-identical to a single-process run.  \
+     Requires --cache-dir; values below 2 disable coordination."
+  in
+  Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+
+let worker_deadline_arg =
+  let doc =
+    "Kill a worker that has not finished after $(docv) seconds (counts as a failed \
+     attempt; the retry resumes from the shard record's last checkpoint)."
+  in
+  Arg.(value & opt (some float) None & info [ "worker-deadline" ] ~docv:"SECONDS" ~doc)
+
+let worker_retries_arg =
+  let doc =
+    "Extra attempts per shard after the first; a shard that exhausts them is reported \
+     as unrecoverable and its uncovered span is computed in-process after the merge."
+  in
+  Arg.(value & opt int 2 & info [ "worker-retries" ] ~docv:"N" ~doc)
+
+let worker_backoff_arg =
+  let doc =
+    "Base backoff before retry k is $(docv)*2^k seconds (capped at 8s) — deterministic \
+     by construction, so supervision transcripts are reproducible."
+  in
+  Arg.(value & opt float 0.5 & info [ "worker-backoff" ] ~docv:"SECONDS" ~doc)
+
+let parse_shard s =
+  match String.split_on_char '/' s with
+  | [ k; n ] -> (
+      match (int_of_string_opt k, int_of_string_opt n) with
+      | Some k, Some n when n >= 1 && k >= 1 && k <= n -> (k, n)
+      | _ -> usage_error "--shard expects k/N with 1 <= k <= N (got %s)" s)
+  | _ -> usage_error "--shard expects k/N (got %s)" s
 
 (* Roll one run's micro-architectural counters into the trace registry.
    Safe from any worker domain: additions commute, so the totals are
@@ -297,7 +355,7 @@ let resilience_outcome_of = function
 
 let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
     watchdog_budget max_retries min_survival jobs trace_path trace_level cache_dir resume
-    no_cache =
+    no_cache cache_sync shard workers worker_deadline worker_retries worker_backoff =
   let jobs = resolve_jobs jobs in
   validate_runs runs;
   validate_frames frames;
@@ -306,6 +364,23 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
   if seu_rate < 0. then usage_error "--seu-rate must be >= 0 (got %g)" seu_rate;
   if bootstrap <> 0 && bootstrap < 20 then
     usage_error "--bootstrap must be 0 (off) or >= 20 replicates (got %d)" bootstrap;
+  let shard = Option.map parse_shard shard in
+  if workers < 1 then usage_error "--workers must be >= 1 (got %d)" workers;
+  if shard <> None && workers > 1 then
+    usage_error "--shard and --workers are mutually exclusive";
+  if (shard <> None || workers > 1) && cache_dir = None then
+    usage_error "%s requires --cache-dir (shard records live in the store)"
+      (if shard <> None then "--shard" else "--workers");
+  if (shard <> None || workers > 1) && no_cache then
+    usage_error "distributed campaigns need the store; drop --no-cache";
+  if worker_retries < 0 then
+    usage_error "--worker-retries must be >= 0 (got %d)" worker_retries;
+  if not (worker_backoff >= 0.) then
+    usage_error "--worker-backoff must be >= 0 (got %g)" worker_backoff;
+  (match worker_deadline with
+  | Some d when not (d > 0.) ->
+      usage_error "--worker-deadline must be > 0 (got %g)" d
+  | _ -> ());
   let resilient = seu_rate > 0. || watchdog_budget <> None in
   let config =
     base_config ~subcommand:"analyze" ~runs ~seed ~frames
@@ -336,8 +411,6 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
     else []
   in
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
-  with_store ~cache_dir ~resume ~no_cache ~config:store_config ~runs ~resilient
-  @@ fun store ->
   let det = experiment ~config:P.Config.deterministic ~seed ~frames in
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
   let input =
@@ -349,26 +422,200 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
       engineering_factor = factor;
     }
   in
-  let result =
-    if resilient then begin
-      let fault = T.Experiment.fault_config ~seu_rate ?watchdog_budget () in
-      let measure exp prefix ~run_index ~attempt =
-        let outcome = T.Experiment.run_faulty exp ~fault ~attempt ~run_index () in
-        (match (trace, outcome) with
-        | Some t, T.Experiment.Completed { metrics; _ } ->
-            record_metrics (M.Trace.counters t) ~prefix metrics
-        | _ -> ());
-        resilience_outcome_of outcome
-      in
-      let policy = { M.Resilience.default_policy with max_retries; min_survival } in
-      M.Campaign.run_resilient ~jobs ?trace ?store
-        (M.Campaign.resilient_input ~policy ~base:input
-           ~measure_det_outcome:(measure det "det.")
-           ~measure_rand_outcome:(measure rand "rand.") ())
-    end
-    else M.Campaign.run ~jobs ?trace ?store input
+  let resilient_input () =
+    let fault = T.Experiment.fault_config ~seu_rate ?watchdog_budget () in
+    let measure exp prefix ~run_index ~attempt =
+      let outcome = T.Experiment.run_faulty exp ~fault ~attempt ~run_index () in
+      (match (trace, outcome) with
+      | Some t, T.Experiment.Completed { metrics; _ } ->
+          record_metrics (M.Trace.counters t) ~prefix metrics
+      | _ -> ());
+      resilience_outcome_of outcome
+    in
+    let policy = { M.Resilience.default_policy with max_retries; min_survival } in
+    M.Campaign.resilient_input ~policy ~base:input
+      ~measure_det_outcome:(measure det "det.")
+      ~measure_rand_outcome:(measure rand "rand.") ()
   in
-  match result with
+  (* Coordinator mode: spawn one worker process per shard (this executable,
+     re-invoked with --shard k/N into a per-shard store directory),
+     supervise them with retry/timeout/backoff, then merge the shard stores
+     into [dir].  The caller falls through to the normal campaign with
+     resume on, so any span an unrecoverable or quarantined shard left
+     uncovered is recomputed in-process — degraded wall-clock and an
+     explicit coverage report, never a silently wrong answer. *)
+  let coordinate dir =
+    let chunk_size = M.Store.default_chunk_size in
+    let spans = M.Coordinator.shard_spans ~shards:workers ~chunk_size ~runs in
+    let nspans = List.length spans in
+    if nspans < workers then
+      Format.eprintf
+        "mbpta_cli: %d runs hold only %d checkpoint chunk%s; spawning %d worker%s@." runs
+        nspans
+        (if nspans = 1 then "" else "s")
+        nspans
+        (if nspans = 1 then "" else "s");
+    (* Workers recompute the same layout from k/N, so N stays the requested
+       worker count even when trailing shards are empty. *)
+    let shard_dir k = Filename.concat dir (Printf.sprintf "shard-%d-of-%d" k workers) in
+    let worker_argv k =
+      Array.of_list
+        ([
+           Sys.executable_name;
+           "analyze";
+           "--runs";
+           string_of_int runs;
+           "--seed";
+           Int64.to_string seed;
+           "--frames";
+           string_of_int frames;
+           "--jobs";
+           string_of_int jobs;
+           "--shard";
+           Printf.sprintf "%d/%d" k workers;
+           "--cache-dir";
+           shard_dir k;
+         ]
+        @ (if cache_sync then [ "--cache-sync" ] else [])
+        @
+        if resilient then
+          [
+            (* %h round-trips the float exactly, so workers measure with
+               bit-identical fault parameters *)
+            "--seu-rate";
+            Printf.sprintf "%h" seu_rate;
+            "--max-retries";
+            string_of_int max_retries;
+          ]
+          @
+          match watchdog_budget with
+          | None -> []
+          | Some b -> [ "--watchdog-budget"; string_of_int b ]
+        else [])
+    in
+    List.iteri (fun i _ -> M.Trace.ensure_dir (shard_dir (i + 1))) spans;
+    let policy =
+      {
+        (M.Coordinator.default_policy ~shards:workers) with
+        M.Coordinator.deadline = worker_deadline;
+        max_retries = worker_retries;
+        backoff = worker_backoff;
+      }
+    in
+    let run_shard ~shard ~span:_ ~attempt:_ =
+      M.Coordinator.run_worker
+        ~log:(Filename.concat (shard_dir shard) "worker.log")
+        ~deadline:worker_deadline ~poll_interval:policy.M.Coordinator.poll_interval
+        ~argv:(worker_argv shard) ()
+    in
+    let report = M.Coordinator.supervise ?trace ~policy ~chunk_size ~runs ~run_shard () in
+    Format.eprintf "%a@." M.Coordinator.pp_report report;
+    let src = List.mapi (fun i _ -> M.Store.open_root ~dir:(shard_dir (i + 1))) spans in
+    let dst = try M.Store.open_root ~dir with Sys_error e -> usage_error "%s" e in
+    match M.Store.merge ?trace ~sync:cache_sync ~src dst with
+    | Error e -> usage_error "%s" e
+    | Ok m ->
+        List.iter
+          (fun (file, reason) ->
+            Format.eprintf "mbpta_cli: quarantined %s: %s@." file reason)
+          m.M.Store.quarantined;
+        let shards_merged =
+          List.mapi (fun i _ -> shard_dir (i + 1)) spans
+          |> List.filter (fun d ->
+                 List.exists (fun f -> Filename.dirname f = d) m.M.Store.contributed)
+          |> List.length
+        in
+        (match trace with
+        | Some t ->
+            M.Trace.Counters.add (M.Trace.counters t) "campaign.shards_merged"
+              shards_merged
+        | None -> ());
+        let covered =
+          match List.assoc_opt (M.Store.key store_config) m.M.Store.coverage with
+          | Some c -> c
+          | None -> 0
+        in
+        if covered < runs then
+          Format.eprintf
+            "mbpta_cli: partial coverage after merging %d shard store%s: %d/%d runs; \
+             the remainder is computed in-process@."
+            shards_merged
+            (if shards_merged = 1 then "" else "s")
+            covered runs
+        else
+          Format.eprintf "mbpta_cli: merged %d shard store%s; all %d runs covered@."
+            shards_merged
+            (if shards_merged = 1 then "" else "s")
+            runs
+  in
+  match shard with
+  | Some (k, n) ->
+      (* Worker mode: compute just this shard's span into the store record
+         and exit — no analysis, no report.  Always resumes (a retried
+         worker continues from its last checkpoint chunk); a record it
+         cannot resume is quarantined and the span recomputed, so retries
+         converge instead of wedging. *)
+      let dir = Option.get cache_dir in
+      let spans =
+        M.Coordinator.shard_spans ~shards:n ~chunk_size:M.Store.default_chunk_size ~runs
+      in
+      if k > List.length spans then begin
+        Format.printf "shard %d/%d: empty span (campaign has %d checkpoint chunk%s)@." k
+          n (List.length spans)
+          (if List.length spans = 1 then "" else "s");
+        0
+      end
+      else begin
+        let ((lo, hi) as span) = List.nth spans (k - 1) in
+        let store = try M.Store.open_root ~dir with Sys_error e -> usage_error "%s" e in
+        let key = M.Store.key store_config in
+        let open_session () =
+          M.Store.open_session ~resume:true ~sync:cache_sync ~shard:span store ~key
+            ~config:store_config ~runs ~resilient
+        in
+        let session =
+          match open_session () with
+          | Ok s -> s
+          | Error e -> (
+              Format.eprintf "mbpta_cli: %s; quarantining it and recomputing the shard@."
+                e;
+              let file = Filename.concat dir (key ^ ".jsonl") in
+              (try Sys.rename file (file ^ ".quarantined") with Sys_error _ -> ());
+              match open_session () with Ok s -> s | Error e -> usage_error "%s" e)
+        in
+        Fun.protect ~finally:(fun () -> M.Store.close session) @@ fun () ->
+        let result =
+          if resilient then
+            M.Campaign.collect_shard_resilient ~jobs ?trace ~store:session
+              (resilient_input ())
+          else M.Campaign.collect_shard ~jobs ?trace ~store:session input
+        in
+        match result with
+        | Error f ->
+            Format.eprintf "shard %d/%d failed: %a@." k n M.Protocol.pp_failure f;
+            1
+        | Ok () ->
+            Format.printf "shard %d/%d: runs [%d, %d) of %d recorded in %s@." k n lo hi
+              runs dir;
+            0
+      end
+  | None -> (
+      let resume =
+        if workers > 1 then begin
+          coordinate (Option.get cache_dir);
+          true
+        end
+        else resume
+      in
+      with_store ~cache_dir ~resume ~no_cache ~sync:cache_sync ~config:store_config
+        ~runs ~resilient
+      @@ fun store ->
+      let result =
+        if resilient then
+          M.Campaign.run_resilient ~jobs ?trace ?store (resilient_input ())
+        else M.Campaign.run ~jobs ?trace ?store input
+      in
+      match result with
   | Error f ->
       Format.eprintf "campaign failed: %a@." M.Protocol.pp_failure f;
       1
@@ -401,7 +648,7 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
           (* measurements succeeded (samples are printed/exported either
              way), but a failed analysis is still a failed campaign to the
              caller *)
-          (match campaign.M.Campaign.analysis with Ok _ -> 0 | Error _ -> 1))
+          (match campaign.M.Campaign.analysis with Ok _ -> 0 | Error _ -> 1)))
 
 let analyze_cmd =
   let factor =
@@ -439,7 +686,9 @@ let analyze_cmd =
       const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg
       $ bootstrap_arg $ factor $ csv_dir $ seu_rate $ watchdog_budget $ max_retries
       $ min_survival $ jobs_arg
-      $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg)
+      $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg
+      $ cache_sync_arg $ shard_arg $ workers_arg $ worker_deadline_arg
+      $ worker_retries_arg $ worker_backoff_arg)
 
 (* -------------------------------- iid -------------------------------- *)
 
@@ -456,12 +705,13 @@ let rand_collect_store_config ~runs ~seed ~frames =
     ("resilient", "false");
   ]
 
-let iid runs seed frames jobs trace_path trace_level cache_dir resume no_cache =
+let iid runs seed frames jobs trace_path trace_level cache_dir resume no_cache cache_sync
+    =
   validate_runs runs;
   validate_frames frames;
   let config = base_config ~subcommand:"iid" ~runs ~seed ~frames in
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
-  with_store ~cache_dir ~resume ~no_cache
+  with_store ~cache_dir ~resume ~no_cache ~sync:cache_sync
     ~config:(rand_collect_store_config ~runs ~seed ~frames)
     ~runs ~resilient:false
   @@ fun store ->
@@ -477,12 +727,12 @@ let iid_cmd =
   Cmd.v (Cmd.info "iid" ~doc)
     Term.(
       const iid $ runs_arg $ seed_arg $ frames_arg $ jobs_arg $ trace_arg
-      $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg)
+      $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg $ cache_sync_arg)
 
 (* ---------------------------- convergence ---------------------------- *)
 
 let convergence runs seed frames probability jobs trace_path trace_level cache_dir resume
-    no_cache =
+    no_cache cache_sync =
   validate_runs runs;
   validate_frames frames;
   validate_probability probability;
@@ -493,7 +743,7 @@ let convergence runs seed frames probability jobs trace_path trace_level cache_d
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   (* probability is an analysis knob — the measurement key is the shared
      randomized-platform one, so iid/convergence reuse each other's runs *)
-  with_store ~cache_dir ~resume ~no_cache
+  with_store ~cache_dir ~resume ~no_cache ~sync:cache_sync
     ~config:(rand_collect_store_config ~runs ~seed ~frames)
     ~runs ~resilient:false
   @@ fun store ->
@@ -522,7 +772,8 @@ let convergence_cmd =
     (Cmd.info "convergence" ~doc)
     Term.(
       const convergence $ runs_arg $ seed_arg $ frames_arg $ probability $ jobs_arg
-      $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg)
+      $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg
+      $ cache_sync_arg)
 
 (* ------------------------------- paths -------------------------------- *)
 
@@ -683,19 +934,29 @@ let trace_cmd =
 
 (* -------------------------------- cache -------------------------------- *)
 
-let cache_root dir =
+(* Every cache subcommand shares one error contract: a nonexistent,
+   unreadable or non-directory store path is a usage error (stderr + exit
+   2), while an existing-but-empty directory is a valid empty store.  The
+   wrapper also catches [Sys_error] raised while the body scans the
+   directory, so a permission change between open and read degrades to the
+   same shape instead of an uncaught exception. *)
+let with_cache_root dir f =
   if not (Sys.file_exists dir) then usage_error "cache directory %s does not exist" dir;
-  try M.Store.open_root ~dir with Sys_error e -> usage_error "%s" e
+  if not (Sys.is_directory dir) then usage_error "cache path %s is not a directory" dir;
+  let root = try M.Store.open_root ~dir with Sys_error e -> usage_error "%s" e in
+  try f root with Sys_error e -> usage_error "%s" e
 
 let cache_ls dir =
-  let entries = M.Store.ls (cache_root dir) in
+  with_cache_root dir @@ fun root ->
+  let entries = M.Store.ls root in
   if entries = [] then print_endline "cache is empty"
   else
     List.iter (fun e -> Format.printf "%a@." M.Store.pp_entry e) entries;
   0
 
 let cache_verify dir =
-  let entries = M.Store.ls (cache_root dir) in
+  with_cache_root dir @@ fun root ->
+  let entries = M.Store.ls root in
   let bad =
     List.filter (fun e -> match e.M.Store.status with M.Store.Corrupt _ -> true | _ -> false) entries
   in
@@ -706,12 +967,72 @@ let cache_verify dir =
   if bad = [] then 0 else 1
 
 let cache_gc partial dir =
-  let removed, freed = M.Store.gc ~partial (cache_root dir) in
+  with_cache_root dir @@ fun root ->
+  let removed, freed = M.Store.gc ~partial root in
   List.iter (fun e -> Format.printf "removed %a@." M.Store.pp_entry e) removed;
   Format.printf "%d record%s removed, %d bytes freed@." (List.length removed)
     (if List.length removed = 1 then "" else "s")
     freed;
   0
+
+let cache_merge trace_path trace_level sync dirs =
+  match List.rev dirs with
+  | [] | [ _ ] -> usage_error "cache merge expects SRC... DST (at least two directories)"
+  | dst_dir :: rev_src_dirs ->
+      let src_dirs = List.rev rev_src_dirs in
+      (* sources must exist; the destination is created like --cache-dir *)
+      List.iter
+        (fun d ->
+          if not (Sys.file_exists d) then
+            usage_error "cache directory %s does not exist" d;
+          if not (Sys.is_directory d) then usage_error "cache path %s is not a directory" d)
+        src_dirs;
+      let config =
+        [ ("subcommand", "cache merge"); ("dst", dst_dir) ]
+        @ List.mapi (fun i d -> (Printf.sprintf "src%d" i, d)) src_dirs
+      in
+      with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
+      let open_root d = try M.Store.open_root ~dir:d with Sys_error e -> usage_error "%s" e in
+      let src = List.map open_root src_dirs in
+      let dst = open_root dst_dir in
+      (match M.Store.merge ?trace ~sync ~src dst with
+      | Error e -> usage_error "%s" e
+      | Ok m ->
+          Format.printf "merged %d record%s (%d chunk%s) into %s@." m.M.Store.records_merged
+            (if m.M.Store.records_merged = 1 then "" else "s")
+            m.M.Store.chunks_merged
+            (if m.M.Store.chunks_merged = 1 then "" else "s")
+            dst_dir;
+          List.iter
+            (fun (key, covered) ->
+              Format.printf "  %s  contiguous coverage: %d run%s@." key covered
+                (if covered = 1 then "" else "s"))
+            m.M.Store.coverage;
+          List.iter
+            (fun (file, reason) -> Format.printf "  quarantined %s: %s@." file reason)
+            m.M.Store.quarantined;
+          List.iter
+            (fun (file, reason) -> Format.printf "  skipped %s: %s@." file reason)
+            m.M.Store.skipped;
+          (* quarantining is graceful degradation, not failure: the merged
+             record stays valid and `cache verify` reports the quarantine *)
+          0)
+
+let cache_export out dir skey =
+  with_cache_root dir @@ fun root ->
+  match M.Store.export root ~key:skey with
+  | Error e -> usage_error "%s" e
+  | Ok text -> (
+      match out with
+      | None ->
+          print_string text;
+          0
+      | Some path ->
+          let oc = try open_out_bin path with Sys_error e -> usage_error "%s" e in
+          output_string oc text;
+          close_out oc;
+          Format.printf "exported %s to %s@." skey path;
+          0)
 
 let cache_cmd =
   let dir_pos =
@@ -724,8 +1045,8 @@ let cache_cmd =
   in
   let verify_cmd =
     let doc =
-      "fully validate every record (chunk layout, content digest vs filename); exit 1 \
-       if any record is corrupt"
+      "fully validate every record (per-record checksums, chunk layout, content digest \
+       vs filename); exit 1 if any record is corrupt"
     in
     Cmd.v (Cmd.info "verify" ~doc) Term.(const cache_verify $ dir_pos)
   in
@@ -740,8 +1061,40 @@ let cache_cmd =
     let doc = "remove corrupt records (and, with --partial, interrupted ones)" in
     Cmd.v (Cmd.info "gc" ~doc) Term.(const cache_gc $ partial $ dir_pos)
   in
+  let merge_cmd =
+    let dirs_pos =
+      let doc =
+        "Source store directories followed by the destination (the last argument)."
+      in
+      Arg.(non_empty & pos_all string [] & info [] ~docv:"DIR" ~doc)
+    in
+    let doc =
+      "merge shard stores: for every key, verify each candidate record's integrity \
+       (quarantining any that fail — bit flips, truncation, foreign records), union \
+       their chunks, and write the maximal contiguous record into DST atomically \
+       (tmp+rename); byte-identical to a single-process record and idempotent"
+    in
+    Cmd.v (Cmd.info "merge" ~doc)
+      Term.(const cache_merge $ trace_arg $ trace_level_arg $ cache_sync_arg $ dirs_pos)
+  in
+  let export_cmd =
+    let key_pos =
+      let doc = "Record key (the filename stem shown by `cache ls`)." in
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY" ~doc)
+    in
+    let out =
+      let doc = "Write to $(docv) instead of stdout." in
+      Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+    in
+    let doc =
+      "print a record's verified content (meta line plus valid chunk lines, verbatim) \
+       — the transport format for moving records between stores by hand"
+    in
+    Cmd.v (Cmd.info "export" ~doc) Term.(const cache_export $ out $ dir_pos $ key_pos)
+  in
   let doc = "inspect and maintain the content-addressed measurement store" in
-  Cmd.group (Cmd.info "cache" ~doc) [ ls_cmd; verify_cmd; gc_cmd ]
+  Cmd.group (Cmd.info "cache" ~doc)
+    [ ls_cmd; verify_cmd; gc_cmd; merge_cmd; export_cmd ]
 
 (* -------------------------------- main -------------------------------- *)
 

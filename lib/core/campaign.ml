@@ -111,6 +111,40 @@ let run ?jobs ?trace ?store input =
   trace_campaign_end trace result;
   result
 
+(* Shard-worker mode: run only the measurement phases of the campaign,
+   restricted to the store session's shard span, and skip analysis — the
+   coordinator merges the shard records and runs the full campaign (with
+   accounting and analysis) over the merged record.  Because chunk layout
+   and per-run values are pure functions of the run index, the chunks a
+   shard collects are byte-identical to the single-process record's. *)
+let collect_shard ?jobs ?trace ~store input =
+  if input.runs < 1 then
+    Error (Protocol.Not_enough_runs { have = input.runs; need = 1 })
+  else begin
+    let collect phase measure =
+      in_phase trace phase (fun () ->
+          ignore (Store.collect ?trace ?jobs store ~phase input.runs measure))
+    in
+    collect phase_collect_det input.measure_det;
+    collect phase_collect_rand input.measure_rand;
+    Ok ()
+  end
+
+let collect_shard_resilient ?jobs ?trace ~store input =
+  let { base; policy; measure_det_outcome; measure_rand_outcome } = input in
+  if base.runs < 1 then Error (Protocol.Not_enough_runs { have = base.runs; need = 1 })
+  else begin
+    let collect phase measure =
+      in_phase trace phase (fun () ->
+          ignore
+            (Store.collect_trails ?trace ?jobs store ~phase base.runs
+               (Resilience.trail ~policy ~measure)))
+    in
+    collect phase_collect_det measure_det_outcome;
+    collect phase_collect_rand measure_rand_outcome;
+    Ok ()
+  end
+
 let failure_of_resilience_error : Resilience.error -> Protocol.failure = function
   | Resilience.Too_few_survivors { survivors; required; total } ->
       Protocol.Faulted_runs { survivors; required; total }

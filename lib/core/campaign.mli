@@ -106,6 +106,34 @@ val run_resilient :
   resilient_input ->
   (t, Protocol.failure) Stdlib.result
 
+(** Shard-worker mode of the distributed campaign layer: run {e only} the
+    two measurement phases, restricted to [store]'s shard span (the session
+    must be opened with [Store.open_session ~shard] and [input.runs] runs),
+    and skip analysis entirely.  The coordinator merges the shard records
+    ({!Store.merge}) and runs the full campaign over the merged record —
+    which, by the determinism contract, is byte-identical to a
+    single-process record, so the final report cannot depend on the shard
+    count.  [Error (Not_enough_runs _)] when [input.runs < 1]. *)
+val collect_shard :
+  ?jobs:int ->
+  ?trace:Trace.t ->
+  store:Store.session ->
+  input ->
+  (unit, Protocol.failure) Stdlib.result
+
+(** {!collect_shard} for supervised campaigns: collects whole attempt
+    trails ({!Resilience.trail}) under the input's retry policy.  The
+    session must be opened with [resilient:true].  Retry accounting and
+    survival thresholds are {e not} applied here — they replay, in run
+    order, in the coordinator's final {!run_resilient} over the merged
+    record, so budget arithmetic stays sequential and bit-identical. *)
+val collect_shard_resilient :
+  ?jobs:int ->
+  ?trace:Trace.t ->
+  store:Store.session ->
+  resilient_input ->
+  (unit, Protocol.failure) Stdlib.result
+
 (** Render the whole campaign as a text report (all four experiments, plus
     the fault/retry summary when the campaign ran resiliently). *)
 val render : t -> string

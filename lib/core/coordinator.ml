@@ -1,0 +1,221 @@
+(* Fault-tolerant coordination of sharded campaign workers.
+
+   The coordinator's job is purely structural: cut the run space into
+   chunk-aligned shard spans (a pure function — the same
+   [Repro_parallel.chunks] layout the domain pool uses, lifted to the
+   checkpoint-chunk index space), drive one worker per shard under a
+   supervision policy (deadline, capped deterministic retry-with-backoff),
+   and report exactly what happened.  It never touches measurement data:
+   workers write shard store records, [Store.merge] recombines them, and
+   the determinism contract does the rest — which is why worker crashes,
+   retries and even unrecoverable shards can only cost coverage or
+   wall-clock time, never change a merged byte.
+
+   Retry accounting is counter-based (attempt numbers, not wall-clock
+   observations) so a supervision transcript is reproducible: the backoff
+   delay is a pure function of the attempt index, and per-shard reports
+   are assembled in shard order after all workers have been joined. *)
+
+type policy = {
+  shards : int;
+  deadline : float option;
+  max_retries : int;
+  backoff : float;
+  backoff_cap : float;
+  poll_interval : float;
+}
+
+let default_policy ~shards =
+  {
+    shards;
+    deadline = None;
+    max_retries = 2;
+    backoff = 0.5;
+    backoff_cap = 8.0;
+    poll_interval = 0.05;
+  }
+
+let shard_spans ~shards ~chunk_size ~runs =
+  if runs < 0 then invalid_arg "Coordinator.shard_spans: negative runs";
+  if shards < 1 then invalid_arg "Coordinator.shard_spans: shards must be >= 1";
+  if chunk_size < 1 then invalid_arg "Coordinator.shard_spans: chunk_size must be >= 1";
+  (* Shard over whole checkpoint chunks: spans land on the global chunk
+     boundaries, so every chunk a shard writes is byte-identical to the
+     chunk the single-process walk writes at the same offset. *)
+  let nchunks = (runs + chunk_size - 1) / chunk_size in
+  Repro_parallel.chunks ~jobs:shards nchunks
+  |> List.map (fun (clo, clen) ->
+         (clo * chunk_size, Stdlib.min runs ((clo + clen) * chunk_size)))
+
+type worker_failure = Crashed of string | Stalled of float
+
+type failed_attempt = { attempt : int; failure : worker_failure }
+
+type shard_report = {
+  shard : int;  (** 1-based, as in [--shard k/N] *)
+  span : int * int;
+  attempts : int;
+  failures : failed_attempt list;
+  completed : bool;
+}
+
+type report = {
+  total_runs : int;
+  shard_reports : shard_report list;  (** in shard order *)
+  retries : int;
+  unrecoverable : int;
+}
+
+let pp_failure ppf = function
+  | Crashed detail -> Format.fprintf ppf "crashed: %s" detail
+  | Stalled deadline -> Format.fprintf ppf "stalled: %gs deadline exceeded" deadline
+
+(* Deterministic exponential backoff: a pure function of the attempt
+   counter, so reruns of the same failure pattern wait the same way. *)
+let backoff_delay ~policy ~attempt =
+  Stdlib.min policy.backoff_cap (policy.backoff *. (2.0 ** float_of_int attempt))
+
+let supervise_shard ~policy ~run_shard ~shard ~span =
+  let rec go attempt failures =
+    match run_shard ~shard ~span ~attempt with
+    | Ok () ->
+        {
+          shard;
+          span;
+          attempts = attempt + 1;
+          failures = List.rev failures;
+          completed = true;
+        }
+    | Error failure ->
+        let failures = { attempt; failure } :: failures in
+        if attempt >= policy.max_retries then
+          {
+            shard;
+            span;
+            attempts = attempt + 1;
+            failures = List.rev failures;
+            completed = false;
+          }
+        else begin
+          let delay = backoff_delay ~policy ~attempt in
+          if delay > 0.0 then Unix.sleepf delay;
+          go (attempt + 1) failures
+        end
+  in
+  go 0 []
+
+let supervise ?trace ~policy ~chunk_size ~runs ~run_shard () =
+  let spans = Array.of_list (shard_spans ~shards:policy.shards ~chunk_size ~runs) in
+  let n = Array.length spans in
+  let shard_reports =
+    if n = 0 then []
+    else
+      (* One supervision loop per shard, fanned out over domains: workers
+         are separate processes, so the loops spend their time in waitpid
+         polls and sleeps.  Reports come back in shard order (the pool's
+         positional contract), so the transcript is deterministic given
+         the same failure pattern. *)
+      Array.to_list
+        (Parallel.init ~jobs:n n (fun i ->
+             supervise_shard ~policy ~run_shard ~shard:(i + 1) ~span:spans.(i)))
+  in
+  let retries = List.fold_left (fun acc r -> acc + r.attempts - 1) 0 shard_reports in
+  let unrecoverable =
+    List.length (List.filter (fun r -> not r.completed) shard_reports)
+  in
+  (match trace with
+  | None -> ()
+  | Some t ->
+      let c = Trace.counters t in
+      Trace.Counters.add c "campaign.worker_retries" retries;
+      Trace.Counters.add c "campaign.shards_failed" unrecoverable;
+      List.iter
+        (fun r ->
+          List.iter
+            (fun { attempt; failure } ->
+              Trace.emit t
+                (Trace.Note
+                   (Format.asprintf "shard %d/%d attempt %d %a" r.shard n attempt
+                      pp_failure failure)))
+            r.failures)
+        shard_reports);
+  { total_runs = runs; shard_reports; retries; unrecoverable }
+
+(* ------------------------------------------------------------------ *)
+(* Process workers *)
+
+let run_worker ?log ~deadline ~poll_interval ~argv () =
+  let open_log () =
+    match log with
+    | Some path ->
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    | None -> Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0
+  in
+  match open_log () with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Crashed (Printf.sprintf "cannot open worker log: %s" (Unix.error_message e)))
+  | fd -> (
+      let spawned =
+        match Unix.create_process argv.(0) argv Unix.stdin fd fd with
+        | pid -> Ok pid
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Crashed (Printf.sprintf "spawn failed: %s" (Unix.error_message e)))
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match spawned with
+      | Error _ as e -> e
+      | Ok pid ->
+          let started = Unix.gettimeofday () in
+          let rec wait () =
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> (
+                match deadline with
+                | Some d when Unix.gettimeofday () -. started > d ->
+                    (* The worker gets no grace period: its store flushed a
+                       valid prefix at every chunk barrier, so SIGKILL costs
+                       at most the in-flight chunk and the retry resumes
+                       from the record. *)
+                    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+                    Error (Stalled d)
+                | _ ->
+                    Unix.sleepf poll_interval;
+                    wait ())
+            | _, Unix.WEXITED 0 -> Ok ()
+            | _, Unix.WEXITED code ->
+                Error (Crashed (Printf.sprintf "worker exited with code %d" code))
+            | _, Unix.WSIGNALED signal ->
+                Error (Crashed (Printf.sprintf "worker killed by signal %d" signal))
+            | _, Unix.WSTOPPED _ ->
+                Unix.sleepf poll_interval;
+                wait ()
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Crashed (Printf.sprintf "waitpid: %s" (Unix.error_message e)))
+          in
+          wait ())
+
+let pp_shard_report ppf r =
+  let lo, hi = r.span in
+  Format.fprintf ppf "shard %d  runs [%d, %d)  %d attempt%s  %s" r.shard lo hi
+    r.attempts
+    (if r.attempts = 1 then "" else "s")
+    (if r.completed then "completed"
+     else
+       Format.asprintf "UNRECOVERABLE (%a)" pp_failure
+         (match List.rev r.failures with
+         | { failure; _ } :: _ -> failure
+         | [] -> Crashed "unknown"));
+  List.iter
+    (fun { attempt; failure } ->
+      Format.fprintf ppf "@,  attempt %d %a" attempt pp_failure failure)
+    r.failures
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>supervised %d shard%s over %d runs: %d retr%s, %d unrecoverable"
+    (List.length r.shard_reports)
+    (if List.length r.shard_reports = 1 then "" else "s")
+    r.total_runs r.retries
+    (if r.retries = 1 then "y" else "ies")
+    r.unrecoverable;
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_shard_report s) r.shard_reports;
+  Format.fprintf ppf "@]"

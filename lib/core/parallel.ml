@@ -33,10 +33,16 @@ let map ?trace ?jobs f a =
    function of [n] alone.  Each uncached chunk fans out over the domain
    pool internally; [persist] runs on the calling domain after the chunk's
    barrier, in ascending chunk order, which is what lets a store replay the
-   record as a prefix after an interruption at any job count. *)
-let init_checkpointed ?trace ?jobs ~chunk_size ~lookup ~persist n f =
+   record as a prefix after an interruption at any job count.
+
+   [lo] restricts the walk to the index suffix starting there: a shard
+   worker computes only its chunk span [lo, n) while the chunk boundaries
+   stay the global multiples of [chunk_size], so shard-produced chunks are
+   byte-for-byte the chunks a full walk would have produced. *)
+let init_checkpointed ?trace ?jobs ?(lo = 0) ~chunk_size ~lookup ~persist n f =
   if n < 0 then invalid_arg "Parallel.init_checkpointed: negative length";
   if chunk_size < 1 then invalid_arg "Parallel.init_checkpointed: chunk_size must be >= 1";
+  if lo < 0 || lo > n then invalid_arg "Parallel.init_checkpointed: lo out of range";
   let rec go lo acc =
     if lo >= n then Array.concat (List.rev acc)
     else begin
@@ -59,4 +65,4 @@ let init_checkpointed ?trace ?jobs ~chunk_size ~lookup ~persist n f =
       go (lo + len) (chunk :: acc)
     end
   in
-  if n = 0 then [||] else go 0 []
+  if lo >= n then [||] else go lo []

@@ -38,7 +38,7 @@ val init : ?trace:Trace.t -> ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [map ?trace ?jobs f a] — [Array.map] on the same pool. *)
 val map : ?trace:Trace.t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [init_checkpointed ?trace ?jobs ~chunk_size ~lookup ~persist n f] —
+(** [init_checkpointed ?trace ?jobs ?lo ~chunk_size ~lookup ~persist n f] —
     {!init} with chunk-granular checkpoint barriers for the measurement
     store ({!Store}).
 
@@ -51,11 +51,19 @@ val map : ?trace:Trace.t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     the result is bit-identical to [init n f] at every [jobs] count and for
     every cached/computed split.
 
-    Raises [Invalid_argument] on [n < 0], [chunk_size < 1], or a cached
-    chunk whose length does not match the layout. *)
+    [lo] (default [0]) starts the walk at that index instead of 0, walking
+    only the span [lo, n) — the shard-worker mode of the distributed
+    campaign layer.  Chunk boundaries remain the global multiples of
+    [chunk_size] regardless of [lo], so a shard aligned on a chunk boundary
+    produces exactly the chunks of the corresponding full-walk positions,
+    and the returned array holds just the [n - lo] span values.
+
+    Raises [Invalid_argument] on [n < 0], [chunk_size < 1], [lo] outside
+    [[0, n]], or a cached chunk whose length does not match the layout. *)
 val init_checkpointed :
   ?trace:Trace.t ->
   ?jobs:int ->
+  ?lo:int ->
   chunk_size:int ->
   lookup:(lo:int -> len:int -> 'a array option) ->
   persist:(lo:int -> 'a array -> unit) ->

@@ -68,6 +68,13 @@ let of_store_outcome = function
 let trail_of_attempts attempts =
   List.map (fun { outcome; _ } -> store_outcome outcome) attempts
 
+(* The store-facing measurement of one run: what [supervise]'s measurement
+   phase checkpoints, exposed so shard workers can collect trails without
+   running the accounting phase (the coordinator's final campaign replays
+   them through [supervise] for the full report). *)
+let trail ~policy ~measure run_index =
+  trail_of_attempts (fst (measure_run ~policy ~measure run_index))
+
 let attempts_of_trail trail =
   let attempts =
     List.mapi (fun i o -> { attempt = i; outcome = of_store_outcome o }) trail
@@ -140,8 +147,8 @@ let supervise ?jobs ?trace ?store ~policy ~runs ~measure () =
       match store with
       | None -> Parallel.init ?trace ?jobs runs (measure_run ~policy ~measure)
       | Some (session, phase) ->
-          Store.collect_trails ?trace ?jobs session ~phase runs (fun i ->
-              trail_of_attempts (fst (measure_run ~policy ~measure i)))
+          Store.collect_trails ?trace ?jobs session ~phase runs
+            (trail ~policy ~measure)
           |> Array.map attempts_of_trail
     in
     (* Phase 2 — sequential replay of the campaign accounting, in run order.

@@ -98,6 +98,18 @@ val supervise :
   unit ->
   (report, error) Stdlib.result
 
+(** [trail ~policy ~measure run_index] — one run measured to completion or
+    quarantine (local retries up to [policy.max_retries]), as the attempt
+    trail the measurement store persists.  This is exactly what
+    {!supervise}'s measurement phase checkpoints; shard workers use it to
+    collect trails without the accounting phase, which the coordinator's
+    final campaign replays over the merged record. *)
+val trail :
+  policy:policy ->
+  measure:(run_index:int -> attempt:int -> outcome) ->
+  int ->
+  Store.trail
+
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_error : Format.formatter -> error -> unit
 

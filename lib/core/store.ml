@@ -8,14 +8,56 @@
    clean prefix (or, if the kill landed mid-write, a prefix plus one
    malformed tail line which validation drops).  Because chunk layout is
    a pure function of the run count, the same record serves any [--jobs]
-   count bit-identically — the resume contract in store.mli. *)
+   count bit-identically — the resume contract in store.mli.
+
+   store/v2 hardens every line with an integrity trailer (see [seal]) so
+   that verification can tell a torn tail (crash: resumable) from a
+   bit-flipped, truncated-in-the-middle or foreign record (hostile input:
+   quarantined, never merged).  Shard sessions restrict a record to a
+   chunk-aligned span of the run space; [merge] recombines shard records
+   into the byte-identical single-process record. *)
 
 module Json = Trace.Json
 
-let schema_version = "store/v1"
+let schema_version = "store/v2"
+let schema_v1 = "store/v1"
 let default_chunk_size = 256
 
 exception Injected_crash of { appended_chunks : int }
+
+(* ------------------------------------------------------------------ *)
+(* Integrity trailer
+
+   Every v2 line ends with [,"sum":"<md5-hex>"}] — the digest of the line
+   with the trailer spliced back out.  Sealing and verification are string
+   surgery on the serialized line (not a JSON round-trip), so the check is
+   byte-exact by construction: any flipped bit in the body, a truncation,
+   or a hand-edited value fails the digest comparison. *)
+
+let seal body =
+  (* [body] is a serialized JSON object, so it ends with '}'. *)
+  Printf.sprintf "%s,\"sum\":\"%s\"}"
+    (String.sub body 0 (String.length body - 1))
+    (Digest.to_hex (Digest.string body))
+
+let trailer_len = String.length ",\"sum\":\"\"}" + 32
+
+let unseal line =
+  let n = String.length line in
+  if n <= trailer_len then Error `No_sum
+  else begin
+    let start = n - trailer_len in
+    if
+      String.sub line start 8 <> ",\"sum\":\""
+      || line.[n - 2] <> '"'
+      || line.[n - 1] <> '}'
+    then Error `No_sum
+    else begin
+      let sum = String.sub line (start + 8) 32 in
+      let body = String.sub line 0 start ^ "}" in
+      if Digest.to_hex (Digest.string body) = sum then Ok body else Error `Bad_sum
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Store root *)
@@ -30,9 +72,9 @@ let open_root ~dir =
 
 let dir t = t.root
 
-let key ?(chunk_size = default_chunk_size) config =
+let key_of_schema ~schema ?(chunk_size = default_chunk_size) config =
   let b = Buffer.create 256 in
-  Buffer.add_string b schema_version;
+  Buffer.add_string b schema;
   Buffer.add_char b '\n';
   Buffer.add_string b (Printf.sprintf "chunk_size=%d\n" chunk_size);
   (* Canonical order plus %S-quoting: the digest cannot depend on how the
@@ -42,6 +84,9 @@ let key ?(chunk_size = default_chunk_size) config =
     (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%S=%S\n" k v))
     (List.sort compare config);
   Digest.to_hex (Digest.string (Buffer.contents b))
+
+let key ?chunk_size config = key_of_schema ~schema:schema_version ?chunk_size config
+let key_v1 ?chunk_size config = key_of_schema ~schema:schema_v1 ?chunk_size config
 
 (* ------------------------------------------------------------------ *)
 (* Record lines *)
@@ -80,47 +125,63 @@ let outcome_of_json j =
   | Some k -> Error (Printf.sprintf "unknown outcome kind %S" k)
   | None -> Error "outcome without a kind"
 
-let meta_line ~skey ~runs ~resilient ~chunk_size ~config =
-  Json.to_string
-    (Json.Obj
-       [
-         ("kind", Json.String "meta");
-         ("schema", Json.String schema_version);
-         ("key", Json.String skey);
-         ("runs", Json.Int runs);
-         ("resilient", Json.Bool resilient);
-         ("chunk_size", Json.Int chunk_size);
-         ( "config",
-           Json.Obj
-             (List.map (fun (k, v) -> (k, Json.String v)) (List.sort compare config)) );
-       ])
+let meta_line ~skey ~runs ~resilient ~chunk_size ~shard ~config =
+  let shard_fields =
+    match shard with
+    | None -> []
+    | Some (lo, hi) -> [ ("shard_lo", Json.Int lo); ("shard_hi", Json.Int hi) ]
+  in
+  seal
+    (Json.to_string
+       (Json.Obj
+          ([
+             ("kind", Json.String "meta");
+             ("schema", Json.String schema_version);
+             ("key", Json.String skey);
+             ("runs", Json.Int runs);
+             ("resilient", Json.Bool resilient);
+             ("chunk_size", Json.Int chunk_size);
+           ]
+          @ shard_fields
+          @ [
+              ( "config",
+                Json.Obj
+                  (List.map
+                     (fun (k, v) -> (k, Json.String v))
+                     (List.sort compare config)) );
+            ])))
 
+(* Chunk lines carry no shard information on purpose: a chunk written by a
+   shard worker is byte-for-byte the chunk the single-process walk writes
+   at the same offset, which is what makes [merge] a pure concatenation. *)
 let chunk_line ~phase ~lo payload =
-  match payload with
-  | Floats values ->
-      Json.to_string
-        (Json.Obj
-           [
-             ("kind", Json.String "chunk");
-             ("phase", Json.String phase);
-             ("lo", Json.Int lo);
-             ( "values",
-               Json.List (Array.to_list (Array.map (fun v -> Json.Float v) values)) );
-           ])
-  | Trails runs ->
-      Json.to_string
-        (Json.Obj
-           [
-             ("kind", Json.String "rchunk");
-             ("phase", Json.String phase);
-             ("lo", Json.Int lo);
-             ( "runs",
-               Json.List
-                 (Array.to_list
-                    (Array.map
-                       (fun trail -> Json.List (List.map json_of_outcome trail))
-                       runs)) );
-           ])
+  seal
+    (match payload with
+    | Floats values ->
+        Json.to_string
+          (Json.Obj
+             [
+               ("kind", Json.String "chunk");
+               ("phase", Json.String phase);
+               ("lo", Json.Int lo);
+               ( "values",
+                 Json.List (Array.to_list (Array.map (fun v -> Json.Float v) values))
+               );
+             ])
+    | Trails runs ->
+        Json.to_string
+          (Json.Obj
+             [
+               ("kind", Json.String "rchunk");
+               ("phase", Json.String phase);
+               ("lo", Json.Int lo);
+               ( "runs",
+                 Json.List
+                   (Array.to_list
+                      (Array.map
+                         (fun trail -> Json.List (List.map json_of_outcome trail))
+                         runs)) );
+             ]))
 
 (* ------------------------------------------------------------------ *)
 (* Record parsing *)
@@ -131,40 +192,65 @@ type meta = {
   m_resilient : bool;
   m_csize : int;
   m_config : (string * string) list;
+  m_schema : string;
+  m_lo : int;  (* shard span; (0, m_runs) for a full record *)
+  m_hi : int;
 }
 
 let parse_meta line =
-  match Json.of_string line with
-  | Error e -> Error (Printf.sprintf "meta line unreadable (%s)" e)
-  | Ok j -> (
-      let str f = Option.bind (Json.member f j) Json.to_str in
-      let int f = Option.bind (Json.member f j) Json.to_int in
-      let bool f = Option.bind (Json.member f j) Json.to_bool in
-      match (str "kind", str "schema") with
-      | Some "meta", Some s when s = schema_version -> (
-          let config =
-            match Json.member "config" j with
-            | Some (Json.Obj fields) ->
-                let ok =
-                  List.for_all (function _, Json.String _ -> true | _ -> false) fields
-                in
-                if ok then
-                  Some
-                    (List.map
-                       (function
-                         | k, Json.String v -> (k, v)
-                         | _ -> assert false (* filtered above *))
-                       fields)
-                else None
-            | _ -> None
-          in
-          match (str "key", int "runs", bool "resilient", int "chunk_size", config) with
-          | Some m_key, Some m_runs, Some m_resilient, Some m_csize, Some m_config ->
-              Ok { m_key; m_runs; m_resilient; m_csize; m_config }
-          | _ -> Error "meta line is missing fields")
-      | Some "meta", Some s ->
-          Error (Printf.sprintf "schema %S, this build reads %S" s schema_version)
-      | _ -> Error "first line is not a meta line")
+  let parse ~sealed body =
+    match Json.of_string body with
+    | Error e -> Error (Printf.sprintf "meta line unreadable (%s)" e)
+    | Ok j -> (
+        let str f = Option.bind (Json.member f j) Json.to_str in
+        let int f = Option.bind (Json.member f j) Json.to_int in
+        let bool f = Option.bind (Json.member f j) Json.to_bool in
+        match (str "kind", str "schema") with
+        | Some "meta", Some s when s = schema_version || s = schema_v1 ->
+            if s = schema_version && not sealed then
+              Error "store/v2 meta line has no integrity checksum"
+            else begin
+              let config =
+                match Json.member "config" j with
+                | Some (Json.Obj fields) ->
+                    let ok =
+                      List.for_all
+                        (function _, Json.String _ -> true | _ -> false)
+                        fields
+                    in
+                    if ok then
+                      Some
+                        (List.map
+                           (function
+                             | k, Json.String v -> (k, v)
+                             | _ -> assert false (* filtered above *))
+                           fields)
+                    else None
+                | _ -> None
+              in
+              match
+                (str "key", int "runs", bool "resilient", int "chunk_size", config)
+              with
+              | Some m_key, Some m_runs, Some m_resilient, Some m_csize, Some m_config
+                ->
+                  let m_lo = Option.value (int "shard_lo") ~default:0 in
+                  let m_hi = Option.value (int "shard_hi") ~default:m_runs in
+                  if m_lo < 0 || m_hi > m_runs || m_lo > m_hi then
+                    Error "meta shard span out of range"
+                  else
+                    Ok { m_key; m_runs; m_resilient; m_csize; m_config; m_schema = s; m_lo; m_hi }
+              | _ -> Error "meta line is missing fields"
+            end
+        | Some "meta", Some s ->
+            Error
+              (Printf.sprintf "schema %S, this build reads %S (and %S read-only)" s
+                 schema_version schema_v1)
+        | _ -> Error "first line is not a meta line")
+  in
+  match unseal line with
+  | Ok body -> parse ~sealed:true body
+  | Error `Bad_sum -> Error "meta line checksum mismatch (bit flip or edit)"
+  | Error `No_sum -> parse ~sealed:false line
 
 let floats_of_json = function
   | Json.List items ->
@@ -201,51 +287,92 @@ let trails_of_json = function
 (* One parsed, layout-validated chunk line. *)
 type parsed_chunk = { c_phase : string; c_lo : int; c_payload : payload; c_line : string }
 
+(* First invalid line of a record.  [d_tampered] separates the two failure
+   worlds: [false] is a torn tail (kill mid-write — the valid prefix is
+   trustworthy and resumable), [true] is an integrity failure (bit flip,
+   mid-record truncation, foreign or edited content — the record is
+   hostile input and must be quarantined, never merged or resumed). *)
+type defect = { d_reason : string; d_tampered : bool }
+
 (* Validate one chunk line against the fixed layout and the per-phase
-   write frontier.  Anything off — wrong kind for the record, lo not at
-   the frontier, wrong length, parse failure — is a tail defect: the
-   record's valid prefix ends just before this line. *)
-let parse_chunk_line ~meta ~frontier ~lineno line =
-  match Json.of_string line with
-  | Error e -> Error (Printf.sprintf "line %d unreadable (%s)" lineno e)
-  | Ok j -> (
-      let str f = Option.bind (Json.member f j) Json.to_str in
-      let int f = Option.bind (Json.member f j) Json.to_int in
-      let payload =
-        match str "kind" with
-        | Some "chunk" when not meta.m_resilient -> (
-            match Json.member "values" j with
-            | Some v -> Result.map (fun a -> Floats a) (floats_of_json v)
-            | None -> Error "chunk without values")
-        | Some "rchunk" when meta.m_resilient -> (
-            match Json.member "runs" j with
-            | Some v -> Result.map (fun a -> Trails a) (trails_of_json v)
-            | None -> Error "rchunk without runs")
-        | Some k -> Error (Printf.sprintf "unexpected line kind %S" k)
-        | None -> Error "line without a kind"
-      in
-      match (str "phase", int "lo", payload) with
-      | Some c_phase, Some c_lo, Ok c_payload ->
-          let front =
-            match Hashtbl.find_opt frontier c_phase with Some f -> f | None -> 0
+   write frontier.  Anything off — checksum failure, wrong kind for the
+   record, lo not at the frontier, wrong length, parse failure — is a
+   defect: the record's valid prefix ends just before this line. *)
+let parse_chunk_line ~meta ~frontier ~lineno ~is_last line =
+  let fail ?(tampered = false) fmt =
+    Printf.ksprintf (fun d_reason -> Error { d_reason; d_tampered = tampered }) fmt
+  in
+  let body =
+    if meta.m_schema = schema_v1 then Ok line
+    else
+      match unseal line with
+      | Ok body -> Ok body
+      | Error `Bad_sum ->
+          Error
+            {
+              d_reason = Printf.sprintf "line %d: checksum mismatch (bit flip or edit)" lineno;
+              d_tampered = true;
+            }
+      | Error `No_sum ->
+          (* A crash tears at most the last line of the file; a missing
+             trailer anywhere else means the record was cut or edited. *)
+          if is_last then
+            Error
+              {
+                d_reason = Printf.sprintf "line %d: torn tail (no checksum trailer)" lineno;
+                d_tampered = false;
+              }
+          else
+            Error
+              {
+                d_reason =
+                  Printf.sprintf "line %d: checksum trailer missing mid-record" lineno;
+                d_tampered = true;
+              }
+  in
+  match body with
+  | Error _ as e -> e
+  | Ok body -> (
+      match Json.of_string body with
+      | Error e -> fail "line %d unreadable (%s)" lineno e
+      | Ok j -> (
+          let str f = Option.bind (Json.member f j) Json.to_str in
+          let int f = Option.bind (Json.member f j) Json.to_int in
+          let payload =
+            match str "kind" with
+            | Some "chunk" when not meta.m_resilient -> (
+                match Json.member "values" j with
+                | Some v -> Result.map (fun a -> Floats a) (floats_of_json v)
+                | None -> Error "chunk without values")
+            | Some "rchunk" when meta.m_resilient -> (
+                match Json.member "runs" j with
+                | Some v -> Result.map (fun a -> Trails a) (trails_of_json v)
+                | None -> Error "rchunk without runs")
+            | Some k -> Error (Printf.sprintf "unexpected line kind %S" k)
+            | None -> Error "line without a kind"
           in
-          let expected = Stdlib.min meta.m_csize (meta.m_runs - c_lo) in
-          if c_lo <> front then
-            Error
-              (Printf.sprintf "line %d: %s chunk at %d, expected frontier %d" lineno
-                 c_phase c_lo front)
-          else if c_lo >= meta.m_runs then
-            Error (Printf.sprintf "line %d: chunk beyond run count" lineno)
-          else if payload_len c_payload <> expected then
-            Error
-              (Printf.sprintf "line %d: chunk at %d has %d runs, layout expects %d"
-                 lineno c_lo (payload_len c_payload) expected)
-          else begin
-            Hashtbl.replace frontier c_phase (c_lo + expected);
-            Ok { c_phase; c_lo; c_payload; c_line = line }
-          end
-      | _, _, Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
-      | _ -> Error (Printf.sprintf "line %d: chunk without phase/lo" lineno))
+          match (str "phase", int "lo", payload) with
+          | Some c_phase, Some c_lo, Ok c_payload ->
+              let front =
+                match Hashtbl.find_opt frontier c_phase with
+                | Some f -> f
+                | None -> meta.m_lo
+              in
+              let expected = Stdlib.min meta.m_csize (meta.m_runs - c_lo) in
+              if c_lo <> front then
+                fail "line %d: %s chunk at %d, expected frontier %d" lineno c_phase c_lo
+                  front
+              else if c_lo >= meta.m_hi then
+                fail "line %d: chunk beyond the record's span" lineno
+              else if payload_len c_payload <> expected then
+                fail "line %d: chunk at %d has %d runs, layout expects %d" lineno c_lo
+                  (payload_len c_payload) expected
+              else begin
+                Hashtbl.replace frontier c_phase (c_lo + expected);
+                Ok { c_phase; c_lo; c_payload; c_line = line }
+              end
+          | _, _, Error e -> fail "line %d: %s" lineno e
+          | _ -> fail "line %d: chunk without phase/lo" lineno))
 
 let read_lines file =
   let ic = open_in_bin file in
@@ -259,11 +386,17 @@ let read_lines file =
       in
       go [])
 
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 type parsed_record = {
   r_meta : meta;
   r_chunks : parsed_chunk list;  (* file order; the valid prefix *)
   r_frontier : (string, int) Hashtbl.t;
-  r_defect : string option;  (* first invalid line, if any *)
+  r_defect : defect option;  (* first invalid line, if any *)
 }
 
 let parse_record file =
@@ -278,9 +411,10 @@ let parse_record file =
             | [] -> (List.rev acc, None)
             | "" :: tl -> go (lineno + 1) acc tl (* tolerate a trailing blank *)
             | line :: tl -> (
-                match parse_chunk_line ~meta:r_meta ~frontier ~lineno line with
+                let is_last = List.for_all (fun l -> l = "") tl in
+                match parse_chunk_line ~meta:r_meta ~frontier ~lineno ~is_last line with
                 | Ok c -> go (lineno + 1) (c :: acc) tl
-                | Error e -> (List.rev acc, Some e))
+                | Error d -> (List.rev acc, Some d))
           in
           let r_chunks, r_defect = go 2 [] rest in
           Ok { r_meta; r_chunks; r_frontier = frontier; r_defect })
@@ -294,6 +428,9 @@ type session = {
   csize : int;
   s_runs : int;
   s_resilient : bool;
+  s_lo : int;  (* shard span; (0, s_runs) for a full session *)
+  s_hi : int;
+  s_sync : bool;
   cached : (string * int, payload) Hashtbl.t;  (* (phase, lo) -> chunk *)
   frontier : (string, int) Hashtbl.t;  (* phase -> next lo to append *)
   at_open : (string, int) Hashtbl.t;  (* frontier snapshot at open time *)
@@ -305,17 +442,28 @@ type session = {
 
 let session_key s = s.skey
 let chunk_size s = s.csize
+let shard_span s = (s.s_lo, s.s_hi)
 
 let cached_runs s ~phase =
-  match Hashtbl.find_opt s.at_open phase with Some f -> f | None -> 0
+  let front =
+    match Hashtbl.find_opt s.at_open phase with Some f -> f | None -> s.s_lo
+  in
+  Stdlib.max 0 (front - s.s_lo)
 
-let complete s ~phase = cached_runs s ~phase >= s.s_runs
+let complete s ~phase = cached_runs s ~phase >= s.s_hi - s.s_lo
 let set_fail_after s n = s.fail_after <- Some n
 
 let fail_after_from_env () =
   Option.bind (Sys.getenv_opt "MBPTA_STORE_FAIL_AFTER_CHUNKS") int_of_string_opt
 
-let mk_session ~skey ~file ~csize ~runs ~resilient ~cached ~frontier ~oc =
+let fsync_channel ~file oc =
+  match Unix.fsync (Unix.descr_of_out_channel oc) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "store: fsync %s: %s" file (Unix.error_message e)))
+
+let mk_session ~skey ~file ~csize ~runs ~resilient ~span:(s_lo, s_hi) ~sync ~cached
+    ~frontier ~oc =
   let at_open = Hashtbl.copy frontier in
   {
     skey;
@@ -323,6 +471,9 @@ let mk_session ~skey ~file ~csize ~runs ~resilient ~cached ~frontier ~oc =
     csize;
     s_runs = runs;
     s_resilient = resilient;
+    s_lo;
+    s_hi;
+    s_sync = sync;
     cached;
     frontier;
     at_open;
@@ -332,10 +483,22 @@ let mk_session ~skey ~file ~csize ~runs ~resilient ~cached ~frontier ~oc =
     closed = false;
   }
 
-let open_session ?(chunk_size = default_chunk_size) ?(resume = false) t ~key:skey
-    ~config ~runs ~resilient =
+let open_session ?(chunk_size = default_chunk_size) ?(resume = false) ?(sync = false)
+    ?shard t ~key:skey ~config ~runs ~resilient =
   if runs < 0 then invalid_arg "Store.open_session: negative runs";
   if chunk_size < 1 then invalid_arg "Store.open_session: chunk_size must be >= 1";
+  let s_lo, s_hi = match shard with None -> (0, runs) | Some (lo, hi) -> (lo, hi) in
+  if s_lo < 0 || s_hi > runs || s_lo > s_hi then
+    invalid_arg "Store.open_session: shard span out of range";
+  if s_lo mod chunk_size <> 0 then
+    invalid_arg "Store.open_session: shard lower bound must be chunk-aligned";
+  if s_hi <> runs && s_hi mod chunk_size <> 0 then
+    invalid_arg
+      "Store.open_session: shard upper bound must be chunk-aligned or the run count";
+  (* A span covering everything is a full session: its record carries no
+     shard fields, so `--shard 1/1` writes the single-process record. *)
+  let shard = if s_lo = 0 && s_hi = runs then None else Some (s_lo, s_hi) in
+  let span = (s_lo, s_hi) in
   let derived = key ~chunk_size config in
   if derived <> skey then
     Error
@@ -343,7 +506,7 @@ let open_session ?(chunk_size = default_chunk_size) ?(resume = false) t ~key:ske
          derived)
   else begin
     let file = Filename.concat t.root (skey ^ ".jsonl") in
-    let meta = meta_line ~skey ~runs ~resilient ~chunk_size ~config in
+    let meta = meta_line ~skey ~runs ~resilient ~chunk_size ~shard ~config in
     let fresh () =
       (* Eager meta write: an unwritable store fails before any simulation
          time is spent, and a killed campaign always leaves a parseable
@@ -352,65 +515,90 @@ let open_session ?(chunk_size = default_chunk_size) ?(resume = false) t ~key:ske
       output_string oc meta;
       output_char oc '\n';
       flush oc;
+      if sync then fsync_channel ~file oc;
       Ok
-        (mk_session ~skey ~file ~csize:chunk_size ~runs ~resilient
+        (mk_session ~skey ~file ~csize:chunk_size ~runs ~resilient ~span ~sync
            ~cached:(Hashtbl.create 16) ~frontier:(Hashtbl.create 4) ~oc:(Some oc))
     in
     if not (Sys.file_exists file) then fresh ()
     else
       match parse_record file with
       | Error e -> Error (Printf.sprintf "store: %s: %s" file e)
-      | Ok r ->
+      | Ok r -> (
           let m = r.r_meta in
-          if m.m_key <> skey || m.m_runs <> runs || m.m_resilient <> resilient
-             || m.m_csize <> chunk_size
-             || List.sort compare m.m_config <> List.sort compare config
+          if m.m_schema <> schema_version then
+            Error
+              (Printf.sprintf
+                 "store: %s: record has schema %s; sessions write %s (export it or \
+                  start a fresh store)"
+                 file m.m_schema schema_version)
+          else if
+            m.m_key <> skey || m.m_runs <> runs || m.m_resilient <> resilient
+            || m.m_csize <> chunk_size
+            || (m.m_lo, m.m_hi) <> span
+            || List.sort compare m.m_config <> List.sort compare config
           then
             Error
               (Printf.sprintf
                  "store: %s: record metadata disagrees with this campaign (inspect \
                   with `cache ls`, reclaim with `cache gc`)"
                  file)
-          else begin
-            let covered = Hashtbl.fold (fun _ f acc -> Stdlib.min f acc) r.r_frontier max_int in
-            let is_complete =
-              r.r_defect = None
-              && (runs = 0 || (Hashtbl.length r.r_frontier > 0 && covered >= runs))
-            in
-            let adopt () =
-              let cached = Hashtbl.create 16 in
-              List.iter
-                (fun c -> Hashtbl.replace cached (c.c_phase, c.c_lo) c.c_payload)
-                r.r_chunks;
-              mk_session ~skey ~file ~csize:chunk_size ~runs ~resilient ~cached
-                ~frontier:r.r_frontier ~oc:None
-            in
-            if is_complete then Ok (adopt ())
-            else if not resume then fresh ()
-            else begin
-              (* Resume: keep the valid prefix.  If validation dropped a
-                 defective tail, rewrite the record to exactly the prefix
-                 (atomically, tmp + rename) so the on-disk bytes and the
-                 in-memory cache agree before we append. *)
-              (match r.r_defect with
-              | None -> ()
-              | Some _ ->
-                  let tmp = file ^ ".tmp" in
-                  let oc =
-                    open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp
-                  in
-                  output_string oc meta;
-                  output_char oc '\n';
+          else
+            match r.r_defect with
+            | Some d when d.d_tampered && resume ->
+                Error
+                  (Printf.sprintf
+                     "store: %s: %s — record fails its integrity check; quarantine it \
+                      or reclaim with `cache gc`"
+                     file d.d_reason)
+            | Some d when d.d_tampered -> fresh ()
+            | _ ->
+                let covered =
+                  Hashtbl.fold (fun _ f acc -> Stdlib.min f acc) r.r_frontier max_int
+                in
+                let is_complete =
+                  r.r_defect = None
+                  && (s_hi <= s_lo
+                     || (Hashtbl.length r.r_frontier > 0 && covered >= s_hi))
+                in
+                let adopt () =
+                  let cached = Hashtbl.create 16 in
                   List.iter
-                    (fun c ->
-                      output_string oc c.c_line;
-                      output_char oc '\n')
+                    (fun c -> Hashtbl.replace cached (c.c_phase, c.c_lo) c.c_payload)
                     r.r_chunks;
-                  close_out oc;
-                  Sys.rename tmp file);
-              Ok (adopt ())
-            end
-          end
+                  mk_session ~skey ~file ~csize:chunk_size ~runs ~resilient ~span ~sync
+                    ~cached ~frontier:r.r_frontier ~oc:None
+                in
+                if is_complete then Ok (adopt ())
+                else if not resume then fresh ()
+                else begin
+                  (* Resume: keep the valid prefix.  If validation dropped a
+                     defective tail, rewrite the record to exactly the prefix
+                     (atomically, tmp + rename) so the on-disk bytes and the
+                     in-memory cache agree before we append. *)
+                  (match r.r_defect with
+                  | None -> ()
+                  | Some _ ->
+                      let tmp = file ^ ".tmp" in
+                      let oc =
+                        open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp
+                      in
+                      output_string oc meta;
+                      output_char oc '\n';
+                      List.iter
+                        (fun c ->
+                          output_string oc c.c_line;
+                          output_char oc '\n')
+                        r.r_chunks;
+                      (if sync then
+                         try fsync_channel ~file:tmp oc
+                         with e ->
+                           close_out_noerr oc;
+                           raise e);
+                      close_out oc;
+                      Sys.rename tmp file);
+                  Ok (adopt ())
+                end)
   end
 
 let close s =
@@ -441,9 +629,13 @@ let lookup_payload s ~phase ~lo ~len =
 
 let persist_payload s ~phase ~lo payload =
   if s.closed then invalid_arg "Store.persist: session is closed";
-  if lo < 0 || lo >= s.s_runs then
-    invalid_arg (Printf.sprintf "Store.persist: chunk offset %d out of range" lo);
-  let front = match Hashtbl.find_opt s.frontier phase with Some f -> f | None -> 0 in
+  if lo < s.s_lo || lo >= s.s_hi then
+    invalid_arg
+      (Printf.sprintf "Store.persist: chunk offset %d outside the session span [%d, %d)"
+         lo s.s_lo s.s_hi);
+  let front =
+    match Hashtbl.find_opt s.frontier phase with Some f -> f | None -> s.s_lo
+  in
   if lo <> front then
     invalid_arg
       (Printf.sprintf "Store.persist: %s chunk at %d, write frontier is %d" phase lo
@@ -467,8 +659,11 @@ let persist_payload s ~phase ~lo payload =
   output_string oc (chunk_line ~phase ~lo payload);
   output_char oc '\n';
   (* The flush is the checkpoint barrier: after it returns, this chunk
-     survives a kill. *)
+     survives a kill.  With [sync] the barrier extends to power loss: the
+     fsync pushes the chunk through the OS page cache before we
+     acknowledge it. *)
   flush oc;
+  if s.s_sync then fsync_channel ~file:s.file oc;
   s.appended <- s.appended + 1;
   Hashtbl.replace s.cached (phase, lo) payload;
   Hashtbl.replace s.frontier phase (lo + len)
@@ -485,20 +680,21 @@ let persist_trails s ~phase ~lo a = persist_payload s ~phase ~lo (Trails a)
 (* ------------------------------------------------------------------ *)
 (* Collect drivers *)
 
-let emit_cache_events trace s ~phase n =
+let emit_cache_events trace s ~phase =
   match trace with
   | None -> ()
   | Some t ->
-      let cached = Stdlib.min (cached_runs s ~phase) n in
-      (if cached >= n then
-         Trace.emit t (Trace.Cache_hit { phase; key = s.skey; runs = n })
+      let span = s.s_hi - s.s_lo in
+      let cached = Stdlib.min (cached_runs s ~phase) span in
+      (if cached >= span then
+         Trace.emit t (Trace.Cache_hit { phase; key = s.skey; runs = span })
        else if cached = 0 then Trace.emit t (Trace.Cache_miss { phase; key = s.skey })
        else
          Trace.emit t
-           (Trace.Resume { phase; key = s.skey; cached_runs = cached; total_runs = n }));
+           (Trace.Resume { phase; key = s.skey; cached_runs = cached; total_runs = span }));
       let counters = Trace.counters t in
       Trace.Counters.add counters "cache.runs_cached" cached;
-      Trace.Counters.add counters "cache.runs_simulated" (n - cached)
+      Trace.Counters.add counters "cache.runs_simulated" (span - cached)
 
 let check_runs s fn n =
   if n <> s.s_runs then
@@ -507,19 +703,19 @@ let check_runs s fn n =
 
 let collect ?trace ?jobs s ~phase n f =
   check_runs s "collect" n;
-  emit_cache_events trace s ~phase n;
-  Parallel.init_checkpointed ?trace ?jobs ~chunk_size:s.csize
+  emit_cache_events trace s ~phase;
+  Parallel.init_checkpointed ?trace ?jobs ~lo:s.s_lo ~chunk_size:s.csize
     ~lookup:(fun ~lo ~len -> lookup s ~phase ~lo ~len)
     ~persist:(fun ~lo a -> persist s ~phase ~lo a)
-    n f
+    s.s_hi f
 
 let collect_trails ?trace ?jobs s ~phase n f =
   check_runs s "collect_trails" n;
-  emit_cache_events trace s ~phase n;
-  Parallel.init_checkpointed ?trace ?jobs ~chunk_size:s.csize
+  emit_cache_events trace s ~phase;
+  Parallel.init_checkpointed ?trace ?jobs ~lo:s.s_lo ~chunk_size:s.csize
     ~lookup:(fun ~lo ~len -> lookup_trails s ~phase ~lo ~len)
     ~persist:(fun ~lo a -> persist_trails s ~phase ~lo a)
-    n f
+    s.s_hi f
 
 (* ------------------------------------------------------------------ *)
 (* Inspection *)
@@ -533,6 +729,7 @@ type entry = {
   resilient : bool;
   config : (string * string) list;
   phases : (string * int) list;
+  shard : (int * int) option;
   bytes : int;
   status : status;
 }
@@ -557,6 +754,7 @@ let entry_of_file t name =
       resilient = false;
       config = [];
       phases = [];
+      shard = None;
       bytes;
       status = Corrupt reason;
     }
@@ -565,7 +763,7 @@ let entry_of_file t name =
   | Error e -> corrupt e
   | Ok r ->
       let m = r.r_meta in
-      let derived = key ~chunk_size:m.m_csize m.m_config in
+      let derived = key_of_schema ~schema:m.m_schema ~chunk_size:m.m_csize m.m_config in
       if m.m_key <> entry_key then
         corrupt (Printf.sprintf "meta key %s does not match filename" m.m_key)
       else if derived <> entry_key then
@@ -580,12 +778,14 @@ let entry_of_file t name =
         let covered = List.fold_left (fun acc (_, f) -> Stdlib.min acc f) max_int phases in
         let status =
           match r.r_defect with
-          | Some d when phases = [] -> Corrupt d
+          | Some d when d.d_tampered -> Corrupt d.d_reason
+          | Some d when phases = [] -> Corrupt d.d_reason
           | Some d ->
               Partial
-                (Printf.sprintf "valid prefix kept, tail dropped: %s" d)
+                (Printf.sprintf "valid prefix kept, tail dropped: %s" d.d_reason)
           | None ->
-              if m.m_runs = 0 || (phases <> [] && covered >= m.m_runs) then Complete
+              if m.m_runs = 0 || m.m_lo >= m.m_hi || (phases <> [] && covered >= m.m_hi)
+              then Complete
               else if phases = [] then Partial "no samples collected yet"
               else
                 Partial
@@ -601,16 +801,43 @@ let entry_of_file t name =
           resilient = m.m_resilient;
           config = m.m_config;
           phases;
+          shard = (if m.m_lo = 0 && m.m_hi = m.m_runs then None else Some (m.m_lo, m.m_hi));
           bytes;
           status;
         }
       end
 
+let quarantine_suffix = ".jsonl.quarantined"
+
+let quarantined_entry t name =
+  let file = Filename.concat t.root name in
+  {
+    file;
+    entry_key = Filename.chop_suffix name quarantine_suffix;
+    runs = 0;
+    resilient = false;
+    config = [];
+    phases = [];
+    shard = None;
+    bytes = file_bytes file;
+    status = Corrupt "quarantined (failed an integrity check during merge)";
+  }
+
 let ls t =
-  Sys.readdir t.root |> Array.to_list
-  |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
-  |> List.sort compare
-  |> List.map (entry_of_file t)
+  let names = Sys.readdir t.root |> Array.to_list in
+  let records =
+    names
+    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+    |> List.sort compare
+    |> List.map (entry_of_file t)
+  in
+  let quarantined =
+    names
+    |> List.filter (fun f -> Filename.check_suffix f quarantine_suffix)
+    |> List.sort compare
+    |> List.map (quarantined_entry t)
+  in
+  records @ quarantined
 
 let gc ?(partial = false) t =
   let victims =
@@ -639,6 +866,249 @@ let pp_entry ppf e =
     | Partial d -> "partial (" ^ d ^ ")"
     | Corrupt d -> "corrupt (" ^ d ^ ")"
   in
-  Format.fprintf ppf "%s  runs=%d%s  %dB  %s" e.entry_key e.runs
+  Format.fprintf ppf "%s  runs=%d%s%s  %dB  %s" e.entry_key e.runs
     (if e.resilient then "  resilient" else "")
+    (match e.shard with
+    | None -> ""
+    | Some (lo, hi) -> Printf.sprintf "  shard=[%d,%d)" lo hi)
     e.bytes status
+
+(* ------------------------------------------------------------------ *)
+(* Merge and export *)
+
+type merge_report = {
+  records_merged : int;
+  chunks_merged : int;
+  coverage : (string * int) list;
+  contributed : string list;
+  quarantined : (string * string) list;
+  skipped : (string * string) list;
+}
+
+(* Merge walks every record key found in any source (and the destination),
+   admits only candidates that pass the full integrity gauntlet — line
+   checksums, digest-vs-filename, metadata agreement, byte-identical
+   duplicate chunks — and composes the maximal contiguous prefix of the
+   global chunk layout per phase.  Failing candidates are renamed aside
+   ([.quarantined]) so reruns converge and the evidence survives.  The
+   destination record is replaced via tmp+rename: a crash at any point
+   leaves the previous record intact, and rerunning the merge is
+   idempotent. *)
+let merge ?trace ?fail_after ?(sync = false) ~src dst =
+  let fuel = ref fail_after in
+  let written = ref 0 in
+  let burn () =
+    match !fuel with
+    | Some n when n <= 0 -> raise (Injected_crash { appended_chunks = !written })
+    | Some n -> fuel := Some (n - 1)
+    | None -> ()
+  in
+  let quarantined = ref [] in
+  let skipped = ref [] in
+  let contributed = ref [] in
+  let coverage = ref [] in
+  let records_merged = ref 0 in
+  let note_quarantine file reason =
+    (try Sys.rename file (file ^ ".quarantined") with Sys_error _ -> ());
+    quarantined := (file, reason) :: !quarantined
+  in
+  let process name =
+    let dst_file = Filename.concat dst.root name in
+    let entry_key = Filename.chop_suffix name ".jsonl" in
+    let candidate_files =
+      (if Sys.file_exists dst_file then [ dst_file ] else [])
+      @ List.filter_map
+          (fun root ->
+            let f = Filename.concat root.root name in
+            if Sys.file_exists f then Some f else None)
+          src
+    in
+    let candidates =
+      List.filter_map
+        (fun f ->
+          match parse_record f with
+          | Error e ->
+              note_quarantine f ("unreadable: " ^ e);
+              None
+          | Ok r ->
+              let m = r.r_meta in
+              if m.m_schema = schema_v1 then begin
+                skipped := (f, "store/v1 record (no checksums); left in place") :: !skipped;
+                None
+              end
+              else if
+                m.m_key <> entry_key
+                || key_of_schema ~schema:m.m_schema ~chunk_size:m.m_csize m.m_config
+                   <> entry_key
+              then begin
+                note_quarantine f
+                  "content digest does not match filename (foreign or edited record)";
+                None
+              end
+              else (
+                match r.r_defect with
+                | Some d when d.d_tampered ->
+                    note_quarantine f d.d_reason;
+                    None
+                | _ -> Some (f, r)))
+        candidate_files
+    in
+    match candidates with
+    | [] -> ()
+    | (_, first) :: _ ->
+        let m0 = first.r_meta in
+        let same_campaign m =
+          m.m_runs = m0.m_runs && m.m_resilient = m0.m_resilient
+          && m.m_csize = m0.m_csize
+          && List.sort compare m.m_config = List.sort compare m0.m_config
+        in
+        let candidates =
+          List.filter
+            (fun (f, r) ->
+              if same_campaign r.r_meta then true
+              else begin
+                note_quarantine f "record metadata disagrees with its siblings";
+                false
+              end)
+            candidates
+        in
+        let runs = m0.m_runs and csize = m0.m_csize in
+        (* Union the chunks; duplicates must be byte-identical (the
+           determinism contract says recomputing a chunk reproduces its
+           bytes), so disagreement marks a corrupted or divergent record. *)
+        let table = Hashtbl.create 64 in
+        let phase_order = ref [] in
+        List.iter
+          (fun (f, r) ->
+            let conflict =
+              List.exists
+                (fun c ->
+                  match Hashtbl.find_opt table (c.c_phase, c.c_lo) with
+                  | Some (_, line) -> line <> c.c_line
+                  | None -> false)
+                r.r_chunks
+            in
+            if conflict then
+              note_quarantine f
+                "chunk bytes disagree with another record for the same key"
+            else
+              List.iter
+                (fun c ->
+                  if not (List.mem c.c_phase !phase_order) then
+                    phase_order := !phase_order @ [ c.c_phase ];
+                  if not (Hashtbl.mem table (c.c_phase, c.c_lo)) then
+                    Hashtbl.replace table (c.c_phase, c.c_lo) (f, c.c_line))
+                r.r_chunks)
+          candidates;
+        (* Compose the maximal contiguous prefix per phase over the global
+           chunk layout; anything after a gap (e.g. an unrecoverable or
+           quarantined shard) is dropped — partial coverage is reported,
+           never silently wrong data. *)
+        let compose phase =
+          let rec go lo acc =
+            if lo >= runs then (List.rev acc, runs)
+            else
+              match Hashtbl.find_opt table (phase, lo) with
+              | Some entry -> go (lo + Stdlib.min csize (runs - lo)) (entry :: acc)
+              | None -> (List.rev acc, lo)
+          in
+          go 0 []
+        in
+        let phases = List.map (fun p -> (p, compose p)) !phase_order in
+        let lines = List.concat_map (fun (_, (ls, _)) -> ls) phases in
+        let covered =
+          if phases = [] then 0
+          else List.fold_left (fun acc (_, (_, hi)) -> Stdlib.min acc hi) max_int phases
+        in
+        coverage := (entry_key, covered) :: !coverage;
+        List.iter
+          (fun (f, _) ->
+            if not (List.mem f !contributed) then contributed := f :: !contributed)
+          lines;
+        let meta_ln =
+          meta_line ~skey:entry_key ~runs ~resilient:m0.m_resilient ~chunk_size:csize
+            ~shard:None ~config:m0.m_config
+        in
+        let text =
+          String.concat ""
+            ((meta_ln ^ "\n") :: List.map (fun (_, l) -> l ^ "\n") lines)
+        in
+        let unchanged =
+          Sys.file_exists dst_file
+          && (match read_file dst_file with
+             | existing -> existing = text
+             | exception Sys_error _ -> false)
+        in
+        if not unchanged then begin
+          let tmp = dst_file ^ ".merge.tmp" in
+          let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+          (try
+             output_string oc meta_ln;
+             output_char oc '\n';
+             List.iter
+               (fun (_, l) ->
+                 burn ();
+                 output_string oc l;
+                 output_char oc '\n';
+                 incr written)
+               lines;
+             flush oc;
+             if sync then fsync_channel ~file:tmp oc
+           with e ->
+             close_out_noerr oc;
+             raise e);
+          close_out oc;
+          Sys.rename tmp dst_file;
+          incr records_merged
+        end
+  in
+  let record_names root =
+    Sys.readdir root.root |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+  in
+  match
+    let names = List.sort_uniq compare (List.concat_map record_names src) in
+    List.iter process names
+  with
+  | exception Sys_error e -> Error e
+  | () ->
+      (match trace with
+      | None -> ()
+      | Some t ->
+          let c = Trace.counters t in
+          Trace.Counters.add c "cache.records_quarantined" (List.length !quarantined);
+          Trace.Counters.add c "cache.records_merged" !records_merged;
+          Trace.Counters.add c "cache.chunks_merged" !written;
+          List.iter
+            (fun (f, reason) ->
+              Trace.emit t (Trace.Note (Printf.sprintf "quarantined %s: %s" f reason)))
+            (List.rev !quarantined));
+      Ok
+        {
+          records_merged = !records_merged;
+          chunks_merged = !written;
+          coverage = List.rev !coverage;
+          contributed = List.rev !contributed;
+          quarantined = List.rev !quarantined;
+          skipped = List.rev !skipped;
+        }
+
+let export t ~key:skey =
+  let file = Filename.concat t.root (skey ^ ".jsonl") in
+  if not (Sys.file_exists file) then
+    Error (Printf.sprintf "store: no record %s in %s" skey t.root)
+  else
+    match parse_record file with
+    | Error e -> Error (Printf.sprintf "store: %s: %s" file e)
+    | Ok r -> (
+        match r.r_defect with
+        | Some d when d.d_tampered -> Error (Printf.sprintf "store: %s: %s" file d.d_reason)
+        | _ -> (
+            match read_lines file with
+            | [] -> Error (Printf.sprintf "store: %s: record unreadable or empty" file)
+            | meta_ln :: _ ->
+                Ok
+                  (String.concat ""
+                     (List.map
+                        (fun l -> l ^ "\n")
+                        (meta_ln :: List.map (fun c -> c.c_line) r.r_chunks)))))

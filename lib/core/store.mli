@@ -1,11 +1,16 @@
 (** Persistent, content-addressed measurement store with campaign
-    checkpoint/resume.
+    checkpoint/resume, per-line integrity checksums, shard sessions and an
+    integrity-verified merge.
 
     The paper's protocol needs 3,000+ end-to-end simulator runs per
     configuration; at production scale campaigns must survive interruption
     and a re-analysis must not re-simulate measurements that already exist
     — the same reason fault-tolerant satellite software checkpoints to
-    bound re-execution cost.  This module is that checkpoint layer.
+    bound re-execution cost.  This module is that checkpoint layer, and —
+    since PR 6 — the merge substrate for distributed campaigns: shard
+    workers write chunk-aligned spans of the run space into their own
+    stores, and {!merge} recombines them into the byte-identical
+    single-process record.
 
     {b Content addressing.}  A campaign record is addressed by {!key}: a
     stable digest of the full measurement configuration (platform config,
@@ -19,39 +24,55 @@
     {b Record format.}  One JSONL file per key, [<key>.jsonl] under the
     store root, reusing {!Trace.Json} (bit-exact float round-trip):
 
-    - line 1 — [meta]: schema, key, runs, resilient flag, chunk size, and
-      the full config for human inspection ([cache ls]);
+    - line 1 — [meta]: schema, key, runs, resilient flag, chunk size,
+      optional shard span, and the full config for human inspection
+      ([cache ls]);
     - then [chunk] (fault-free: an array of measured cycles) or [rchunk]
       (resilient: per-run attempt trails) lines, appended at every
       checkpoint barrier in deterministic ascending order per phase.
 
+    Every [store/v2] line ends with an integrity trailer
+    [,"sum":"<md5-hex>"] — the digest of the line with the trailer removed.
+    Verification is byte-exact string surgery (no JSON round-trip), so a
+    flipped bit, a mid-record truncation or a hand-edited value is caught
+    and classified as {e tampering}, distinct from a {e torn tail} (a kill
+    mid-write tears at most the last line; the valid prefix stays
+    trustworthy and resumable).  Tampered records are refused by resume,
+    reported [Corrupt] by [cache verify], and quarantined — renamed to
+    [<file>.quarantined] — by {!merge}, never merged.  [store/v1] records
+    (no checksums) remain readable by [ls]/[verify]/[export] but hash to
+    different keys and are skipped by {!merge}.
+
     Each phase's chunks must form a contiguous prefix of the fixed chunk
-    layout; the first malformed or out-of-place line (a campaign killed
-    mid-write, a corrupted disk block) invalidates that line and everything
+    layout (starting at the record's shard lower bound); the first
+    malformed or out-of-place line invalidates that line and everything
     after it, never the valid prefix before it.
 
     {b Determinism contract.}  Chunk layout is a pure function of the run
-    count (never of [--jobs]), each run's value is a pure function of its
-    index (the seed-derivation contract), and floats round-trip bit-exact.
-    Hence a campaign resumed from any valid prefix — or served entirely
-    from cache — returns samples bit-identical to a cold sequential run at
-    any job count. *)
+    count (never of [--jobs] or the shard count), each run's value is a
+    pure function of its index (the seed-derivation contract), and floats
+    round-trip bit-exact.  Hence a campaign resumed from any valid prefix —
+    served entirely from cache, or merged together from shard records —
+    returns samples bit-identical to a cold sequential run at any job
+    count. *)
 
 val schema_version : string
-(** ["store/v1"] — bumped on any record-format change, which (being part
+(** ["store/v2"] — bumped on any record-format change, which (being part
     of the digest) retires every old record automatically. *)
 
 val default_chunk_size : int
 (** Runs per checkpoint chunk (256): small enough that an interrupted
     3,000-run campaign loses little work, large enough that the per-chunk
-    fsync/append cost disappears next to simulation time. *)
+    fsync/append cost disappears next to simulation time.  Shard spans are
+    aligned on these boundaries. *)
 
 exception Injected_crash of { appended_chunks : int }
 (** Raised by the crash-injection test hook: when a session's fail-after
     budget (the [MBPTA_STORE_FAIL_AFTER_CHUNKS] environment variable, or
     {!set_fail_after}) is exhausted, the next checkpoint append raises
     instead of writing — a deterministic mid-campaign kill for the resume
-    tests, bench, and CI smoke. *)
+    tests, bench, and CI smoke.  {!merge} takes the same budget as an
+    explicit argument to simulate a coordinator killed mid-merge. *)
 
 (** {1 Store root} *)
 
@@ -68,6 +89,10 @@ val key : ?chunk_size:int -> (string * string) list -> string
     {!schema_version}, the chunk size, and the config pairs in canonical
     (name-sorted) order — so the digest does not depend on the order the
     harness assembled the list in. *)
+
+val key_v1 : ?chunk_size:int -> (string * string) list -> string
+(** The address the same configuration had under the [store/v1] schema —
+    exposed so tests and tooling can locate (read-only) v1 records. *)
 
 (** {1 Sessions} *)
 
@@ -90,6 +115,8 @@ type session
 val open_session :
   ?chunk_size:int ->
   ?resume:bool ->
+  ?sync:bool ->
+  ?shard:int * int ->
   t ->
   key:string ->
   config:(string * string) list ->
@@ -102,14 +129,31 @@ val open_session :
       (an unwritable store fails fast);
     - complete record — every chunk served from cache, regardless of
       [resume];
-    - partial or tail-corrupt record — with [resume = true] (default
+    - partial or tail-torn record — with [resume = true] (default
       [false]) the valid prefix is kept (the file is rewritten to exactly
       that prefix) and the campaign continues from the first missing
       chunk; with [resume = false] the record is discarded and the
       campaign starts cold;
-    - meta mismatch (foreign schema, key/config/runs/resilient/chunk-size
-      disagreement) — [Error]: the record is not touched; inspect it with
-      [cache verify] / reclaim it with [cache gc].
+    - tampered record (checksum failure) — [Error] under [resume] (the
+      prefix is hostile input; quarantine or [cache gc] it), discarded and
+      restarted cold otherwise;
+    - meta mismatch (foreign schema, key/config/runs/resilient/chunk-size/
+      shard disagreement) — [Error]: the record is not touched; inspect it
+      with [cache verify] / reclaim it with [cache gc].
+
+    [sync] (default [false]) extends every checkpoint barrier with an
+    [fsync], so an acknowledged chunk survives power loss, not just a
+    process kill; off by default because the store's durability unit is the
+    chunk and campaigns tolerate losing the tail chunk.
+
+    [shard] restricts the session to the span [lo, hi) of the run space: a
+    shard worker's record holds exactly the chunks of that span (the meta
+    line carries the span; chunk lines are byte-identical to the
+    single-process record's chunks at the same offsets).  [lo] must be
+    chunk-aligned and [hi] chunk-aligned or equal to [runs]; the span
+    [0, runs) is a full session (no shard fields — [--shard 1/1] writes the
+    single-process record).  Raises [Invalid_argument] on a misaligned or
+    out-of-range span.
 
     Raises [Sys_error] when the record file cannot be created. *)
 
@@ -119,8 +163,12 @@ val close : session -> unit
 val session_key : session -> string
 val chunk_size : session -> int
 
+val shard_span : session -> int * int
+(** The session's span: [(0, runs)] for a full session. *)
+
 val cached_runs : session -> phase:string -> int
-(** Runs of [phase] served by the record's valid prefix. *)
+(** Runs of [phase] served by the record's valid prefix (span-relative:
+    a shard session counts runs of its own span). *)
 
 val complete : session -> phase:string -> bool
 
@@ -132,9 +180,9 @@ val set_fail_after : session -> int -> unit
 
     The lookup/persist pair handed to {!Parallel.init_checkpointed}.
     [lookup] only serves exact layout matches; [persist] appends at the
-    record's write frontier for that phase (out-of-order appends are
-    rejected with [Invalid_argument] — the checkpoint driver calls in
-    ascending order by construction). *)
+    record's write frontier for that phase (out-of-order appends and
+    appends outside the session span are rejected with [Invalid_argument]
+    — the checkpoint driver calls in ascending order by construction). *)
 
 val lookup : session -> phase:string -> lo:int -> len:int -> float array option
 val persist : session -> phase:string -> lo:int -> float array -> unit
@@ -148,7 +196,9 @@ val collect :
 (** [collect session ~phase runs f] — the checkpointed fault-free
     measurement pass: cached chunks are served without calling [f],
     missing chunks are computed on the domain pool and appended at their
-    checkpoint barrier.  Emits one {!Trace.Cache_hit} / {!Trace.Resume} /
+    checkpoint barrier.  A shard session walks only its span and returns
+    the span's values ([hi - lo] of them; a full session returns all
+    [runs]).  Emits one {!Trace.Cache_hit} / {!Trace.Resume} /
     {!Trace.Cache_miss} event and bumps the [cache.runs_cached] /
     [cache.runs_simulated] counters when a trace is attached.  Raises
     [Invalid_argument] if [runs] disagrees with the session. *)
@@ -172,19 +222,76 @@ type entry = {
   resilient : bool;
   config : (string * string) list;
   phases : (string * int) list;  (** phase -> runs covered by valid chunks *)
+  shard : (int * int) option;  (** [Some (lo, hi)] for a shard record *)
   bytes : int;
   status : status;
 }
 
 val ls : t -> entry list
 (** Parse and fully validate every [*.jsonl] record under the root, sorted
-    by key.  Validation includes re-deriving the digest from the stored
-    config and comparing it with the filename — a record whose content no
-    longer matches its address is [Corrupt]. *)
+    by key, followed by any [*.jsonl.quarantined] files (always [Corrupt]).
+    Validation includes the per-line checksums and re-deriving the digest
+    from the stored config and comparing it with the filename — a
+    bit-flipped, truncated or foreign record is [Corrupt]; a record torn by
+    a kill mid-write is [Partial] (its valid prefix is resumable). *)
 
 val gc : ?partial:bool -> t -> entry list * int
-(** Remove corrupt records — and, with [partial = true], incomplete ones
-    (which are otherwise kept: they are resumable).  Returns the removed
-    entries and the bytes freed. *)
+(** Remove corrupt records (including quarantined files) — and, with
+    [partial = true], incomplete ones (which are otherwise kept: they are
+    resumable).  Returns the removed entries and the bytes freed. *)
 
 val pp_entry : Format.formatter -> entry -> unit
+
+(** {1 Merge and export — distributed campaigns} *)
+
+type merge_report = {
+  records_merged : int;  (** destination records written or replaced *)
+  chunks_merged : int;  (** chunk lines written into destination records *)
+  coverage : (string * int) list;
+      (** per key: contiguous runs covered from 0 (the min across phases)
+          after the merge *)
+  contributed : string list;
+      (** record files (sources or the prior destination) whose chunks made
+          it into a merged record *)
+  quarantined : (string * string) list;
+      (** record files renamed to [.quarantined], with the integrity
+          failure that condemned them *)
+  skipped : (string * string) list;  (** e.g. v1 records, left in place *)
+}
+
+val merge :
+  ?trace:Trace.t ->
+  ?fail_after:int ->
+  ?sync:bool ->
+  src:t list ->
+  t ->
+  (merge_report, string) result
+(** [merge ~src dst] — combine every record found in the source stores
+    (and any record already in [dst]) into [dst], key by key:
+
+    - candidates failing any integrity check — line checksum, digest vs
+      filename, metadata agreement across siblings, byte-identical
+      duplicate chunks — are renamed to [<file>.quarantined] and excluded
+      ({e never} merged);
+    - surviving chunks are composed into the maximal contiguous prefix of
+      the global chunk layout per phase: a gap (an unrecoverable shard)
+      truncates coverage there — partial coverage, never silent wrong data;
+    - each destination record is written whole to a temp file and renamed
+      into place, so a coordinator killed mid-merge leaves the previous
+      record intact and rerunning the merge converges.
+
+    The merged record is byte-identical to the record a single-process
+    campaign writes (chunk lines carry no shard information and the merged
+    meta line drops the span).  With [trace] attached, bumps
+    [cache.records_quarantined] / [cache.records_merged] /
+    [cache.chunks_merged] and emits a {!Trace.Note} per quarantined file.
+    [fail_after] is the crash-injection budget in chunk lines (raises
+    {!Injected_crash}); [sync] fsyncs each temp file before the rename.
+    [Error] only when a store directory itself is unreadable or unwritable
+    — per-record trouble is reported, not fatal. *)
+
+val export : t -> key:string -> (string, string) result
+(** The validated contents (meta line plus valid chunk prefix, verbatim) of
+    the record for [key] — for shipping a shard store's record over a
+    copy-only channel.  [Error] on a missing, unreadable or tampered
+    record. *)

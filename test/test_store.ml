@@ -363,6 +363,349 @@ let test_tail_corruption_keeps_prefix () =
   Alcotest.(check int) "only the dropped chunk recomputes" 8 !calls;
   check_bits "repaired record is bit-identical" (Array.init 24 awkward) out
 
+(* ------------------------------------------------------------------ *)
+(* record integrity (store/v2 checksums) *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Flip one bit inside a chunk value — silent SEU in the store file itself. *)
+let flip_byte path ~at =
+  let s = Bytes.of_string (read_file path) in
+  Bytes.set s at (Char.chr (Char.code (Bytes.get s at) lxor 1));
+  write_file path (Bytes.to_string s)
+
+let test_bit_flip_detected () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:24 ~resilient:false in
+  ignore (Store.collect s ~jobs:1 ~phase:"collect_det" 24 awkward);
+  Store.close s;
+  let file = record_file root key in
+  (* flip a byte in the middle of the file: lands in a sealed line's body *)
+  flip_byte file ~at:(String.length (read_file file) / 2);
+  (match
+     (List.find (fun (e : Store.entry) -> e.entry_key = key) (Store.ls root)).status
+   with
+  | Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bit-flipped record must verify as Corrupt");
+  (* A tampered record must not resume — and must not silently serve. *)
+  (match
+     Store.open_session ~chunk_size:8 ~resume:true root ~key ~config ~runs:24
+       ~resilient:false
+   with
+  | Ok _ -> Alcotest.fail "resume over a tampered record must be refused"
+  | Error e ->
+      Alcotest.(check bool) "error names the integrity check" true
+        (String.length e > 0));
+  (* Without --resume the record is discarded and recomputed from scratch. *)
+  let fresh = open_exn ~chunk_size:8 root ~key ~runs:24 ~resilient:false in
+  Alcotest.(check int) "tampered record discarded" 0
+    (Store.cached_runs fresh ~phase:"collect_det");
+  let out = Store.collect fresh ~jobs:1 ~phase:"collect_det" 24 awkward in
+  Store.close fresh;
+  check_bits "recomputed record is bit-identical" (Array.init 24 awkward) out
+
+(* Strip the integrity trailer from a sealed v2 line: the line shape a
+   pre-checksum (store/v1) build wrote. *)
+let unsealed line =
+  let n = String.length line in
+  let trailer = String.length ",\"sum\":\"\"}" + 32 in
+  String.sub line 0 (n - trailer) ^ "}"
+
+let test_v1_read_compat () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:16 ~resilient:false in
+  ignore (Store.collect s ~jobs:1 ~phase:"collect_det" 16 awkward);
+  Store.close s;
+  (* Demote the record to v1: unseal every line, relabel the schema, and
+     re-address the file under the v1 key. *)
+  let v2 = read_file (record_file root key) in
+  let lines = String.split_on_char '\n' v2 |> List.filter (fun l -> l <> "") in
+  let replace ~sub ~by s =
+    let n = String.length sub in
+    let rec find i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sub then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> s
+    | Some i ->
+        String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+  in
+  let key1 = Store.key_v1 ~chunk_size:8 config in
+  let v1_lines =
+    List.map
+      (fun l ->
+        unsealed l
+        |> replace ~sub:"\"schema\":\"store/v2\"" ~by:"\"schema\":\"store/v1\""
+        |> replace ~sub:("\"key\":\"" ^ key ^ "\"") ~by:("\"key\":\"" ^ key1 ^ "\""))
+      lines
+  in
+  write_file (record_file root key1)
+    (String.concat "" (List.map (fun l -> l ^ "\n") v1_lines));
+  Sys.remove (record_file root key);
+  (* v1 records stay readable: listed, verified, complete. *)
+  (match Store.ls root with
+  | [ e ] ->
+      Alcotest.(check string) "v1 record listed under its v1 key" key1 e.entry_key;
+      (match e.status with
+      | Store.Complete -> ()
+      | _ -> Alcotest.fail "clean v1 record must verify as Complete")
+  | l -> Alcotest.failf "expected 1 record, found %d" (List.length l));
+  (* ...but sessions write v2 only: a v1 key is refused outright (it is not
+     this build's digest of the config), never silently upgraded in place. *)
+  match
+    Store.open_session ~chunk_size:8 root ~key:key1 ~config ~runs:16 ~resilient:false
+  with
+  | Ok _ -> Alcotest.fail "a session must not open a v1 record"
+  | Error _ -> ()
+
+let test_foreign_record_detected () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:16 ~resilient:false in
+  ignore (Store.collect s ~jobs:1 ~phase:"collect_det" 16 awkward);
+  Store.close s;
+  (* Valid bytes filed under the wrong address: content/filename mismatch. *)
+  let alias = String.make 32 'e' in
+  Sys.rename (record_file root key) (record_file root alias);
+  match (List.find (fun (e : Store.entry) -> e.entry_key = alias) (Store.ls root)).status with
+  | Store.Corrupt _ -> ()
+  | _ -> Alcotest.fail "mis-addressed record must verify as Corrupt"
+
+(* ------------------------------------------------------------------ *)
+(* shard sessions and merge *)
+
+let with_dirs n f =
+  let dirs = List.init n (fun _ -> temp_dir ()) in
+  Fun.protect ~finally:(fun () -> List.iter rm_rf dirs) (fun () -> f dirs)
+
+let shard_runs = 30
+let shard_phases = [ "collect_det"; "collect_rand" ]
+
+(* One shard worker, in-process: collect both phases of [span] into its own
+   store directory.  [chunk_size 8] over 30 runs gives chunks at 0/8/16/24. *)
+let run_shard_into dir ~key ~span =
+  let root = Store.open_root ~dir in
+  match
+    Store.open_session ~chunk_size:8 ~resume:true ~shard:span root ~key ~config
+      ~runs:shard_runs ~resilient:false
+  with
+  | Error e -> Alcotest.failf "shard session: %s" e
+  | Ok s ->
+      List.iter
+        (fun phase -> ignore (Store.collect s ~jobs:1 ~phase shard_runs awkward))
+        shard_phases;
+      Store.close s;
+      root
+
+let reference_record dir ~key =
+  let root = Store.open_root ~dir in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:shard_runs ~resilient:false in
+  List.iter
+    (fun phase -> ignore (Store.collect s ~jobs:1 ~phase shard_runs awkward))
+    shard_phases;
+  Store.close s;
+  root
+
+let spans_3 = M.Coordinator.shard_spans ~shards:3 ~chunk_size:8 ~runs:shard_runs
+
+let test_shard_merge_bit_identical () =
+  with_dirs 5 @@ fun dirs ->
+  let ref_dir, dst_dir, shard_dirs =
+    match dirs with
+    | r :: d :: s -> (r, d, s)
+    | _ -> assert false
+  in
+  let key = Store.key ~chunk_size:8 config in
+  ignore (reference_record ref_dir ~key);
+  Alcotest.(check int) "three spans" 3 (List.length spans_3);
+  let srcs = List.map2 (fun dir span -> run_shard_into dir ~key ~span) shard_dirs spans_3 in
+  let dst = Store.open_root ~dir:dst_dir in
+  (match Store.merge ~src:srcs dst with
+  | Error e -> Alcotest.failf "merge: %s" e
+  | Ok m ->
+      Alcotest.(check int) "one record merged" 1 m.Store.records_merged;
+      Alcotest.(check (list (pair string int))) "full coverage"
+        [ (key, shard_runs) ] m.Store.coverage;
+      Alcotest.(check int) "nothing quarantined" 0 (List.length m.Store.quarantined));
+  Alcotest.(check string) "merged record byte-identical to single-process"
+    (read_file (Filename.concat ref_dir (key ^ ".jsonl")))
+    (read_file (Filename.concat dst_dir (key ^ ".jsonl")));
+  (* Merging again is a no-op: same bytes, no rewrite. *)
+  match Store.merge ~src:srcs dst with
+  | Error e -> Alcotest.failf "re-merge: %s" e
+  | Ok m -> Alcotest.(check int) "idempotent re-merge" 0 m.Store.records_merged
+
+let test_shard_worker_crash_resume () =
+  with_dirs 2 @@ fun dirs ->
+  let ref_dir, shard_dir = (List.nth dirs 0, List.nth dirs 1) in
+  let key = Store.key ~chunk_size:8 config in
+  ignore (reference_record ref_dir ~key);
+  let span = List.hd spans_3 (* [0, 16): two chunks per phase *) in
+  let root = Store.open_root ~dir:shard_dir in
+  let s =
+    match
+      Store.open_session ~chunk_size:8 ~resume:true ~shard:span root ~key ~config
+        ~runs:shard_runs ~resilient:false
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "shard session: %s" e
+  in
+  (* the worker dies mid-shard, after one checkpoint chunk *)
+  Store.set_fail_after s 1;
+  (match Store.collect s ~jobs:1 ~phase:"collect_det" shard_runs awkward with
+  | _ -> Alcotest.fail "expected Injected_crash"
+  | exception Store.Injected_crash _ -> Store.close s);
+  (* the retry resumes from the checkpoint and completes the span *)
+  let r = ignore root; run_shard_into shard_dir ~key ~span in
+  ignore r;
+  let entry = List.hd (Store.ls (Store.open_root ~dir:shard_dir)) in
+  List.iter
+    (fun phase ->
+      Alcotest.(check int)
+        (phase ^ " covers the span")
+        16
+        (List.assoc phase entry.Store.phases))
+    shard_phases
+
+let test_merge_quarantines_and_degrades () =
+  with_dirs 5 @@ fun dirs ->
+  let ref_dir, dst_dir, shard_dirs =
+    match dirs with r :: d :: s -> (r, d, s) | _ -> assert false
+  in
+  let key = Store.key ~chunk_size:8 config in
+  ignore (reference_record ref_dir ~key);
+  let srcs = List.map2 (fun dir span -> run_shard_into dir ~key ~span) shard_dirs spans_3 in
+  (* Corrupt the middle shard's record: one flipped byte, mid-file. *)
+  let victim = Filename.concat (List.nth shard_dirs 1) (key ^ ".jsonl") in
+  flip_byte victim ~at:(String.length (read_file victim) / 2);
+  let dst = Store.open_root ~dir:dst_dir in
+  (match Store.merge ~src:srcs dst with
+  | Error e -> Alcotest.failf "merge: %s" e
+  | Ok m ->
+      Alcotest.(check int) "corrupt shard quarantined" 1 (List.length m.Store.quarantined);
+      (* coverage degrades to the contiguous prefix before the gap *)
+      Alcotest.(check (list (pair string int))) "prefix coverage"
+        [ (key, 16) ] m.Store.coverage);
+  Alcotest.(check bool) "quarantined file renamed, not merged" true
+    (Sys.file_exists (victim ^ ".quarantined") && not (Sys.file_exists victim));
+  (* The merged record resumes to the full campaign bit-identically: graceful
+     degradation costs coverage, never correctness. *)
+  let r =
+    match
+      Store.open_session ~chunk_size:8 ~resume:true dst ~key ~config ~runs:shard_runs
+        ~resilient:false
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "resume over merged record: %s" e
+  in
+  List.iter
+    (fun phase ->
+      Alcotest.(check int)
+        (phase ^ ": prefix cached")
+        16
+        (Store.cached_runs r ~phase);
+      check_bits
+        (phase ^ ": resumed sample bit-identical")
+        (Array.init shard_runs awkward)
+        (Store.collect r ~jobs:4 ~phase shard_runs awkward))
+    shard_phases;
+  Store.close r;
+  (* The repaired record is Complete (chunk append order reflects the resume
+     interleaving, but every value is bit-identical): a warm re-open serves
+     everything without a single measurement. *)
+  (match (List.hd (Store.ls dst)).Store.status with
+  | Store.Complete -> ()
+  | _ -> Alcotest.fail "repaired record must verify as Complete");
+  let w = open_exn ~chunk_size:8 dst ~key ~runs:shard_runs ~resilient:false in
+  let calls = ref 0 in
+  let warm =
+    Store.collect w ~jobs:1 ~phase:"collect_det" shard_runs (fun i ->
+        incr calls;
+        awkward i)
+  in
+  Store.close w;
+  Alcotest.(check int) "warm serve computes nothing" 0 !calls;
+  check_bits "warm values bit-identical" (Array.init shard_runs awkward) warm
+
+let test_merge_crash_safety () =
+  with_dirs 5 @@ fun dirs ->
+  let ref_dir, dst_dir, shard_dirs =
+    match dirs with r :: d :: s -> (r, d, s) | _ -> assert false
+  in
+  let key = Store.key ~chunk_size:8 config in
+  ignore (reference_record ref_dir ~key);
+  let srcs = List.map2 (fun dir span -> run_shard_into dir ~key ~span) shard_dirs spans_3 in
+  let dst = Store.open_root ~dir:dst_dir in
+  (* the coordinator dies mid-merge: tmp+rename means the destination holds
+     either nothing or a whole record, never a torn one *)
+  (match Store.merge ~fail_after:2 ~src:srcs dst with
+  | _ -> Alcotest.fail "expected Injected_crash"
+  | exception Store.Injected_crash _ -> ());
+  Alcotest.(check bool) "no half-written destination record" false
+    (Sys.file_exists (Filename.concat dst_dir (key ^ ".jsonl")));
+  (* re-running the merge converges to the single-process bytes *)
+  (match Store.merge ~src:srcs dst with
+  | Error e -> Alcotest.failf "re-merge: %s" e
+  | Ok m -> Alcotest.(check int) "re-merge lands the record" 1 m.Store.records_merged);
+  Alcotest.(check string) "recovered merge byte-identical"
+    (read_file (Filename.concat ref_dir (key ^ ".jsonl")))
+    (read_file (Filename.concat dst_dir (key ^ ".jsonl")))
+
+let test_sync_roundtrip () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s =
+    match
+      Store.open_session ~chunk_size:8 ~sync:true root ~key ~config ~runs:16
+        ~resilient:false
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "open ~sync: %s" e
+  in
+  let out = Store.collect s ~jobs:1 ~phase:"collect_det" 16 awkward in
+  Store.close s;
+  check_bits "fsync'd record round-trips" (Array.init 16 awkward) out;
+  let w = open_exn ~chunk_size:8 root ~key ~runs:16 ~resilient:false in
+  Alcotest.(check int) "record complete" 16 (Store.cached_runs w ~phase:"collect_det");
+  Store.close w
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let test_export_roundtrip () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:16 ~resilient:false in
+  ignore (Store.collect s ~jobs:1 ~phase:"collect_det" 16 awkward);
+  Store.close s;
+  (match Store.export root ~key with
+  | Error e -> Alcotest.failf "export: %s" e
+  | Ok text ->
+      Alcotest.(check string) "export is the verified record verbatim"
+        (read_file (record_file root key))
+        text);
+  (match Store.export root ~key:(String.make 32 '0') with
+  | Ok _ -> Alcotest.fail "export of a missing key must fail"
+  | Error _ -> ());
+  flip_byte (record_file root key) ~at:(String.length (read_file (record_file root key)) / 2);
+  match Store.export root ~key with
+  | Ok _ -> Alcotest.fail "export must refuse a tampered record"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "store"
     [
@@ -394,4 +737,24 @@ let () =
           Alcotest.test_case "tail corruption keeps prefix" `Quick
             test_tail_corruption_keeps_prefix;
         ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "bit flip detected" `Quick test_bit_flip_detected;
+          Alcotest.test_case "store/v1 read compatibility" `Quick test_v1_read_compat;
+          Alcotest.test_case "foreign record detected" `Quick
+            test_foreign_record_detected;
+          Alcotest.test_case "fsync'd session round-trips" `Quick test_sync_roundtrip;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "shard merge bit-identical" `Quick
+            test_shard_merge_bit_identical;
+          Alcotest.test_case "shard worker crash + resume" `Quick
+            test_shard_worker_crash_resume;
+          Alcotest.test_case "quarantine + graceful degradation" `Quick
+            test_merge_quarantines_and_degrades;
+          Alcotest.test_case "merge crash safety" `Quick test_merge_crash_safety;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "export round-trip" `Quick test_export_roundtrip ] );
     ]
