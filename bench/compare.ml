@@ -1,0 +1,117 @@
+(* Bench regression gate: diff two bench JSON files (the committed previous
+   BENCH_prN.json against the one the current build just produced) and fail
+   when a key perf number regressed beyond the noise threshold.
+
+   Usage:  dune exec bench/compare.exe -- PREV NEW [--threshold PCT]
+
+   Gated quantities (higher-is-worse unless noted):
+     - per_run_us.det / per_run_us.rand      sequential per-run cost
+     - campaign_throughput[jobs=1].runs_per_sec   (higher is better)
+
+   The threshold (default 25%) is deliberately loose: CI boxes are shared
+   and noisy, and the gate exists to catch structural regressions (an
+   accidentally quadratic loop, a dropped cache), not 3% jitter.  Schema
+   differences between PR generations are tolerated — only the fields both
+   files carry are compared, and a field missing from either side is
+   reported as skipped, never as a failure. *)
+
+module Json = Repro_mbpta.Trace.Json
+
+let die fmt = Format.kasprintf (fun m -> prerr_endline ("compare: " ^ m); exit 2) fmt
+
+let read_json path =
+  let contents =
+    match open_in_bin path with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+    | exception Sys_error e -> die "%s" e
+  in
+  match Json.of_string contents with
+  | Ok j -> j
+  | Error e -> die "%s: %s" path e
+
+(* Dotted-path lookup: "per_run_us.det". *)
+let rec lookup path j =
+  match path with
+  | [] -> Some j
+  | k :: rest -> ( match Json.member k j with Some v -> lookup rest v | None -> None)
+
+let number path j =
+  match lookup path j with
+  | Some v -> Json.to_float v
+  | None -> None
+
+(* campaign_throughput is a list of {jobs, runs_per_sec, ...}. *)
+let jobs1_runs_per_sec j =
+  match lookup [ "campaign_throughput" ] j with
+  | Some (Json.List rows) ->
+      List.find_map
+        (fun row ->
+          match (Json.member "jobs" row, Json.member "runs_per_sec" row) with
+          | Some jobs, Some rps when Json.to_int jobs = Some 1 -> Json.to_float rps
+          | _ -> None)
+        rows
+  | _ -> None
+
+let () =
+  let threshold = ref 25. in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: pct :: rest ->
+        (match float_of_string_opt pct with
+        | Some t when t > 0. -> threshold := t
+        | _ -> die "--threshold expects a positive percentage (got %s)" pct);
+        parse rest
+    | arg :: rest ->
+        files := arg :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let prev_path, new_path =
+    match List.rev !files with
+    | [ a; b ] -> (a, b)
+    | _ -> die "usage: compare PREV.json NEW.json [--threshold PCT]"
+  in
+  let prev = read_json prev_path and next = read_json new_path in
+  let schema j =
+    match lookup [ "schema" ] j with Some (Json.String s) -> s | _ -> "(none)"
+  in
+  Printf.printf "comparing %s (%s) -> %s (%s), threshold %.0f%%\n" prev_path
+    (schema prev) new_path (schema next) !threshold;
+  let failures = ref 0 in
+  (* [gate name before after ~better_lower]: fail when the change in the
+     bad direction exceeds the threshold. *)
+  let gate name before after ~better_lower =
+    let change = 100. *. ((after -. before) /. before) in
+    let regressed =
+      if better_lower then change > !threshold else change < -. !threshold
+    in
+    Printf.printf "  %-42s %12.2f -> %12.2f  (%+.1f%%)%s\n" name before after change
+      (if regressed then "  REGRESSION" else "");
+    if regressed then incr failures
+  in
+  let gate_opt name before after ~better_lower =
+    match (before, after) with
+    | Some b, Some a when b > 0. -> gate name b a ~better_lower
+    | _ -> Printf.printf "  %-42s (not present in both files; skipped)\n" name
+  in
+  gate_opt "per_run_us.det (lower is better)"
+    (number [ "per_run_us"; "det" ] prev)
+    (number [ "per_run_us"; "det" ] next)
+    ~better_lower:true;
+  gate_opt "per_run_us.rand (lower is better)"
+    (number [ "per_run_us"; "rand" ] prev)
+    (number [ "per_run_us"; "rand" ] next)
+    ~better_lower:true;
+  gate_opt "jobs=1 runs_per_sec (higher is better)" (jobs1_runs_per_sec prev)
+    (jobs1_runs_per_sec next) ~better_lower:false;
+  if !failures > 0 then begin
+    Printf.printf "%d perf regression%s beyond %.0f%%\n" !failures
+      (if !failures = 1 then "" else "s")
+      !threshold;
+    exit 1
+  end
+  else print_endline "no perf regressions beyond the threshold"

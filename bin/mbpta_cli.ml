@@ -105,6 +105,16 @@ let validate_probability p =
 let validate_engineering_factor f =
   if not (f >= 1.) then usage_error "--engineering-factor must be >= 1 (got %g)" f
 
+let profile_arg =
+  let doc =
+    "Enable the stage-resolved micro-profiler: campaign wall time is attributed to \
+     pipeline stages (codegen, decode, execute, flush, seed derivation, trace, store, \
+     analysis) and the table is printed after the report.  With --trace the totals are \
+     also recorded as profile.* counters, rendered by `trace summary` as the \
+     stage-profile section."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 (* ------------------------------ tracing ------------------------------- *)
 
 let trace_arg =
@@ -313,6 +323,7 @@ let options_of ?(bootstrap = 0) ?(seed = 2017L) ~tail ~no_gates () =
    directly (iid, convergence) rather than through [Campaign.run]; gives
    the trace digest the same per-phase wall-clock it gets for campaigns. *)
 let in_analysis_phase trace f =
+  let f () = M.Profile.time M.Profile.Analysis f in
   match trace with
   | None -> f ()
   | Some t ->
@@ -354,9 +365,11 @@ let resilience_outcome_of = function
         { detail = Printf.sprintf "worst output error %g" worst_error }
 
 let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
-    watchdog_budget max_retries min_survival jobs trace_path trace_level cache_dir resume
-    no_cache cache_sync shard workers worker_deadline worker_retries worker_backoff =
+    watchdog_budget max_retries min_survival jobs profile trace_path trace_level
+    cache_dir resume no_cache cache_sync shard workers worker_deadline worker_retries
+    worker_backoff =
   let jobs = resolve_jobs jobs in
+  if profile then M.Profile.set_enabled true;
   validate_runs runs;
   validate_frames frames;
   validate_engineering_factor factor;
@@ -548,7 +561,8 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
             (if shards_merged = 1 then "" else "s")
             runs
   in
-  match shard with
+  let exit_code =
+    match shard with
   | Some (k, n) ->
       (* Worker mode: compute just this shard's span into the store record
          and exit — no analysis, no report.  Always resumes (a retried
@@ -649,6 +663,22 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
              way), but a failed analysis is still a failed campaign to the
              caller *)
           (match campaign.M.Campaign.analysis with Ok _ -> 0 | Error _ -> 1)))
+  in
+  (* Fold the profile into the trace (while it is still open) and print
+     the table — worker shards included, so a distributed campaign's
+     per-process profiles land in the per-shard logs. *)
+  (match trace with
+  | Some t when profile -> M.Profile.record_counters (M.Trace.counters t)
+  | _ -> ());
+  if profile then begin
+    match M.Profile.report () with
+    | "" -> print_endline "stage profile: (profiler enabled, nothing recorded)"
+    | table ->
+        print_newline ();
+        print_endline "stage profile:";
+        print_string table
+  end;
+  exit_code
 
 let analyze_cmd =
   let factor =
@@ -685,7 +715,7 @@ let analyze_cmd =
     Term.(
       const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg
       $ bootstrap_arg $ factor $ csv_dir $ seu_rate $ watchdog_budget $ max_retries
-      $ min_survival $ jobs_arg
+      $ min_survival $ jobs_arg $ profile_arg
       $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg
       $ cache_sync_arg $ shard_arg $ workers_arg $ worker_deadline_arg
       $ worker_retries_arg $ worker_backoff_arg)

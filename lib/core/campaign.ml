@@ -66,7 +66,8 @@ let finish ?jobs ?trace ~options ~engineering_factor ~det_sample ~rand_sample
     ~det_resilience ~rand_resilience () =
   let analysis =
     in_phase trace phase_analyze (fun () ->
-        Protocol.analyze ~options ?jobs ?trace rand_sample)
+        Profile.time Profile.Analysis (fun () ->
+            Protocol.analyze ~options ?jobs ?trace rand_sample))
   in
   let comparison =
     match analysis with

@@ -1,0 +1,16 @@
+include Repro_profile
+
+let counter_prefix = "profile."
+
+let record_counters counters =
+  List.iter
+    (fun { stage; ns; calls } ->
+      if calls > 0 then begin
+        Trace.Counters.add counters
+          (counter_prefix ^ stage_name stage ^ "_ns")
+          (Int64.to_int ns);
+        Trace.Counters.add counters (counter_prefix ^ stage_name stage ^ "_calls") calls
+      end)
+    (snapshot ())
+
+let report () = render (snapshot ())

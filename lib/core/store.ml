@@ -656,14 +656,15 @@ let persist_payload s ~phase ~lo payload =
   | Some n -> s.fail_after <- Some (n - 1)
   | None -> ());
   let oc = ensure_oc s in
-  output_string oc (chunk_line ~phase ~lo payload);
-  output_char oc '\n';
-  (* The flush is the checkpoint barrier: after it returns, this chunk
-     survives a kill.  With [sync] the barrier extends to power loss: the
-     fsync pushes the chunk through the OS page cache before we
-     acknowledge it. *)
-  flush oc;
-  if s.s_sync then fsync_channel ~file:s.file oc;
+  Repro_profile.time Repro_profile.Store (fun () ->
+      output_string oc (chunk_line ~phase ~lo payload);
+      output_char oc '\n';
+      (* The flush is the checkpoint barrier: after it returns, this chunk
+         survives a kill.  With [sync] the barrier extends to power loss:
+         the fsync pushes the chunk through the OS page cache before we
+         acknowledge it. *)
+      flush oc;
+      if s.s_sync then fsync_channel ~file:s.file oc);
   s.appended <- s.appended + 1;
   Hashtbl.replace s.cached (phase, lo) payload;
   Hashtbl.replace s.frontier phase (lo + len)

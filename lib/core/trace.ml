@@ -660,27 +660,29 @@ let flush t =
   let buffered = t.buffer in
   t.buffer <- [];
   Mutex.unlock t.mutex;
-  if buffered <> [] || Counters.snapshot t.counters <> [] then begin
-    (* Emission already happens in canonical order on the coordinating
-       domain; the sort is the safety net that makes the ordering a
-       property of the file, not of the code path that produced it. *)
-    let events =
-      List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev buffered)
-      |> List.map snd
-    in
-    let counter_events =
-      List.map (fun (name, value) -> Counter { name; value }) (Counters.snapshot t.counters)
-    in
-    let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 t.path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        List.iter
-          (fun e ->
-            output_string oc (to_line e);
-            output_char oc '\n')
-          (events @ counter_events))
-  end
+  if buffered <> [] || Counters.snapshot t.counters <> [] then
+    Repro_profile.time Repro_profile.Trace (fun () ->
+        (* Emission already happens in canonical order on the coordinating
+           domain; the sort is the safety net that makes the ordering a
+           property of the file, not of the code path that produced it. *)
+        let events =
+          List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev buffered)
+          |> List.map snd
+        in
+        let counter_events =
+          List.map
+            (fun (name, value) -> Counter { name; value })
+            (Counters.snapshot t.counters)
+        in
+        let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 t.path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun e ->
+                output_string oc (to_line e);
+                output_char oc '\n')
+              (events @ counter_events)))
 
 let close t = flush t
 
@@ -867,9 +869,43 @@ let summarize events =
   (match List.rev !notes with
   | [] -> ()
   | ns -> List.iter (fun n -> add "note: %s\n" n) ns);
-  (match List.sort (fun (a, _) (b, _) -> String.compare a b) !counters with
+  (* Profile counters carry the "profile." prefix; render them as the
+     stage table instead of burying them in the raw counter dump.  With
+     several Counter events per name (one per flush, cumulative totals),
+     the head of [!counters] is the latest — [assoc_opt] finds it first. *)
+  let profile_counters, plain_counters =
+    List.partition
+      (fun (name, _) ->
+        String.length name > 8 && String.equal (String.sub name 0 8) "profile.")
+      !counters
+  in
+  (match List.sort (fun (a, _) (b, _) -> String.compare a b) plain_counters with
   | [] -> ()
   | cs ->
       add "\naggregated counters:\n";
       List.iter (fun (name, value) -> add "  %-28s %14d\n" name value) cs);
+  if profile_counters <> [] then begin
+    let lookup stage suffix =
+      match
+        List.assoc_opt
+          ("profile." ^ Repro_profile.stage_name stage ^ suffix)
+          profile_counters
+      with
+      | Some v -> v
+      | None -> 0
+    in
+    let entries =
+      List.map
+        (fun stage ->
+          {
+            Repro_profile.stage;
+            ns = Int64.of_int (lookup stage "_ns");
+            calls = lookup stage "_calls";
+          })
+        Repro_profile.stages
+    in
+    match Repro_profile.render entries with
+    | "" -> ()
+    | table -> add "\nstage profile:\n%s" table
+  end;
   Buffer.contents b

@@ -104,6 +104,10 @@ module Stepper = struct
     layout : Layout.t;
     name : string;
     max_instructions : int;
+    (* Countdown twin of [retired]: one zero test per step instead of
+       loading and comparing two fields.  Invariant: fuel =
+       max_instructions - retired. *)
+    mutable fuel : int;
     regs : int array;
     fregs : float array;
     call_stack : int array;
@@ -127,6 +131,7 @@ module Stepper = struct
         layout;
         name = Program.name program;
         max_instructions;
+        fuel = max_instructions;
         regs = Array.make Instr.register_count 0;
         fregs = Array.make Instr.register_count 0.;
         call_stack = Array.make max_call_depth 0;
@@ -179,7 +184,8 @@ module Stepper = struct
   let step t =
     if not t.running then None
     else begin
-      if t.retired >= t.max_instructions then raise (Runaway t.name);
+      if t.fuel <= 0 then raise (Runaway t.name);
+      t.fuel <- t.fuel - 1;
       let regs = t.regs and fregs = t.fregs in
       let fetch_addr = Layout.code_address t.layout t.pc in
       let op = t.code.(t.pc) in
@@ -291,6 +297,376 @@ module Stepper = struct
       in
       Some { Instr.fetch_addr; work }
     end
+end
+
+(* Timing consumer for the pre-decoded runner.  Instead of allocating one
+   {!Instr.retired} record (plus its [work] payload) per executed
+   instruction and dispatching on it, the runner calls the per-work-class
+   hook directly: [on_fetch] first for every instruction (base cycle +
+   instruction fetch), then at most one work hook.  Work classes that add
+   no latency in the platform model ([Int_alu], [No_op], not-taken
+   branches) get no hook call at all. *)
+type sink = {
+  on_fetch : int -> unit;
+  on_int_mul : unit -> unit;
+  on_read : int -> unit;
+  on_write : int -> unit;
+  on_fp_short : Instr.fpu_op -> unit;
+  on_fp_long : Instr.fpu_op -> float -> float -> unit;
+  on_taken : unit -> unit;
+}
+
+module Decoded = struct
+  (* The memory-independent half of the decode: everything [resolve] can
+     compute from (program, layout) alone — label targets, data byte bases,
+     per-pc fetch addresses — so one decode is shareable across every
+     memory image, domain and run of a scenario.  Binding the live backing
+     arrays (the only memory-dependent part) happens once per {!Runner}. *)
+  type t = {
+    program : Program.t;
+    layout : Layout.t;
+    fetch_addrs : int array;
+    entry_pc : int;
+    name : string;
+  }
+
+  let decode ~program ~layout =
+    let n = Array.length (Program.code program) in
+    {
+      program;
+      layout;
+      fetch_addrs = Array.init n (fun pc -> Layout.code_address layout pc);
+      entry_pc = Program.label_index program (Program.entry program);
+      name = Program.name program;
+    }
+
+  let name t = t.name
+
+  module Runner = struct
+    type t = {
+      code : rop array;
+      fetch_addrs : int array;
+      entry_pc : int;
+      name : string;
+      max_instructions : int;
+      regs : int array;
+      fregs : float array;
+      call_stack : int array;
+      mutable sp : int;
+      mutable pc : int;
+      mutable running : bool;
+      mutable retired : int;
+      mutable loads : int;
+      mutable stores : int;
+      mutable fp_long : int;
+      mutable branches : int;
+      mutable taken : int;
+    }
+
+    let create ?(max_instructions = 10_000_000) ~decoded ~memory () =
+      {
+        code = resolve ~program:decoded.program ~layout:decoded.layout ~memory;
+        fetch_addrs = decoded.fetch_addrs;
+        entry_pc = decoded.entry_pc;
+        name = decoded.name;
+        max_instructions;
+        regs = Array.make Instr.register_count 0;
+        fregs = Array.make Instr.register_count 0.;
+        call_stack = Array.make max_call_depth 0;
+        sp = 0;
+        pc = decoded.entry_pc;
+        running = true;
+        retired = 0;
+        loads = 0;
+        stores = 0;
+        fp_long = 0;
+        branches = 0;
+        taken = 0;
+      }
+
+    (* Restore the architectural state [create] built, so one linked runner
+       serves every run of a batch.  The [code] array needs no relink: it
+       binds the memory's backing arrays, which are reused (and zeroed by
+       the caller) across runs. *)
+    let reset t =
+      Array.fill t.regs 0 (Array.length t.regs) 0;
+      Array.fill t.fregs 0 (Array.length t.fregs) 0.;
+      t.sp <- 0;
+      t.pc <- t.entry_pc;
+      t.running <- true;
+      t.retired <- 0;
+      t.loads <- 0;
+      t.stores <- 0;
+      t.fp_long <- 0;
+      t.branches <- 0;
+      t.taken <- 0
+
+    let corrupt_int_register t ~reg ~bit =
+      if reg < 0 || reg >= Instr.register_count then
+        invalid_arg "Runner.corrupt_int_register: register out of range";
+      t.regs.(reg) <- t.regs.(reg) lxor (1 lsl (bit land 31))
+
+    let corrupt_float_register t ~reg ~bit =
+      if reg < 0 || reg >= Instr.register_count then
+        invalid_arg "Runner.corrupt_float_register: register out of range";
+      let bits = Int64.bits_of_float t.fregs.(reg) in
+      t.fregs.(reg) <-
+        Int64.float_of_bits (Int64.logxor bits (Int64.shift_left 1L (bit land 63)))
+
+    let stats t =
+      {
+        retired = t.retired;
+        loads = t.loads;
+        stores = t.stores;
+        fp_long_ops = t.fp_long;
+        branches = t.branches;
+        taken_branches = t.taken;
+      }
+
+    (* One instruction: architectural effects first (including any
+       out-of-bounds raise), then the timing hooks — exactly the
+       [Stepper.step]-then-[consume] order of the retired path, so the
+       sequence of stateful platform accesses (and hence every PRNG draw)
+       is bit-identical, even for runs that crash mid-instruction. *)
+    let[@inline] exec_one t (sink : sink) =
+      let pc = t.pc in
+      let op = t.code.(pc) in
+      let fetch = t.fetch_addrs.(pc) in
+      t.retired <- t.retired + 1;
+      let next = pc + 1 in
+      let regs = t.regs and fregs = t.fregs in
+      match op with
+      | RLi (rd, v) ->
+          regs.(rd) <- v;
+          t.pc <- next;
+          sink.on_fetch fetch
+      | RAdd (rd, r1, r2) ->
+          regs.(rd) <- regs.(r1) + regs.(r2);
+          t.pc <- next;
+          sink.on_fetch fetch
+      | RAddi (rd, r1, v) ->
+          regs.(rd) <- regs.(r1) + v;
+          t.pc <- next;
+          sink.on_fetch fetch
+      | RSub (rd, r1, r2) ->
+          regs.(rd) <- regs.(r1) - regs.(r2);
+          t.pc <- next;
+          sink.on_fetch fetch
+      | RMul (rd, r1, r2) ->
+          regs.(rd) <- regs.(r1) * regs.(r2);
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_int_mul ()
+      | RFli (fd, v) ->
+          fregs.(fd) <- v;
+          t.pc <- next;
+          sink.on_fetch fetch
+      | RFld (fd, a) ->
+          let idx = element_index a regs in
+          fregs.(fd) <- a.values.(idx);
+          t.loads <- t.loads + 1;
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_read (a.byte_base + (idx * Layout.element_bytes))
+      | RFst (fs, a) ->
+          let idx = element_index a regs in
+          a.values.(idx) <- fregs.(fs);
+          t.stores <- t.stores + 1;
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_write (a.byte_base + (idx * Layout.element_bytes))
+      | RFadd (fd, f1, f2) ->
+          fregs.(fd) <- fregs.(f1) +. fregs.(f2);
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_fp_short Instr.Fadd_op
+      | RFsub (fd, f1, f2) ->
+          fregs.(fd) <- fregs.(f1) -. fregs.(f2);
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_fp_short Instr.Fadd_op
+      | RFmul (fd, f1, f2) ->
+          fregs.(fd) <- fregs.(f1) *. fregs.(f2);
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_fp_short Instr.Fmul_op
+      | RFdiv (fd, f1, f2) ->
+          let x = fregs.(f1) and y = fregs.(f2) in
+          fregs.(fd) <- x /. y;
+          t.fp_long <- t.fp_long + 1;
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_fp_long Instr.Fdiv_op x y
+      | RFsqrt (fd, f1) ->
+          let x = fregs.(f1) in
+          fregs.(fd) <- sqrt x;
+          t.fp_long <- t.fp_long + 1;
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_fp_long Instr.Fsqrt_op x 0.
+      | RFabs (fd, f1) ->
+          fregs.(fd) <- Float.abs fregs.(f1);
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_fp_short Instr.Fadd_op
+      | RFmov (fd, f1) ->
+          fregs.(fd) <- fregs.(f1);
+          t.pc <- next;
+          sink.on_fetch fetch;
+          sink.on_fp_short Instr.Fadd_op
+      | RFcvt (rd, f1) ->
+          regs.(rd) <- int_of_float fregs.(f1);
+          t.pc <- next;
+          sink.on_fetch fetch
+      | RIcvt (fd, r1) ->
+          fregs.(fd) <- float_of_int regs.(r1);
+          t.pc <- next;
+          sink.on_fetch fetch
+      | RBlt (r1, r2, l) ->
+          t.branches <- t.branches + 1;
+          let cond = regs.(r1) < regs.(r2) in
+          if cond then begin
+            t.taken <- t.taken + 1;
+            t.pc <- l;
+            sink.on_fetch fetch;
+            sink.on_taken ()
+          end
+          else begin
+            t.pc <- next;
+            sink.on_fetch fetch
+          end
+      | RBge (r1, r2, l) ->
+          t.branches <- t.branches + 1;
+          let cond = regs.(r1) >= regs.(r2) in
+          if cond then begin
+            t.taken <- t.taken + 1;
+            t.pc <- l;
+            sink.on_fetch fetch;
+            sink.on_taken ()
+          end
+          else begin
+            t.pc <- next;
+            sink.on_fetch fetch
+          end
+      | RBeq (r1, r2, l) ->
+          t.branches <- t.branches + 1;
+          let cond = regs.(r1) = regs.(r2) in
+          if cond then begin
+            t.taken <- t.taken + 1;
+            t.pc <- l;
+            sink.on_fetch fetch;
+            sink.on_taken ()
+          end
+          else begin
+            t.pc <- next;
+            sink.on_fetch fetch
+          end
+      | RBne (r1, r2, l) ->
+          t.branches <- t.branches + 1;
+          let cond = regs.(r1) <> regs.(r2) in
+          if cond then begin
+            t.taken <- t.taken + 1;
+            t.pc <- l;
+            sink.on_fetch fetch;
+            sink.on_taken ()
+          end
+          else begin
+            t.pc <- next;
+            sink.on_fetch fetch
+          end
+      | RFblt (f1, f2, l) ->
+          t.branches <- t.branches + 1;
+          let cond = fregs.(f1) < fregs.(f2) in
+          if cond then begin
+            t.taken <- t.taken + 1;
+            t.pc <- l;
+            sink.on_fetch fetch;
+            sink.on_taken ()
+          end
+          else begin
+            t.pc <- next;
+            sink.on_fetch fetch
+          end
+      | RFbge (f1, f2, l) ->
+          t.branches <- t.branches + 1;
+          let cond = fregs.(f1) >= fregs.(f2) in
+          if cond then begin
+            t.taken <- t.taken + 1;
+            t.pc <- l;
+            sink.on_fetch fetch;
+            sink.on_taken ()
+          end
+          else begin
+            t.pc <- next;
+            sink.on_fetch fetch
+          end
+      | RJmp l ->
+          t.branches <- t.branches + 1;
+          t.taken <- t.taken + 1;
+          t.pc <- l;
+          sink.on_fetch fetch;
+          sink.on_taken ()
+      | RCall l ->
+          if t.sp >= max_call_depth then raise (Stack_overflow_ t.name);
+          t.call_stack.(t.sp) <- next;
+          t.sp <- t.sp + 1;
+          t.branches <- t.branches + 1;
+          t.taken <- t.taken + 1;
+          t.pc <- l;
+          sink.on_fetch fetch;
+          sink.on_taken ()
+      | RRet ->
+          t.branches <- t.branches + 1;
+          t.taken <- t.taken + 1;
+          (if t.sp = 0 then t.running <- false
+           else begin
+             t.sp <- t.sp - 1;
+             t.pc <- t.call_stack.(t.sp)
+           end);
+          sink.on_fetch fetch;
+          sink.on_taken ()
+      | RNop ->
+          t.pc <- next;
+          sink.on_fetch fetch
+      | RHalt ->
+          t.running <- false;
+          sink.on_fetch fetch
+
+    (* The Runaway bound moves out of the inner loop: execute in blocks of
+       at most [block] instructions, re-checking the remaining budget only
+       at block boundaries.  The raise fires at exactly the step the
+       per-instruction check would have fired on (budget exhausted while
+       still running), so oracle equality holds for runaway programs too. *)
+    let block = 4096
+
+    let run t ~sink =
+      while t.running do
+        let budget = t.max_instructions - t.retired in
+        if budget <= 0 then raise (Runaway t.name);
+        let n = ref (if budget < block then budget else block) in
+        while t.running && !n > 0 do
+          exec_one t sink;
+          decr n
+        done
+      done;
+      stats t
+
+    (* Supervised variant for fault-injected runs: [post] fires after every
+       retired instruction (watchdog, SEU injection), matching the retired
+       per-step loop's cadence. *)
+    let run_supervised t ~sink ~post =
+      while t.running do
+        let budget = t.max_instructions - t.retired in
+        if budget <= 0 then raise (Runaway t.name);
+        let n = ref (if budget < block then budget else block) in
+        while t.running && !n > 0 do
+          exec_one t sink;
+          post ();
+          decr n
+        done
+      done;
+      stats t
+  end
 end
 
 let run ?max_instructions ~program ~layout ~memory ~on_retire () =

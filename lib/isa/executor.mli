@@ -65,6 +65,74 @@ module Stepper : sig
   val corrupt_float_register : t -> reg:int -> bit:int -> unit
 end
 
+(** {2 Pre-decoded execution}
+
+    The hot path of a measurement campaign.  {!Stepper} allocates one
+    {!Instr.retired} record per executed instruction and recomputes the
+    fetch address per step; the pre-decoded path decodes a program once
+    ({!Decoded.decode} — label targets, data bases and fetch addresses all
+    resolved to flat arrays), links it against a live memory image once per
+    {!Decoded.Runner}, and streams timing through a {!sink} of
+    per-work-class hooks with no per-instruction allocation.
+
+    The call sequence seen by the platform model — architectural effects,
+    then fetch, then at most one work event per instruction — is exactly
+    the [Stepper.step]-then-consume sequence of the retired path, so cycle
+    counts, stats and PRNG draw order are bit-identical ([test_hotpath]
+    pins this against the retired stepper, which stays as the oracle). *)
+
+(** Per-work-class timing hooks; see {!Decoded}.  [on_fetch] is called once
+    per executed instruction with its fetch address; work classes with zero
+    platform latency ([Int_alu], [No_op], not-taken branches) get no
+    further call. *)
+type sink = {
+  on_fetch : int -> unit;
+  on_int_mul : unit -> unit;
+  on_read : int -> unit;  (** data read, byte address *)
+  on_write : int -> unit;  (** data write, byte address *)
+  on_fp_short : Instr.fpu_op -> unit;
+  on_fp_long : Instr.fpu_op -> float -> float -> unit;  (** op, operands *)
+  on_taken : unit -> unit;  (** taken-branch redirect *)
+}
+
+module Decoded : sig
+  type t
+  (** A program compiled for execution: pure function of (program, layout),
+      memory-independent — shareable across domains, memory images and
+      runs, and cacheable per scenario config. *)
+
+  val decode : program:Program.t -> layout:Layout.t -> t
+  val name : t -> string
+
+  (** A decoded program linked against one live memory image.  Reusable
+      across runs via {!Runner.reset} (the caller zeroes and reloads the
+      memory between runs). *)
+  module Runner : sig
+    type decoded := t
+    type t
+
+    val create : ?max_instructions:int -> decoded:decoded -> memory:Memory.t -> unit -> t
+
+    (** Restore registers, call stack, pc and counters to the initial
+        state; the memory image is the caller's to reset. *)
+    val reset : t -> unit
+
+    (** [run t ~sink] executes from entry to completion.  Raises {!Runaway}
+        / {!Stack_overflow_} / [Invalid_argument] exactly as the retired
+        stepper does. *)
+    val run : t -> sink:sink -> stats
+
+    (** [run_supervised t ~sink ~post] additionally calls [post ()] after
+        every retired instruction — the hook point for watchdog budgets and
+        SEU injection. *)
+    val run_supervised : t -> sink:sink -> post:(unit -> unit) -> stats
+
+    val stats : t -> stats
+    val corrupt_int_register : t -> reg:int -> bit:int -> unit
+    val corrupt_float_register : t -> reg:int -> bit:int -> unit
+  end
+end
+
 (** [run ?max_instructions ~program ~layout ~memory ~on_retire ()] executes
     from the program's entry to [Halt] (or to [Ret] with an empty call
     stack).  Default [max_instructions] is [10_000_000]. *)

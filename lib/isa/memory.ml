@@ -23,3 +23,9 @@ let load_array t symbol values =
 
 let read_array t symbol = Array.copy (find t symbol)
 let raw t symbol = find t symbol
+
+(* Restore the all-zero state of [create] in place, so a batched campaign
+   can reuse one memory image across runs.  Bit-identity depends on this
+   being exact: the FPU's value-dependent latencies read operand bit
+   patterns, so stale data from a previous run would change timing. *)
+let clear t = Hashtbl.iter (fun _ a -> Array.fill a 0 (Array.length a) 0.) t

@@ -23,3 +23,8 @@ val read_array : t -> string -> float array
 (** [raw t symbol] — the live backing array, shared with [t].  Used by the
     executor's hot loop; treat as owned by the memory. *)
 val raw : t -> string -> float array
+
+(** [clear t] zero-fills every data array in place, restoring the state a
+    fresh {!create} would produce — the reset step when one memory image is
+    reused across batched runs. *)
+val clear : t -> unit

@@ -59,29 +59,55 @@ let init ?on_chunk ?jobs n f =
   else begin
     let layout = chunks ~jobs n in
     notify_layout on_chunk layout;
-    let eval (lo, len) =
-      match init_ascending len (fun i -> f (lo + i)) with
-      | a -> Ok a
-      | exception e -> Error e
+    let chunk_arr = Array.of_list layout in
+    let nchunks = Array.length chunk_arr in
+    let results = Array.make nchunks None in
+    let eval idx =
+      let lo, len = chunk_arr.(idx) in
+      results.(idx) <-
+        Some
+          (match init_ascending len (fun i -> f (lo + i)) with
+          | a -> Ok a
+          | exception e -> Error e)
     in
-    match layout with
-    | [] -> assert false (* n >= 1 *)
-    | first_chunk :: rest ->
-        let spawned = List.map (fun c -> Domain.spawn (fun () -> eval c)) rest in
-        (* The first chunk runs on the calling domain — with [jobs] domains
-           requested we only ever spawn [jobs - 1]. *)
-        let first = eval first_chunk in
-        let results = first :: List.map Domain.join spawned in
-        (* Re-raise the failure of the lowest-indexed chunk, so an exception
-           escapes deterministically no matter which domains also failed. *)
-        let arrays =
-          List.map (function Ok a -> a | Error e -> raise e) results
-        in
-        let out = Array.make n (List.hd arrays).(0) in
-        List.iter2
-          (fun (lo, _) a -> Array.blit a 0 out lo (Array.length a))
-          layout arrays;
-        out
+    (* The chunk layout above is fixed by the requested [jobs] — it is part
+       of the determinism contract (store chunk records and shard spans key
+       on it).  How many domains evaluate those chunks is a separate, purely
+       operational choice: spawning one domain per chunk oversubscribes a
+       small machine (jobs=8 ran at an eighth of jobs=1 throughput on one
+       core), so live workers are capped at the hardware's recommended
+       domain count and pull chunk indices from a shared counter.  Any
+       chunk-to-domain assignment produces the same output — chunks write
+       disjoint result slots, and every index's result depends only on the
+       index. *)
+    let workers = Stdlib.min nchunks (Stdlib.max 1 (default_jobs ())) in
+    let next = Atomic.make 0 in
+    let rec drain () =
+      let idx = Atomic.fetch_and_add next 1 in
+      if idx < nchunks then begin
+        eval idx;
+        drain ()
+      end
+    in
+    (* The calling domain is worker 0 — with [workers] workers we only ever
+       spawn [workers - 1] domains. *)
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn drain) in
+    drain ();
+    List.iter Domain.join spawned;
+    (* Re-raise the failure of the lowest-indexed chunk, so an exception
+       escapes deterministically no matter which chunks also failed. *)
+    let arrays =
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok a) -> a
+           | Some (Error e) -> raise e
+           | None -> assert false (* the counter covered every index *))
+    in
+    let out = Array.make n (List.hd arrays).(0) in
+    List.iter2
+      (fun (lo, _) a -> Array.blit a 0 out lo (Array.length a))
+      layout arrays;
+    out
   end
 
 let map ?on_chunk ?jobs f a = init ?on_chunk ?jobs (Array.length a) (fun i -> f a.(i))

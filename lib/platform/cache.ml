@@ -22,8 +22,9 @@ type t = {
   tags : int array;  (* sets*ways, flat; full line number, -1 = invalid *)
   recency : int array;  (* sets*ways, flat; last-use stamp for LRU *)
   rr : int array;  (* per-set round-robin pointer *)
+  mutable mru : int;  (* last slot hit/filled, -1 = none; a pure search shortcut *)
   mutable clock : int;
-  prng : Prng.t;
+  mutable prng : Prng.t;  (* mutable so a reused simulator can be reseeded *)
   mutable seed_material : int;  (* per-flush salt for randomized placement *)
   mutable accesses : int;
   mutable hits : int;
@@ -59,6 +60,7 @@ let create ~config ~prng =
     tags = Array.make (sets * ways) (-1);
     recency = Array.make (sets * ways) 0;
     rr = Array.make sets 0;
+    mru = -1;
     clock = 0;
     prng;
     seed_material = Prng.bits32 prng;
@@ -127,26 +129,47 @@ let victim_slot t ~set ~base =
 
 let access t ~addr ~write =
   let line = addr lsr t.line_shift in
-  let set = set_of_line t line in
-  let base = set * t.ways in
-  t.accesses <- t.accesses + 1;
-  if write then t.write_throughs <- t.write_throughs + 1;
-  let slot = find_slot t ~base line in
-  if slot >= 0 then begin
+  (* MRU shortcut: consecutive accesses overwhelmingly land on the line of
+     the previous one (straight-line fetch, array streams), and a stored
+     tag is the full line number, unique cache-wide within a run — so a tag
+     match at the hinted slot is exactly the hit [find_slot] would have
+     found, without even computing the set (the randomized placements hash
+     on every probe).  Same outcome, same recency write, no PRNG
+     interaction.  The SEU hooks below drop the hint: a corrupted tag can
+     alias a live line, and then only the placement-then-scan answer is
+     canonical. *)
+  let mru = t.mru in
+  if mru >= 0 && Array.unsafe_get t.tags mru = line then begin
+    t.accesses <- t.accesses + 1;
+    if write then t.write_throughs <- t.write_throughs + 1;
     t.hits <- t.hits + 1;
-    touch t slot;
+    touch t mru;
     Hit
   end
   else begin
-    t.misses <- t.misses + 1;
-    (* no-write-allocate: a write miss goes straight through, only a read
-       miss allocates (and refreshes recency). *)
-    if not write then begin
-      let slot = victim_slot t ~set ~base in
-      Array.unsafe_set t.tags slot line;
-      touch t slot
-    end;
-    Miss
+    let set = set_of_line t line in
+    let base = set * t.ways in
+    t.accesses <- t.accesses + 1;
+    if write then t.write_throughs <- t.write_throughs + 1;
+    let slot = find_slot t ~base line in
+    if slot >= 0 then begin
+      t.hits <- t.hits + 1;
+      t.mru <- slot;
+      touch t slot;
+      Hit
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      (* no-write-allocate: a write miss goes straight through, only a read
+         miss allocates (and refreshes recency). *)
+      if not write then begin
+        let slot = victim_slot t ~set ~base in
+        Array.unsafe_set t.tags slot line;
+        t.mru <- slot;
+        touch t slot
+      end;
+      Miss
+    end
   end
 
 let probe t ~addr =
@@ -158,6 +181,7 @@ let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.recency 0 (Array.length t.recency) 0;
   Array.fill t.rr 0 t.sets 0;
+  t.mru <- -1;
   t.clock <- 0;
   (* A flush models a run boundary: draw a fresh placement salt. *)
   t.seed_material <- Prng.bits32 t.prng
@@ -169,17 +193,20 @@ let inject_tag_flip t ~set ~way ~bit =
     invalid_arg "Cache.inject_tag_flip: site out of range";
   let slot = (set * t.ways) + way in
   let tag = t.tags.(slot) in
-  if tag >= 0 then
+  if tag >= 0 then begin
     (* Flipping a tag bit re-labels the stored line: the original line will
        now miss, and the aliased line would falsely hit.  Keep the result
        non-negative so it never collides with the invalid sentinel. *)
-    t.tags.(slot) <- tag lxor (1 lsl (bit land 29)) land max_int
+    t.tags.(slot) <- tag lxor (1 lsl (bit land 29)) land max_int;
+    t.mru <- -1
+  end
 
 let inject_valid_flip t ~set ~way ~garbage_line =
   if set < 0 || set >= t.sets || way < 0 || way >= t.ways then
     invalid_arg "Cache.inject_valid_flip: site out of range";
   let slot = (set * t.ways) + way in
-  if t.tags.(slot) >= 0 then t.tags.(slot) <- -1 else t.tags.(slot) <- abs garbage_line
+  if t.tags.(slot) >= 0 then t.tags.(slot) <- -1 else t.tags.(slot) <- abs garbage_line;
+  t.mru <- -1
 
 type stats = { accesses : int; hits : int; misses : int; write_throughs : int }
 
@@ -204,3 +231,19 @@ let reset_stats (t : t) =
   t.hits <- 0;
   t.misses <- 0;
   t.write_throughs <- 0
+
+(* Run boundary in one pass: invalidate, fresh placement salt, zero stats.
+   Draw order is exactly flush-then-reset_stats (reset_stats draws
+   nothing), so batched campaigns replaying this per run stay bit-identical
+   to the retired two-call sequence. *)
+let reset_run t =
+  flush t;
+  reset_stats t
+
+(* Rebind to a fresh PRNG stream, reproducing [create]'s draws (one bits32
+   for the initial placement salt).  After [reseed] + [reset_run] the cache
+   is bit-identical — state, stats and future draw sequence — to a cache
+   freshly built by [create ~config ~prng] + [reset_run]. *)
+let reseed t ~prng =
+  t.prng <- prng;
+  t.seed_material <- Prng.bits32 prng

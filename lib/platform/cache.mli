@@ -68,3 +68,14 @@ type stats = { accesses : int; hits : int; misses : int; write_throughs : int }
 val stats : t -> stats
 
 val reset_stats : t -> unit
+
+(** [reset_run t] — one-pass run boundary: {!flush} (which draws the fresh
+    placement salt) then {!reset_stats}.  Bit-identical to calling the two
+    separately. *)
+val reset_run : t -> unit
+
+(** [reseed t ~prng] rebinds the cache to a fresh PRNG stream, reproducing
+    [create]'s draw (the initial placement salt) — the reuse half of the
+    batched-run contract: [reseed] + [reset_run] ≡ fresh [create] +
+    [reset_run], bit for bit. *)
+val reseed : t -> prng:Repro_rng.Prng.t -> unit

@@ -12,7 +12,7 @@ type t = {
   fpu : Fpu.t;
   bus : Bus.t;
   dram : Dram.t;
-  prng : Prng.t;
+  mutable prng : Prng.t;  (* mutable so a reused simulator can be reseeded *)
   (* Per-access latencies hoisted out of [config.latencies] into immediate
      fields: the consume/data_access hot path reads them once per event
      instead of chasing two records per memory reference. *)
@@ -28,16 +28,26 @@ type t = {
 let create ?(contenders = []) ~config ~seed () =
   let prng = Prng.create seed in
   let lat = config.Config.latencies in
+  (* Explicit bindings pin the [Prng.split] draw order (record-field
+     evaluation order is unspecified in OCaml); [reseed] must replay the
+     same order, and the historical order — pinned by every golden value in
+     the test suite — is dtlb, itlb, dl1, il1. *)
+  let dtlb =
+    Tlb.create ~entries:config.Config.dtlb_entries ~page_bytes:config.Config.page_bytes
+      ~replacement:config.Config.tlb_replacement ~prng:(Prng.split prng)
+  in
+  let itlb =
+    Tlb.create ~entries:config.Config.itlb_entries ~page_bytes:config.Config.page_bytes
+      ~replacement:config.Config.tlb_replacement ~prng:(Prng.split prng)
+  in
+  let dl1 = Cache.create ~config:config.Config.dl1 ~prng:(Prng.split prng) in
+  let il1 = Cache.create ~config:config.Config.il1 ~prng:(Prng.split prng) in
   {
     config;
-    il1 = Cache.create ~config:config.Config.il1 ~prng:(Prng.split prng);
-    dl1 = Cache.create ~config:config.Config.dl1 ~prng:(Prng.split prng);
-    itlb =
-      Tlb.create ~entries:config.Config.itlb_entries ~page_bytes:config.Config.page_bytes
-        ~replacement:config.Config.tlb_replacement ~prng:(Prng.split prng);
-    dtlb =
-      Tlb.create ~entries:config.Config.dtlb_entries ~page_bytes:config.Config.page_bytes
-        ~replacement:config.Config.tlb_replacement ~prng:(Prng.split prng);
+    il1;
+    dl1;
+    itlb;
+    dtlb;
     fpu = Fpu.create ~mode:config.Config.fpu ~latencies:lat;
     bus = Bus.create ~latencies:lat ~contenders;
     dram =
@@ -55,20 +65,32 @@ let create ?(contenders = []) ~config ~seed () =
 
 let config t = t.config
 
+(* One pass per structure: flush + stats reset folded into each component's
+   [reset_run].  Draw order (the IL1/DL1 placement-salt draws inside their
+   flushes) is unchanged from the retired flush-all-then-reset-stats-all
+   sequence because stats resets draw nothing. *)
 let reset_run t =
-  Cache.flush t.il1;
-  Cache.flush t.dl1;
-  Cache.reset_stats t.il1;
-  Cache.reset_stats t.dl1;
-  Tlb.flush t.itlb;
-  Tlb.flush t.dtlb;
-  Tlb.reset_stats t.itlb;
-  Tlb.reset_stats t.dtlb;
-  Dram.flush t.dram;
-  Dram.reset_stats t.dram;
+  Cache.reset_run t.il1;
+  Cache.reset_run t.dl1;
+  Tlb.reset_run t.itlb;
+  Tlb.reset_run t.dtlb;
+  Dram.reset_run t.dram;
   Bus.reset t.bus;
   t.cycles <- 0;
   t.faults_injected <- 0
+
+(* Rebind every PRNG stream exactly as [create ~seed] would have: same
+   split order (dtlb, itlb, dl1, il1 — see [create]), same per-component
+   draws.  [reseed] + [reset_run] on a reused simulator is bit-identical to
+   a fresh [create] + [reset_run] — the contract that lets a batch of runs
+   share one simulator instance. *)
+let reseed t ~seed =
+  let prng = Prng.create seed in
+  Tlb.reseed t.dtlb ~prng:(Prng.split prng);
+  Tlb.reseed t.itlb ~prng:(Prng.split prng);
+  Cache.reseed t.dl1 ~prng:(Prng.split prng);
+  Cache.reseed t.il1 ~prng:(Prng.split prng);
+  t.prng <- prng
 
 (* A memory transaction that reached the bus: arbitration + DRAM. *)
 let memory_transaction t ~addr =
@@ -145,6 +167,79 @@ let run_program t ~program ~layout ~memory =
   let stats =
     Repro_isa.Executor.run ~program ~layout ~memory ~on_retire:(consume t) ()
   in
+  snapshot_of_stats t stats
+
+(* The [consume] pipeline split into the pre-decoded runner's per-work-class
+   hooks.  Call order per instruction (fetch first, then at most one work
+   event) mirrors [consume]'s statement order, so every stateful cache/TLB/
+   bus access — and hence every PRNG draw — happens in the same sequence. *)
+let sink_of t =
+  {
+    Repro_isa.Executor.on_fetch =
+      (fun addr ->
+        t.cycles <- t.cycles + 1;
+        (match Tlb.access t.itlb ~addr with
+        | Tlb.Hit -> ()
+        | Tlb.Miss -> t.cycles <- t.cycles + t.lat_tlb_miss_walk);
+        match Cache.access t.il1 ~addr ~write:false with
+        | Cache.Hit -> t.cycles <- t.cycles + t.lat_l1_hit
+        | Cache.Miss -> memory_transaction t ~addr);
+    on_int_mul = (fun () -> t.cycles <- t.cycles + t.lat_int_mul);
+    on_read = (fun addr -> data_access t ~addr ~write:false);
+    on_write = (fun addr -> data_access t ~addr ~write:true);
+    on_fp_short = (fun op -> t.cycles <- t.cycles + Fpu.latency t.fpu op ~x:0. ~y:0.);
+    on_fp_long = (fun op x y -> t.cycles <- t.cycles + Fpu.latency t.fpu op ~x ~y);
+    on_taken = (fun () -> t.cycles <- t.cycles + t.lat_branch_taken);
+  }
+
+let run_decoded t ~runner =
+  let module Runner = Repro_isa.Executor.Decoded.Runner in
+  Repro_profile.time Repro_profile.Flush (fun () ->
+      reset_run t;
+      Runner.reset runner);
+  let stats =
+    Repro_profile.time Repro_profile.Execute (fun () -> Runner.run runner ~sink:(sink_of t))
+  in
+  snapshot_of_stats t stats
+
+let run_decoded_faulty t ?injector ?watchdog_budget ~runner () =
+  let module Runner = Repro_isa.Executor.Decoded.Runner in
+  Repro_profile.time Repro_profile.Flush (fun () ->
+      reset_run t;
+      Runner.reset runner);
+  let targets =
+    match injector with
+    | None -> None
+    | Some _ ->
+        Some
+          {
+            Fault.il1 = t.il1;
+            dl1 = t.dl1;
+            itlb = t.itlb;
+            dtlb = t.dtlb;
+            corrupt_int_register =
+              (fun ~reg ~bit -> Runner.corrupt_int_register runner ~reg ~bit);
+            corrupt_float_register =
+              (fun ~reg ~bit -> Runner.corrupt_float_register runner ~reg ~bit);
+          }
+  in
+  (* Post-step supervision in the retired path's order: timing already
+     consumed by the sink, so count the instruction, check the watchdog,
+     then let the injector act before the next instruction. *)
+  let retired = ref 0 in
+  let post () =
+    incr retired;
+    (match watchdog_budget with
+    | Some budget when t.cycles > budget ->
+        raise (Budget_exceeded { cycles = t.cycles; budget })
+    | Some _ | None -> ());
+    match (injector, targets) with
+    | Some inj, Some tg ->
+        Fault.step inj ~retired:!retired tg;
+        t.faults_injected <- Fault.count inj
+    | _ -> ()
+  in
+  let stats = Runner.run_supervised runner ~sink:(sink_of t) ~post in
   snapshot_of_stats t stats
 
 let run_program_faulty t ?injector ?watchdog_budget ~program ~layout ~memory () =

@@ -26,6 +26,13 @@ val config : t -> Config.t
     the paper's per-run "flush caches, reset, reload, new seed" protocol. *)
 val reset_run : t -> unit
 
+(** [reseed t ~seed] rebinds every PRNG stream of a reused simulator
+    instance exactly as [create ~seed] would have derived them (same split
+    order, same per-component draws): [reseed] + {!reset_run} on a reused
+    instance is bit-identical to a fresh [create] + [reset_run].  This is
+    what lets a batch of runs amortize simulator construction. *)
+val reseed : t -> seed:int64 -> unit
+
 (** [consume t retired] — advance time for one retired instruction.
     Exposed so schedulers can interleave instruction streams. *)
 val consume : t -> Repro_isa.Instr.retired -> unit
@@ -62,6 +69,31 @@ val run_program_faulty :
   program:Repro_isa.Program.t ->
   layout:Repro_isa.Layout.t ->
   memory:Repro_isa.Memory.t ->
+  unit ->
+  Metrics.t
+
+(** {2 Pre-decoded execution}
+
+    The batched hot path: the caller decodes the program once
+    ({!Repro_isa.Executor.Decoded}), links a runner against a reusable
+    memory image, and per run calls {!reseed} (fresh platform seed) then
+    one of these.  Bit-identical to {!run_program} / {!run_program_faulty}
+    on a fresh simulator — [test_hotpath] pins it. *)
+
+(** [run_decoded t ~runner] — [reset_run], reset the runner, execute to
+    completion through the per-work-class timing sink, return the run's
+    metrics.  The caller must have reset and reloaded the runner's memory
+    image (e.g. {!Repro_isa.Memory.clear} + scenario load). *)
+val run_decoded : t -> runner:Repro_isa.Executor.Decoded.Runner.t -> Metrics.t
+
+(** Pre-decoded twin of {!run_program_faulty}: same supervision semantics
+    (injector strikes between instructions, watchdog raises
+    {!Budget_exceeded}), on the batched runner. *)
+val run_decoded_faulty :
+  t ->
+  ?injector:Fault.t ->
+  ?watchdog_budget:int ->
+  runner:Repro_isa.Executor.Decoded.Runner.t ->
   unit ->
   Metrics.t
 

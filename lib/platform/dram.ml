@@ -50,3 +50,8 @@ let stats (t : t) = { row_hits = t.row_hits; row_misses = t.row_misses }
 let reset_stats (t : t) =
   t.row_hits <- 0;
   t.row_misses <- 0
+
+(* Run boundary in one pass: close every row buffer and zero the stats. *)
+let reset_run t =
+  flush t;
+  reset_stats t

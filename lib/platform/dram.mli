@@ -22,3 +22,6 @@ type stats = { row_hits : int; row_misses : int }
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** One-pass run boundary: {!flush} then {!reset_stats}. *)
+val reset_run : t -> unit

@@ -9,9 +9,10 @@ type t = {
   replacement : Config.replacement;
   pages : int array;  (* page number, -1 = invalid *)
   recency : int array;
+  mutable mru : int;  (* last slot hit, -1 = none; a pure search shortcut *)
   mutable rr : int;
   mutable clock : int;
-  prng : Prng.t;
+  mutable prng : Prng.t;  (* mutable so a reused simulator can be reseeded *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -33,6 +34,7 @@ let create ~entries ~page_bytes ~replacement ~prng =
     replacement;
     pages = Array.make entries (-1);
     recency = Array.make entries 0;
+    mru = -1;
     rr = 0;
     clock = 0;
     prng;
@@ -83,23 +85,40 @@ let victim t =
 let access t ~addr =
   let page = page_of_addr t addr in
   t.clock <- t.clock + 1;
-  let slot = find_slot t page in
-  if slot >= 0 then begin
+  (* MRU shortcut: consecutive accesses overwhelmingly hit the page of the
+     previous one (every instruction fetch, most data streams).  Stored
+     pages are unique, so the hinted slot is exactly what [find_slot] would
+     return — same outcome, same recency write, no PRNG interaction.  The
+     SEU hook below drops the hint: a corrupted entry can duplicate a live
+     page, and then only the scan's first-match answer is canonical. *)
+  let mru = t.mru in
+  if mru >= 0 && Array.unsafe_get t.pages mru = page then begin
     t.hits <- t.hits + 1;
-    Array.unsafe_set t.recency slot t.clock;
+    Array.unsafe_set t.recency mru t.clock;
     Hit
   end
   else begin
-    t.misses <- t.misses + 1;
-    let slot = victim t in
-    Array.unsafe_set t.pages slot page;
-    Array.unsafe_set t.recency slot t.clock;
-    Miss
+    let slot = find_slot t page in
+    if slot >= 0 then begin
+      t.hits <- t.hits + 1;
+      t.mru <- slot;
+      Array.unsafe_set t.recency slot t.clock;
+      Hit
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      let slot = victim t in
+      Array.unsafe_set t.pages slot page;
+      Array.unsafe_set t.recency slot t.clock;
+      t.mru <- slot;
+      Miss
+    end
   end
 
 let flush t =
   Array.fill t.pages 0 t.entries (-1);
   Array.fill t.recency 0 t.entries 0;
+  t.mru <- -1;
   t.rr <- 0;
   t.clock <- 0
 
@@ -110,7 +129,12 @@ let entries t = t.entries
 let inject_entry_flip t ~entry ~bit =
   if entry < 0 || entry >= t.entries then invalid_arg "Tlb.inject_entry_flip: out of range";
   let page = t.pages.(entry) in
-  if page >= 0 then t.pages.(entry) <- page lxor (1 lsl (bit land 29)) land max_int
+  if page >= 0 then begin
+    t.pages.(entry) <- page lxor (1 lsl (bit land 29)) land max_int;
+    (* The flip can duplicate a live page; from here on only the scan's
+       first-match answer is canonical, so drop the MRU hint. *)
+    t.mru <- -1
+  end
 
 type stats = { hits : int; misses : int }
 
@@ -119,3 +143,11 @@ let stats (t : t) = { hits = t.hits; misses = t.misses }
 let reset_stats (t : t) =
   t.hits <- 0;
   t.misses <- 0
+
+(* Run boundary in one pass; [create] draws nothing, so [reseed] only
+   rebinds the stream the random-replacement victim picker draws from. *)
+let reset_run t =
+  flush t;
+  reset_stats t
+
+let reseed t ~prng = t.prng <- prng

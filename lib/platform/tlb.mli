@@ -30,3 +30,10 @@ type stats = { hits : int; misses : int }
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** One-pass run boundary: {!flush} then {!reset_stats}. *)
+val reset_run : t -> unit
+
+(** Rebind to a fresh PRNG stream ([create] draws nothing, so this is the
+    whole reuse contract for a TLB). *)
+val reseed : t -> prng:Repro_rng.Prng.t -> unit

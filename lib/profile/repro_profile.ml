@@ -1,0 +1,122 @@
+type stage =
+  | Codegen
+  | Decode
+  | Execute
+  | Flush
+  | Seed_derivation
+  | Trace
+  | Store
+  | Analysis
+
+let stages =
+  [ Codegen; Decode; Execute; Flush; Seed_derivation; Trace; Store; Analysis ]
+
+let index = function
+  | Codegen -> 0
+  | Decode -> 1
+  | Execute -> 2
+  | Flush -> 3
+  | Seed_derivation -> 4
+  | Trace -> 5
+  | Store -> 6
+  | Analysis -> 7
+
+let n_stages = List.length stages
+
+let stage_name = function
+  | Codegen -> "codegen"
+  | Decode -> "decode"
+  | Execute -> "execute"
+  | Flush -> "flush"
+  | Seed_derivation -> "seed_derivation"
+  | Trace -> "trace"
+  | Store -> "store"
+  | Analysis -> "analysis"
+
+let of_stage_name s = List.find_opt (fun st -> String.equal (stage_name st) s) stages
+
+(* One atomic cell per stage per quantity.  Fetch-and-add is commutative, so
+   concurrent domains lose nothing; totals are exact regardless of
+   interleaving.  [Atomic.t] boxes each cell separately, which also keeps
+   the cells on distinct words (no torn reads). *)
+let ns_acc = Array.init n_stages (fun _ -> Atomic.make 0)
+let calls_acc = Array.init n_stages (fun _ -> Atomic.make 0)
+let on = Atomic.make false
+
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+let now_ns () = Monotonic_clock.now ()
+
+(* Accumulate in native ints: a single fetch_and_add, no allocation.  A
+   63-bit ns counter wraps after ~146 years of profiled time. *)
+let record stage t0 =
+  let dt = Int64.sub (Monotonic_clock.now ()) t0 in
+  let i = index stage in
+  ignore (Atomic.fetch_and_add ns_acc.(i) (Int64.to_int dt));
+  ignore (Atomic.fetch_and_add calls_acc.(i) 1)
+
+let time stage f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Monotonic_clock.now () in
+    match f () with
+    | v ->
+        record stage t0;
+        v
+    | exception e ->
+        record stage t0;
+        raise e
+  end
+
+let add stage ~ns =
+  if Atomic.get on then begin
+    let i = index stage in
+    ignore (Atomic.fetch_and_add ns_acc.(i) (Int64.to_int ns));
+    ignore (Atomic.fetch_and_add calls_acc.(i) 1)
+  end
+
+type entry = { stage : stage; ns : int64; calls : int }
+
+let snapshot () =
+  List.map
+    (fun stage ->
+      let i = index stage in
+      {
+        stage;
+        ns = Int64.of_int (Atomic.get ns_acc.(i));
+        calls = Atomic.get calls_acc.(i);
+      })
+    stages
+
+let reset () =
+  Array.iter (fun c -> Atomic.set c 0) ns_acc;
+  Array.iter (fun c -> Atomic.set c 0) calls_acc
+
+let render entries =
+  let active = List.filter (fun e -> e.calls > 0) entries in
+  if active = [] then ""
+  else begin
+    let sorted =
+      List.sort (fun a b -> Int64.compare b.ns a.ns) active
+    in
+    let total_ns = List.fold_left (fun acc e -> Int64.add acc e.ns) 0L sorted in
+    let buf = Buffer.create 256 in
+    let ms ns = Int64.to_float ns /. 1e6 in
+    List.iter
+      (fun e ->
+        let share =
+          if Int64.equal total_ns 0L then 0.
+          else 100. *. Int64.to_float e.ns /. Int64.to_float total_ns
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-16s %10.3f ms  %5.1f%%  %9d calls  %8.1f ns/call\n"
+             (stage_name e.stage) (ms e.ns) share e.calls
+             (Int64.to_float e.ns /. float_of_int (Stdlib.max 1 e.calls))))
+      sorted;
+    let idle = List.filter (fun e -> e.calls = 0) entries in
+    if idle <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "  (no calls: %s)\n"
+           (String.concat ", " (List.map (fun e -> stage_name e.stage) idle)));
+    Buffer.contents buf
+  end

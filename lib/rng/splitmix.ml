@@ -14,6 +14,13 @@ let next t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
+(* The state walks an additive lattice, so discarding [k] draws is a single
+   multiply-add — bit-identical to calling [next] [k] times and ignoring the
+   results, at O(1) instead of O(k). *)
+let skip t k =
+  if k < 0 then invalid_arg "Splitmix.skip: negative count";
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int k) golden_gamma)
+
 let rec next_nonzero t =
   let v = next t in
   if Int64.equal v 0L then next_nonzero t else v

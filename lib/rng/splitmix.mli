@@ -17,3 +17,8 @@ val next : t -> int64
 (** [next_nonzero t] is [next t] skipping zero, for generators whose state
     must never be all-zero (LFSR, xorshift). *)
 val next_nonzero : t -> int64
+
+(** [skip t k] advances the stream past [k] draws in O(1), bit-identical to
+    calling [next] [k] times and discarding the results.  Rejects negative
+    [k] with [Invalid_argument]. *)
+val skip : t -> int -> unit

@@ -1,5 +1,6 @@
 module Platform = Repro_platform
 module Isa = Repro_isa
+module Profile = Repro_profile
 
 type t = {
   frames : int;
@@ -9,6 +10,7 @@ type t = {
   base_seed : int64;
   program : Isa.Program.t;
   layout : Isa.Layout.t;
+  decoded : Isa.Executor.Decoded.t;
 }
 
 (* ---- per-run seed derivation -----------------------------------------
@@ -26,8 +28,10 @@ type t = {
    (stream 1): one splitmix stream per run, indexed in counter mode. *)
 let derive_seed base run stream =
   let sm = Repro_rng.Splitmix.create base in
-  let rec skip k = if k > 0 then (ignore (Repro_rng.Splitmix.next sm); skip (k - 1)) in
-  skip ((run * 2) + stream);
+  (* O(1) counter-mode jump: [Splitmix.skip] lands on exactly the state
+     that [(run * 2) + stream] discarded draws would have reached, so seeds
+     are bit-identical to the retired draw-and-ignore loop at any index. *)
+  Repro_rng.Splitmix.skip sm ((run * 2) + stream);
   Repro_rng.Splitmix.next sm
 
 (* Fault-injection stream: a salted family so the scenario/platform streams
@@ -49,16 +53,74 @@ let attempt_base base ~attempt =
       (Repro_rng.Splitmix.create
          (Int64.logxor base (Int64.mul (Int64.of_int attempt) retry_salt)))
 
+(* ---- decode cache ----------------------------------------------------
+
+   TVCA codegen is a pure function of (variant, gains, frames) — the
+   platform config and seeds never touch the program text — so the
+   generated program, its sequential layout and the pre-decoded executable
+   form are shared process-wide across experiments (the DET and RAND
+   experiments of one campaign always share one entry).  Guarded by a
+   mutex: create-time only, never on the per-run path. *)
+
+type codegen_key = {
+  key_frames : int;
+  key_gains : Controller.gains;
+  key_variant : Codegen.variant;
+}
+
+let decode_cache :
+    (codegen_key, Isa.Program.t * Isa.Layout.t * Isa.Executor.Decoded.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let decode_cache_mutex = Mutex.create ()
+let decode_cache_hits = Atomic.make 0
+let decode_cache_misses = Atomic.make 0
+
+let decode_cache_stats () =
+  (Atomic.get decode_cache_hits, Atomic.get decode_cache_misses)
+
+let decoded_program ~variant ~gains ~frames =
+  let key = { key_frames = frames; key_gains = gains; key_variant = variant } in
+  Mutex.lock decode_cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock decode_cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt decode_cache key with
+      | Some entry ->
+          Atomic.incr decode_cache_hits;
+          entry
+      | None ->
+          Atomic.incr decode_cache_misses;
+          let program =
+            Profile.time Profile.Codegen (fun () ->
+                Codegen.program ~variant ~gains ~frames ())
+          in
+          let layout = Isa.Layout.sequential program in
+          let decoded =
+            Profile.time Profile.Decode (fun () ->
+                Isa.Executor.Decoded.decode ~program ~layout)
+          in
+          let entry = (program, layout, decoded) in
+          Hashtbl.replace decode_cache key entry;
+          entry)
+
 let create ?(frames = Mission.default_frames) ?(gains = Controller.default_gains)
     ?(variant = Codegen.Full) ?(contenders = []) ~config ~base_seed () =
-  let program = Codegen.program ~variant ~gains ~frames () in
-  let layout = Isa.Layout.sequential program in
-  { frames; gains; contenders; config; base_seed; program; layout }
+  let program, layout, decoded = decoded_program ~variant ~gains ~frames in
+  { frames; gains; contenders; config; base_seed; program; layout; decoded }
 
 let config t = t.config
 let program t = t.program
 let layout t = t.layout
-let with_layout t layout = { t with layout }
+
+let with_layout t layout =
+  (* A custom layout (shifted/scrambled path studies) gets its own decode;
+     only the canonical sequential layout is served from the cache. *)
+  let decoded =
+    Profile.time Profile.Decode (fun () ->
+        Isa.Executor.Decoded.decode ~program:t.program ~layout)
+  in
+  { t with layout; decoded }
 
 (* The three published seed families (see the audit note above). *)
 let scenario_seed t ~run_index = derive_seed t.base_seed run_index 0
@@ -78,7 +140,99 @@ let prepared_memory t ~run_index =
   Mission.load_memory sc memory;
   (sc, memory)
 
+(* ---- batched scratch -------------------------------------------------
+
+   The unit of scheduling upstream stays the per-run closure (chunk layout,
+   store checkpoints and shard spans are untouched), but consecutive runs
+   on one domain reuse a per-(domain, experiment) scratch — one simulator
+   instance, one memory image, one linked runner — amortizing simulator and
+   memory construction and program decode across the whole batch.  Each run
+   still gets the full per-run protocol (fresh seeds via {!Core_sim.reseed},
+   flush via [reset_run], zeroed and reloaded memory), which [test_hotpath]
+   pins bit-identical to the retired fresh-everything path.
+
+   Domain-local storage means no shared mutable hot state between domains;
+   the slot list is a tiny move-to-front LRU keyed by experiment identity,
+   capped so long-lived domains running many experiments (test suites)
+   don't accumulate dead simulators. *)
+
+type scratch = {
+  s_core : Platform.Core_sim.t;
+  s_memory : Isa.Memory.t;
+  s_runner : Isa.Executor.Decoded.Runner.t;
+}
+
+let max_scratch_slots = 8
+
+let scratch_slots : (t * scratch) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let scratches_created = Atomic.make 0
+let batched_reuses = Atomic.make 0
+let batch_stats () = (Atomic.get scratches_created, Atomic.get batched_reuses)
+
+let scratch_for t =
+  let slots = Domain.DLS.get scratch_slots in
+  match !slots with
+  | (t', s) :: _ when t' == t ->
+      (* fast path: the batch's experiment is already at the front *)
+      Atomic.incr batched_reuses;
+      s
+  | existing -> (
+      match List.assq_opt t existing with
+      | Some s ->
+          Atomic.incr batched_reuses;
+          slots := (t, s) :: List.filter (fun (t', _) -> t' != t) existing;
+          s
+      | None ->
+          Atomic.incr scratches_created;
+          let memory = Isa.Memory.create t.program in
+          let runner =
+            Isa.Executor.Decoded.Runner.create ~decoded:t.decoded ~memory ()
+          in
+          (* The seed is a placeholder: every run reseeds before executing. *)
+          let core =
+            Platform.Core_sim.create ~contenders:t.contenders ~config:t.config
+              ~seed:0L ()
+          in
+          let s = { s_core = core; s_memory = memory; s_runner = runner } in
+          let kept =
+            if List.length existing >= max_scratch_slots then
+              List.filteri (fun i _ -> i < max_scratch_slots - 1) existing
+            else existing
+          in
+          slots := (t, s) :: kept;
+          s)
+
+(* Per-run reset protocol on a scratch: derive this run's seeds, zero and
+   reload the memory image, reseed the platform streams.  The subsequent
+   [run_decoded] performs the flush cascade ([reset_run]) itself. *)
+let prepare_run t s ~run_index ~attempt =
+  let sc, seed =
+    Profile.time Profile.Seed_derivation (fun () ->
+        (scenario t ~run_index, platform_seed t ~run_index ~attempt))
+  in
+  Profile.time Profile.Flush (fun () ->
+      Isa.Memory.clear s.s_memory;
+      Mission.load_memory sc s.s_memory;
+      Platform.Core_sim.reseed s.s_core ~seed);
+  sc
+
 let run t ~run_index =
+  let s = scratch_for t in
+  let _sc = prepare_run t s ~run_index ~attempt:0 in
+  Platform.Core_sim.run_decoded s.s_core ~runner:s.s_runner
+
+let measure t ~run_index = float_of_int (Platform.Metrics.cycles (run t ~run_index))
+
+(* ---- retired reference path ------------------------------------------
+
+   The pre-batching implementation, kept verbatim as the oracle: fresh
+   memory, fresh simulator, per-step variant-match executor.  [test_hotpath]
+   and the bench's same-run baselines pin the batched path bit-identical to
+   these. *)
+
+let run_retired t ~run_index =
   let _, memory = prepared_memory t ~run_index in
   let core =
     Platform.Core_sim.create ~contenders:t.contenders ~config:t.config
@@ -86,7 +240,8 @@ let run t ~run_index =
   in
   Platform.Core_sim.run_program core ~program:t.program ~layout:t.layout ~memory
 
-let measure t ~run_index = float_of_int (Platform.Metrics.cycles (run t ~run_index))
+let measure_retired t ~run_index =
+  float_of_int (Platform.Metrics.cycles (run_retired t ~run_index))
 
 (* ---- fault-injected, supervised runs ---- *)
 
@@ -124,7 +279,41 @@ let output_error t sc memory =
   done;
   !worst
 
+let classify t ~fault ~faults ~sc ~memory outcome =
+  match outcome with
+  | Error (Platform.Core_sim.Budget_exceeded { cycles; budget }) ->
+      Watchdog { cycles; budget; faults = faults () }
+  | Error (Isa.Executor.Runaway program) -> Runaway { program; faults = faults () }
+  | Error (Invalid_argument detail) -> Crashed { detail; faults = faults () }
+  | Error (Isa.Executor.Stack_overflow_ program) ->
+      Crashed { detail = "stack overflow in " ^ program; faults = faults () }
+  | Error e -> raise e
+  | Ok metrics ->
+      let worst_error = output_error t sc memory in
+      if worst_error > fault.output_tolerance then
+        Corrupted { worst_error; faults = faults () }
+      else Completed { metrics; faults = faults () }
+
 let run_faulty t ~fault ?(attempt = 0) ~run_index () =
+  if attempt < 0 then invalid_arg "Experiment.run_faulty: attempt must be >= 0";
+  let s = scratch_for t in
+  let sc = prepare_run t s ~run_index ~attempt in
+  let injector =
+    Platform.Fault.create ~rate:fault.seu_rate ~seed:(fault_seed t ~run_index ~attempt)
+  in
+  let faults () = Platform.Fault.records injector in
+  let outcome =
+    match
+      Platform.Core_sim.run_decoded_faulty s.s_core ~injector
+        ?watchdog_budget:fault.watchdog_budget ~runner:s.s_runner ()
+    with
+    | metrics -> Ok metrics
+    | exception e -> Error e
+  in
+  classify t ~fault ~faults ~sc ~memory:s.s_memory outcome
+
+(* Retired oracle twin of {!run_faulty} (fresh state, per-step loop). *)
+let run_faulty_retired t ~fault ?(attempt = 0) ~run_index () =
   if attempt < 0 then invalid_arg "Experiment.run_faulty: attempt must be >= 0";
   let sc, memory = prepared_memory t ~run_index in
   let core =
@@ -135,22 +324,16 @@ let run_faulty t ~fault ?(attempt = 0) ~run_index () =
     Platform.Fault.create ~rate:fault.seu_rate ~seed:(fault_seed t ~run_index ~attempt)
   in
   let faults () = Platform.Fault.records injector in
-  match
-    Platform.Core_sim.run_program_faulty core ~injector
-      ?watchdog_budget:fault.watchdog_budget ~program:t.program ~layout:t.layout ~memory
-      ()
-  with
-  | exception Platform.Core_sim.Budget_exceeded { cycles; budget } ->
-      Watchdog { cycles; budget; faults = faults () }
-  | exception Isa.Executor.Runaway program -> Runaway { program; faults = faults () }
-  | exception Invalid_argument detail -> Crashed { detail; faults = faults () }
-  | exception Isa.Executor.Stack_overflow_ program ->
-      Crashed { detail = "stack overflow in " ^ program; faults = faults () }
-  | metrics ->
-      let worst_error = output_error t sc memory in
-      if worst_error > fault.output_tolerance then
-        Corrupted { worst_error; faults = faults () }
-      else Completed { metrics; faults = faults () }
+  let outcome =
+    match
+      Platform.Core_sim.run_program_faulty core ~injector
+        ?watchdog_budget:fault.watchdog_budget ~program:t.program ~layout:t.layout
+        ~memory ()
+    with
+    | metrics -> Ok metrics
+    | exception e -> Error e
+  in
+  classify t ~fault ~faults ~sc ~memory outcome
 
 let fault_records = function
   | Completed { faults; _ }

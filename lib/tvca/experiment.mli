@@ -49,11 +49,39 @@ val scenario_seed : t -> run_index:int -> int64
 val platform_seed : t -> run_index:int -> attempt:int -> int64
 val fault_seed : t -> run_index:int -> attempt:int -> int64
 
-(** [run t ~run_index] — one measured run; returns the full metrics. *)
+(** [run t ~run_index] — one measured run; returns the full metrics.
+
+    Runs execute on the batched hot path: a per-(domain, experiment)
+    scratch (one simulator instance, one memory image, one pre-decoded
+    runner) is reused across consecutive runs, with the full per-run
+    protocol — fresh derived seeds, platform reseed, flush, zeroed and
+    reloaded memory — replayed for every run, so results are bit-identical
+    to the retired fresh-everything path ({!run_retired}). *)
 val run : t -> run_index:int -> Repro_platform.Metrics.t
 
 (** [measure t ~run_index] — execution time (cycles) only. *)
 val measure : t -> run_index:int -> float
+
+(** {2 Retired reference path}
+
+    The pre-batching implementation — fresh memory, fresh simulator,
+    per-step variant-match executor — kept as the bit-identity oracle for
+    tests and bench baselines. *)
+
+val run_retired : t -> run_index:int -> Repro_platform.Metrics.t
+val measure_retired : t -> run_index:int -> float
+
+(** {2 Hot-path instrumentation} *)
+
+(** [(hits, misses)] of the process-wide decode cache: codegen is a pure
+    function of (variant, gains, frames), so experiments sharing a scenario
+    config share one generated + pre-decoded program. *)
+val decode_cache_stats : unit -> int * int
+
+(** [(scratches_created, batched_reuses)] — how many per-(domain,
+    experiment) simulator scratches were built vs how many runs reused one;
+    a healthy batched campaign shows reuses ≫ creations. *)
+val batch_stats : unit -> int * int
 
 (** {2 Fault-injected runs}
 
@@ -91,6 +119,10 @@ type fault_outcome =
     raises on fault-induced misbehavior — divergence, traps and corrupted
     output all come back classified. *)
 val run_faulty :
+  t -> fault:fault_config -> ?attempt:int -> run_index:int -> unit -> fault_outcome
+
+(** Retired oracle twin of {!run_faulty} (fresh state, per-step loop). *)
+val run_faulty_retired :
   t -> fault:fault_config -> ?attempt:int -> run_index:int -> unit -> fault_outcome
 
 val fault_records : fault_outcome -> Repro_platform.Fault.record list
