@@ -9,6 +9,8 @@
      plot         Figure 2 exceedance plot only
      trace        inspect JSONL traces written with --trace
      cache        inspect/maintain the measurement store (--cache-dir)
+     serve        long-running campaign daemon on a Unix socket
+     client       send one request to a running daemon
 
    Examples:
      dune exec bin/mbpta_cli.exe -- analyze --runs 3000
@@ -198,6 +200,25 @@ let with_store ~cache_dir ~resume ~no_cache ~sync ~config ~runs ~resilient f =
           Fun.protect
             ~finally:(fun () -> M.Store.close session)
             (fun () -> f (Some session)))
+
+(* With a store session attached, SIGINT/SIGTERM must checkpoint — not
+   kill mid-write: install the cooperative handlers ({!M.Shutdown}) and
+   translate the resulting [Interrupted] into the conventional exit code
+   (130/143) plus a hint that the record resumes.  Without a store the
+   default signal disposition is kept (nothing to checkpoint). *)
+let with_graceful_shutdown ~enabled f =
+  if not enabled then f ()
+  else begin
+    M.Shutdown.install ();
+    match f () with
+    | code -> code
+    | exception (M.Shutdown.Interrupted reason as e) ->
+        Format.eprintf
+          "mbpta_cli: interrupted by %s; the campaign checkpointed at its last chunk \
+           barrier — rerun with --resume to continue where it stopped@."
+          reason;
+        M.Shutdown.exit_code e
+  end
 
 (* ------------------------ distributed campaigns ------------------------ *)
 
@@ -423,6 +444,7 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
       ]
     else []
   in
+  with_graceful_shutdown ~enabled:(cache_dir <> None && not no_cache) @@ fun () ->
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   let det = experiment ~config:P.Config.deterministic ~seed ~frames in
   let rand = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
@@ -740,6 +762,7 @@ let iid runs seed frames jobs trace_path trace_level cache_dir resume no_cache c
   validate_runs runs;
   validate_frames frames;
   let config = base_config ~subcommand:"iid" ~runs ~seed ~frames in
+  with_graceful_shutdown ~enabled:(cache_dir <> None && not no_cache) @@ fun () ->
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   with_store ~cache_dir ~resume ~no_cache ~sync:cache_sync
     ~config:(rand_collect_store_config ~runs ~seed ~frames)
@@ -770,6 +793,7 @@ let convergence runs seed frames probability jobs trace_path trace_level cache_d
     base_config ~subcommand:"convergence" ~runs ~seed ~frames
     @ [ ("probability", string_of_float probability) ]
   in
+  with_graceful_shutdown ~enabled:(cache_dir <> None && not no_cache) @@ fun () ->
   with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
   (* probability is an analysis knob — the measurement key is the shared
      randomized-platform one, so iid/convergence reuse each other's runs *)
@@ -1126,6 +1150,202 @@ let cache_cmd =
   Cmd.group (Cmd.info "cache" ~doc)
     [ ls_cmd; verify_cmd; gc_cmd; merge_cmd; export_cmd ]
 
+(* ------------------------------- serve -------------------------------- *)
+
+module Srv = Repro_serve
+
+let socket_arg =
+  let doc = "Unix-domain socket path the daemon listens on (client: connects to)." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve socket cache_dir jobs max_queue max_clients trace_path trace_level =
+  let jobs = resolve_jobs jobs in
+  if max_queue < 0 then usage_error "--max-queue must be >= 0 (got %d)" max_queue;
+  if max_clients < 1 then usage_error "--max-clients must be >= 1 (got %d)" max_clients;
+  let config =
+    [ ("subcommand", "serve"); ("socket", socket); ("cache_dir", cache_dir) ]
+  in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
+  M.Shutdown.install ();
+  let cfg =
+    {
+      Srv.Server.socket_path = socket;
+      store_dir = cache_dir;
+      jobs;
+      max_queue;
+      max_clients;
+      trace;
+    }
+  in
+  match Srv.Server.start cfg with
+  | Error e -> usage_error "%s" e
+  | Ok server ->
+      Format.eprintf
+        "mbpta serve: listening on %s (store %s, %d jobs, queue %d, %d clients)@." socket
+        cache_dir jobs max_queue max_clients;
+      Srv.Server.wait server;
+      Format.eprintf "mbpta serve: drained (%s)@."
+        (match M.Shutdown.reason () with Some r -> r | None -> "stopped");
+      0
+
+let serve_cmd =
+  let cache_dir =
+    let doc = "Store root the daemon records to and serves warm answers from." in
+    Arg.(required & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_queue =
+    let doc =
+      "Cold campaigns allowed to wait behind the one in flight; further campaign \
+       requests are rejected immediately with a typed overload response."
+    in
+    Arg.(value & opt int 8 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let max_clients =
+    let doc = "Concurrent client connections; the rest are rejected, never queued." in
+    Arg.(value & opt int 32 & info [ "max-clients" ] ~docv:"N" ~doc)
+  in
+  let doc = "run the campaign daemon (deduplicating, store-backed, drains on SIGTERM)" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket_arg $ cache_dir $ jobs_arg $ max_queue $ max_clients
+      $ trace_arg $ trace_level_arg)
+
+(* ------------------------------- client ------------------------------- *)
+
+(* Report text goes to stdout (so CI can diff it against `analyze` byte
+   for byte); serving metadata — how it was served, the per-request
+   counters — goes to stderr where the smoke test greps it. *)
+let client_render_counters counters =
+  List.iter (fun (k, v) -> Format.eprintf "mbpta client: counter %s = %d@." k v) counters
+
+let client socket action runs seed frames tail no_gates bootstrap factor seu_rate
+    watchdog_budget max_retries min_survival probability events =
+  validate_runs runs;
+  validate_frames frames;
+  validate_engineering_factor factor;
+  validate_min_survival min_survival;
+  if seu_rate < 0. then usage_error "--seu-rate must be >= 0 (got %g)" seu_rate;
+  if bootstrap <> 0 && bootstrap < 20 then
+    usage_error "--bootstrap must be 0 (off) or >= 20 replicates (got %d)" bootstrap;
+  let spec =
+    {
+      Srv.Serve_protocol.runs;
+      seed;
+      frames;
+      tail;
+      no_gates;
+      bootstrap;
+      engineering_factor = factor;
+      seu_rate;
+      watchdog_budget;
+      max_retries;
+      min_survival;
+    }
+  in
+  let req =
+    match action with
+    | "campaign" -> Srv.Serve_protocol.Campaign { spec; events }
+    | "pwcet" ->
+        validate_probability probability;
+        Srv.Serve_protocol.Query { spec; query = Srv.Serve_protocol.Pwcet probability }
+    | "iid" -> Srv.Serve_protocol.Query { spec; query = Srv.Serve_protocol.Iid_verdict }
+    | "status" -> Srv.Serve_protocol.Status
+    | "shutdown" -> Srv.Serve_protocol.Shutdown
+    | a -> usage_error "unknown action %s (expected campaign|pwcet|iid|status|shutdown)" a
+  in
+  let on_event e =
+    Format.eprintf "mbpta client: event %s@."
+      (M.Trace.Json.to_string (M.Trace.json_of_event e))
+  in
+  match Srv.Client.request ~on_event ~socket_path:socket req with
+  | Error e ->
+      Format.eprintf "mbpta client: %s@." e;
+      1
+  | Ok (Srv.Serve_protocol.Report { key; served; report; counters }) ->
+      Format.eprintf "mbpta client: served %s (key %s)@."
+        (Srv.Serve_protocol.served_name served)
+        key;
+      client_render_counters counters;
+      print_string report;
+      print_newline ();
+      0
+  | Ok (Srv.Serve_protocol.Answer { key; query; value; counters }) ->
+      Format.eprintf "mbpta client: answered warm (key %s)@." key;
+      client_render_counters counters;
+      (match (query, value) with
+      | Srv.Serve_protocol.Pwcet p, M.Trace.Json.Float v ->
+          Format.printf "pWCET(%.3g) = %.17g cycles@." p v
+      | _, v -> Format.printf "%s@." (M.Trace.Json.to_string v));
+      0
+  | Ok (Srv.Serve_protocol.Miss { key; reason }) ->
+      Format.eprintf "mbpta client: miss for key %s: %s@." key reason;
+      3
+  | Ok (Srv.Serve_protocol.Rejected { reason; detail }) ->
+      Format.eprintf "mbpta client: rejected (%s): %s@." reason detail;
+      3
+  | Ok
+      (Srv.Serve_protocol.Status_report
+        { queue_depth; in_flight; clients; max_queue; max_clients; counters }) ->
+      Format.printf "queue %d/%d, in flight %d, clients %d/%d@." queue_depth max_queue
+        in_flight clients max_clients;
+      client_render_counters counters;
+      0
+  | Ok Srv.Serve_protocol.Shutdown_ack ->
+      Format.printf "shutdown requested; the daemon drains and exits@.";
+      0
+  | Ok (Srv.Serve_protocol.Failed msg) ->
+      Format.eprintf "mbpta client: request failed: %s@." msg;
+      1
+  | Ok (Srv.Serve_protocol.Event _) ->
+      (* the client library consumes events; a trailing one is a protocol bug *)
+      Format.eprintf "mbpta client: protocol error: dangling event line@.";
+      1
+
+let client_cmd =
+  let action =
+    let doc =
+      "What to ask the daemon: campaign (full report, computed or warm), pwcet \
+       (warm-only estimate at --probability), iid (warm-only i.i.d. verdict), status, \
+       or shutdown."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION" ~doc)
+  in
+  let probability =
+    let doc = "Cutoff probability of the pwcet query." in
+    Arg.(value & opt float 1e-9 & info [ "probability" ] ~docv:"P" ~doc)
+  in
+  let events =
+    let doc = "Stream the campaign's trace events to stderr while it computes." in
+    Arg.(value & flag & info [ "events" ] ~doc)
+  in
+  let factor =
+    let doc = "Engineering factor of the industrial MBTA baseline." in
+    Arg.(value & opt float 1.5 & info [ "engineering-factor" ] ~docv:"F" ~doc)
+  in
+  let seu_rate =
+    let doc = "Expected upsets per million retired instructions (0 disables)." in
+    Arg.(value & opt float 0. & info [ "seu-rate" ] ~docv:"RATE" ~doc)
+  in
+  let watchdog_budget =
+    let doc = "Watchdog cycle budget per run; a run exceeding it is a timeout." in
+    Arg.(value & opt (some int) None & info [ "watchdog-budget" ] ~docv:"CYCLES" ~doc)
+  in
+  let max_retries =
+    let doc = "Retries allowed per faulted run before it is quarantined." in
+    Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let min_survival =
+    let doc = "Fraction of runs that must survive for the campaign to proceed." in
+    Arg.(value & opt float 0.9 & info [ "min-survival" ] ~docv:"FRAC" ~doc)
+  in
+  let doc = "send one request to a running [mbpta serve] daemon" in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const client $ socket_arg $ action $ runs_arg $ seed_arg $ frames_arg $ tail_arg
+      $ no_gates_arg $ bootstrap_arg $ factor $ seu_rate $ watchdog_budget $ max_retries
+      $ min_survival $ probability $ events)
+
 (* -------------------------------- main -------------------------------- *)
 
 let () =
@@ -1144,6 +1364,8 @@ let () =
         plot_cmd;
         trace_cmd;
         cache_cmd;
+        serve_cmd;
+        client_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -1,0 +1,42 @@
+(* Cooperative graceful shutdown.  Signal handlers may run at any
+   allocation point, so they do nothing but set an atomic flag; the
+   campaign machinery polls the flag at its chunk barriers — the only
+   places where stopping loses no work — via [check].  The store calls
+   [check] *after* a chunk is flushed, so an interrupted record always
+   ends on a complete chunk boundary (clean prefix, no torn tail) and a
+   later [--resume] continues bit-identically from there. *)
+
+exception Interrupted of string
+
+(* "" = no shutdown requested; otherwise the reason ("SIGINT", "SIGTERM",
+   or a caller-supplied label).  First request wins so the exit code
+   reflects the signal that actually stopped the process. *)
+let pending = Atomic.make ""
+let installed = Atomic.make false
+
+let signal_name s =
+  if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigterm then "SIGTERM"
+  else Printf.sprintf "signal %d" s
+
+let request ?(reason = "shutdown") () =
+  ignore (Atomic.compare_and_set pending "" reason)
+
+let requested () = Atomic.get pending <> ""
+let reason () = match Atomic.get pending with "" -> None | r -> Some r
+let reset () = Atomic.set pending ""
+
+let install () =
+  if not (Atomic.exchange installed true) then begin
+    let handle s = request ~reason:(signal_name s) () in
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle handle));
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handle))
+  end
+
+let check () =
+  match Atomic.get pending with "" -> () | r -> raise (Interrupted r)
+
+let exit_code = function
+  | Interrupted "SIGTERM" -> 143
+  | Interrupted _ -> 130
+  | _ -> invalid_arg "Shutdown.exit_code: not an Interrupted exception"

@@ -1,0 +1,43 @@
+(** Cooperative graceful shutdown (checkpoint-on-signal).
+
+    An operator's Ctrl-C (SIGINT) or a supervisor's SIGTERM must not lose
+    the in-flight chunk of a checkpointed campaign, and must never leave a
+    torn tail for the resume path to repair.  The handlers installed here
+    therefore only set an atomic flag; {!Store.open_session} sessions poll
+    it — through {!check} — at each chunk barrier, {e after} the chunk was
+    flushed.  An interrupted record is thus always a clean prefix of the
+    cold record, and rerunning with [--resume] reproduces the cold result
+    bit-identically (pinned in [test_store.ml]).
+
+    The flag is process-global, so the daemon shares it with the campaign
+    runner: a SIGTERM to [mbpta serve] interrupts the in-flight campaign
+    at its next barrier and drains the request queue. *)
+
+(** Raised by {!check} once shutdown was requested.  The payload is the
+    reason ("SIGINT", "SIGTERM", or a caller-supplied label). *)
+exception Interrupted of string
+
+(** Install SIGINT/SIGTERM handlers that set the shutdown flag.
+    Idempotent; only the first call replaces the process's handlers. *)
+val install : unit -> unit
+
+(** Request shutdown programmatically (daemon drain, tests).  The first
+    reason recorded wins. *)
+val request : ?reason:string -> unit -> unit
+
+val requested : unit -> bool
+
+(** The recorded reason, if shutdown was requested. *)
+val reason : unit -> string option
+
+(** Clear the flag — after a handled interruption (tests, daemon restart
+    logic).  Does not uninstall the handlers. *)
+val reset : unit -> unit
+
+(** Raise {!Interrupted} iff shutdown was requested; called by the store
+    at chunk barriers. *)
+val check : unit -> unit
+
+(** Conventional exit code for an {!Interrupted} exception: 130 for
+    SIGINT (and programmatic requests), 143 for SIGTERM. *)
+val exit_code : exn -> int

@@ -435,6 +435,7 @@ type session = {
   frontier : (string, int) Hashtbl.t;  (* phase -> next lo to append *)
   at_open : (string, int) Hashtbl.t;  (* frontier snapshot at open time *)
   mutable oc : out_channel option;
+  mutable lock : Unix.file_descr option;  (* held advisory writer lock *)
   mutable fail_after : int option;
   mutable appended : int;
   mutable closed : bool;
@@ -462,8 +463,100 @@ let fsync_channel ~file oc =
   | exception Unix.Unix_error (e, _, _) ->
       raise (Sys_error (Printf.sprintf "store: fsync %s: %s" file (Unix.error_message e)))
 
+(* ------------------------------------------------------------------ *)
+(* Advisory writer locks.
+
+   Two writers appending to one record would interleave chunk lines into
+   a torn file that only the per-line checksum catches after the fact, so
+   a session takes a non-blocking exclusive [fcntl] lock on
+   [<key>.jsonl.lock] before it parses or truncates anything.  The lock
+   lives on a sidecar file (never on the record itself) because closing
+   *any* descriptor of a locked file drops all of the process's fcntl
+   locks on it — and the record file is opened and closed freely by
+   [parse_record].  For the same reason all lock-file descriptors go
+   through a process-local registry: at most one open descriptor per lock
+   path, which doubles as in-process mutual exclusion (fcntl locks never
+   conflict within one process).  Locks die with the process, so a killed
+   campaign leaves no stale lock — only a harmless sidecar file that
+   [ls]/[gc]/[merge] ignore (they filter on the [.jsonl] suffix). *)
+
+let lock_path file = file ^ ".lock"
+let locks_held : (string, unit) Hashtbl.t = Hashtbl.create 8
+let locks_mutex = Mutex.create ()
+
+let locked_diagnostic ~file fd =
+  let holder =
+    try
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      let buf = Bytes.create 32 in
+      let n = Unix.read fd buf 0 32 in
+      match String.trim (Bytes.sub_string buf 0 n) with
+      | "" -> ""
+      | pid -> Printf.sprintf " (pid %s)" pid
+    with Unix.Unix_error _ -> ""
+  in
+  Printf.sprintf
+    "store: %s is locked by another writer%s — concurrent sessions on one key would \
+     interleave its chunks; wait for that campaign, or point this one at its own \
+     --cache-dir"
+    file holder
+
+let acquire_lock ~file =
+  let path = lock_path file in
+  Mutex.lock locks_mutex;
+  let result =
+    if Hashtbl.mem locks_held path then
+      Error
+        (Printf.sprintf
+           "store: %s is locked by another session of this process — concurrent \
+            sessions on one key would interleave its chunks"
+           file)
+    else
+      match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "store: cannot open lock file %s: %s" path
+               (Unix.error_message e))
+      | fd -> (
+          match Unix.lockf fd Unix.F_TLOCK 0 with
+          | () ->
+              (* Stamp our pid so the next contender's diagnostic can name
+                 the holder; best-effort only. *)
+              (try
+                 ignore (Unix.ftruncate fd 0);
+                 ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+                 let pid = string_of_int (Unix.getpid ()) in
+                 ignore (Unix.write_substring fd pid 0 (String.length pid))
+               with Unix.Unix_error _ -> ());
+              Hashtbl.replace locks_held path ();
+              Ok fd
+          | exception Unix.Unix_error ((EAGAIN | EACCES), _, _) ->
+              let msg = locked_diagnostic ~file fd in
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error msg
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error
+                (Printf.sprintf "store: cannot lock %s: %s" path (Unix.error_message e)))
+  in
+  Mutex.unlock locks_mutex;
+  result
+
+let release_lock ~file fd =
+  Mutex.lock locks_mutex;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Hashtbl.remove locks_held (lock_path file);
+  Mutex.unlock locks_mutex
+
+let release_session_lock s =
+  match s.lock with
+  | None -> ()
+  | Some fd ->
+      s.lock <- None;
+      release_lock ~file:s.file fd
+
 let mk_session ~skey ~file ~csize ~runs ~resilient ~span:(s_lo, s_hi) ~sync ~cached
-    ~frontier ~oc =
+    ~frontier ~oc ~lock =
   let at_open = Hashtbl.copy frontier in
   {
     skey;
@@ -478,6 +571,7 @@ let mk_session ~skey ~file ~csize ~runs ~resilient ~span:(s_lo, s_hi) ~sync ~cac
     frontier;
     at_open;
     oc;
+    lock;
     fail_after = fail_after_from_env ();
     appended = 0;
     closed = false;
@@ -506,6 +600,18 @@ let open_session ?(chunk_size = default_chunk_size) ?(resume = false) ?(sync = f
          derived)
   else begin
     let file = Filename.concat t.root (skey ^ ".jsonl") in
+    (* The advisory writer lock is taken before the record is even parsed:
+       admitting a second writer any later would let it truncate or append
+       behind the first one's back.  Every path that does not hand the
+       lock to a writer session (errors, and the read-only adoption of a
+       complete record — warm readers must never serialize) releases it. *)
+    match acquire_lock ~file with
+    | Error e -> Error e
+    | Ok lockfd ->
+    let kept = ref false in
+    let keep () = kept := true; Some lockfd in
+    Fun.protect ~finally:(fun () -> if not !kept then release_lock ~file lockfd)
+    @@ fun () ->
     let meta = meta_line ~skey ~runs ~resilient ~chunk_size ~shard ~config in
     let fresh () =
       (* Eager meta write: an unwritable store fails before any simulation
@@ -518,7 +624,8 @@ let open_session ?(chunk_size = default_chunk_size) ?(resume = false) ?(sync = f
       if sync then fsync_channel ~file oc;
       Ok
         (mk_session ~skey ~file ~csize:chunk_size ~runs ~resilient ~span ~sync
-           ~cached:(Hashtbl.create 16) ~frontier:(Hashtbl.create 4) ~oc:(Some oc))
+           ~cached:(Hashtbl.create 16) ~frontier:(Hashtbl.create 4) ~oc:(Some oc)
+           ~lock:(keep ()))
     in
     if not (Sys.file_exists file) then fresh ()
     else
@@ -561,15 +668,15 @@ let open_session ?(chunk_size = default_chunk_size) ?(resume = false) ?(sync = f
                   && (s_hi <= s_lo
                      || (Hashtbl.length r.r_frontier > 0 && covered >= s_hi))
                 in
-                let adopt () =
+                let adopt ~lock =
                   let cached = Hashtbl.create 16 in
                   List.iter
                     (fun c -> Hashtbl.replace cached (c.c_phase, c.c_lo) c.c_payload)
                     r.r_chunks;
                   mk_session ~skey ~file ~csize:chunk_size ~runs ~resilient ~span ~sync
-                    ~cached ~frontier:r.r_frontier ~oc:None
+                    ~cached ~frontier:r.r_frontier ~oc:None ~lock
                 in
-                if is_complete then Ok (adopt ())
+                if is_complete then Ok (adopt ~lock:None)
                 else if not resume then fresh ()
                 else begin
                   (* Resume: keep the valid prefix.  If validation dropped a
@@ -597,19 +704,20 @@ let open_session ?(chunk_size = default_chunk_size) ?(resume = false) ?(sync = f
                            raise e);
                       close_out oc;
                       Sys.rename tmp file);
-                  Ok (adopt ())
+                  Ok (adopt ~lock:(keep ()))
                 end)
   end
 
 let close s =
   if not s.closed then begin
     s.closed <- true;
-    match s.oc with
+    (match s.oc with
     | Some oc ->
         s.oc <- None;
         (try flush oc with Sys_error _ -> ());
         close_out_noerr oc
-    | None -> ()
+    | None -> ());
+    release_session_lock s
   end
 
 let ensure_oc s =
@@ -667,7 +775,12 @@ let persist_payload s ~phase ~lo payload =
       if s.s_sync then fsync_channel ~file:s.file oc);
   s.appended <- s.appended + 1;
   Hashtbl.replace s.cached (phase, lo) payload;
-  Hashtbl.replace s.frontier phase (lo + len)
+  Hashtbl.replace s.frontier phase (lo + len);
+  (* The chunk just became durable, so this barrier is the one place a
+     shutdown request can stop the campaign without losing work or
+     leaving a torn tail: the record ends on a complete chunk boundary
+     and a later [--resume] continues bit-identically. *)
+  Shutdown.check ()
 
 let lookup s ~phase ~lo ~len =
   match lookup_payload s ~phase ~lo ~len with Some (Floats a) -> Some a | _ -> None

@@ -155,6 +155,16 @@ val open_session :
     single-process record).  Raises [Invalid_argument] on a misaligned or
     out-of-range span.
 
+    {b Writer exclusion.}  Before parsing or truncating anything, the
+    session takes a non-blocking exclusive advisory lock ([fcntl], with
+    [O_CLOEXEC]) on the sidecar file [<key>.jsonl.lock]; a contended key
+    yields [Error] naming the holding pid — two writers appending to one
+    record would interleave its chunks.  The lock is released on {!close},
+    dies with the process (a killed campaign never leaves a stale lock),
+    and is dropped immediately when the record turns out complete, so any
+    number of warm readers share a key freely.  Sessions of one process
+    exclude each other the same way.
+
     Raises [Sys_error] when the record file cannot be created. *)
 
 val close : session -> unit
@@ -182,7 +192,13 @@ val set_fail_after : session -> int -> unit
     [lookup] only serves exact layout matches; [persist] appends at the
     record's write frontier for that phase (out-of-order appends and
     appends outside the session span are rejected with [Invalid_argument]
-    — the checkpoint driver calls in ascending order by construction). *)
+    — the checkpoint driver calls in ascending order by construction).
+
+    [persist] additionally polls the {!Shutdown} flag {e after} the
+    chunk's flush: a SIGINT/SIGTERM (with {!Shutdown.install}ed handlers)
+    stops the campaign at the next checkpoint barrier by raising
+    {!Shutdown.Interrupted}, leaving the record a clean, resumable prefix
+    — never a torn tail. *)
 
 val lookup : session -> phase:string -> lo:int -> len:int -> float array option
 val persist : session -> phase:string -> lo:int -> float array -> unit

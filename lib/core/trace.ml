@@ -534,16 +534,24 @@ let read_file path =
 (* Counters registry *)
 
 module Counters = struct
-  type t = { table : (string, int ref) Hashtbl.t; mutex : Mutex.t }
+  type t = {
+    table : (string, int ref) Hashtbl.t;
+    mutex : Mutex.t;
+    parent : t option;
+  }
 
-  let create () = { table = Hashtbl.create 32; mutex = Mutex.create () }
+  let create ?parent () = { table = Hashtbl.create 32; mutex = Mutex.create (); parent }
 
-  let add t name by =
+  (* Additions propagate up the parent chain, so a per-request registry
+     stays isolated while the process-total view keeps accumulating.  The
+     chain is fixed at [create] time and acyclic by construction. *)
+  let rec add t name by =
     Mutex.lock t.mutex;
     (match Hashtbl.find_opt t.table name with
     | Some r -> r := !r + by
     | None -> Hashtbl.add t.table name (ref by));
-    Mutex.unlock t.mutex
+    Mutex.unlock t.mutex;
+    match t.parent with Some p -> add p name by | None -> ()
 
   let incr t name = add t name 1
 
@@ -559,8 +567,9 @@ end
 
 type t = {
   lvl : level;
-  path : string;
+  path : string option;  (* [None]: in-memory trace, drained instead of flushed *)
   counters : Counters.t;
+  on_event : (event -> unit) option;  (* live subscriber (daemon event streaming) *)
   mutable buffer : (int * event) list;  (* newest first *)
   mutable seq : int;
   mutable phases : (string * float) list;  (* open phases: name, start wall time *)
@@ -588,8 +597,27 @@ let create ?(level = Runs) ~path () =
   let t =
     {
       lvl = level;
-      path;
+      path = Some path;
       counters = Counters.create ();
+      on_event = None;
+      buffer = [];
+      seq = 0;
+      phases = [];
+      mutex = Mutex.create ();
+    }
+  in
+  t.buffer <- [ (0, Meta { schema = schema_version; level = level_to_string level }) ];
+  t.seq <- 1;
+  t
+
+let create_mem ?(level = Summary) ?counters ?on_event () =
+  let counters = match counters with Some c -> c | None -> Counters.create () in
+  let t =
+    {
+      lvl = level;
+      path = None;
+      counters;
+      on_event;
       buffer = [];
       seq = 0;
       phases = [];
@@ -617,7 +645,9 @@ let emit t e =
     Mutex.lock t.mutex;
     t.buffer <- (t.seq, e) :: t.buffer;
     t.seq <- t.seq + 1;
-    Mutex.unlock t.mutex
+    Mutex.unlock t.mutex;
+    (* Outside the trace mutex: the subscriber may take its own locks. *)
+    match t.on_event with Some f -> f e | None -> ()
   end
 
 let current_phase t = match t.phases with (name, _) :: _ -> name | [] -> ""
@@ -655,34 +685,45 @@ let iid_event (r : Iid.result) =
       accepted = r.Iid.accepted;
     }
 
+let sorted_events buffered =
+  (* Emission already happens in canonical order on the coordinating
+     domain; the sort is the safety net that makes the ordering a
+     property of the file, not of the code path that produced it. *)
+  List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev buffered)
+  |> List.map snd
+
 let flush t =
+  match t.path with
+  | None -> ()  (* in-memory traces keep their buffer for [drain] *)
+  | Some path ->
+      Mutex.lock t.mutex;
+      let buffered = t.buffer in
+      t.buffer <- [];
+      Mutex.unlock t.mutex;
+      if buffered <> [] || Counters.snapshot t.counters <> [] then
+        Repro_profile.time Repro_profile.Trace (fun () ->
+            let events = sorted_events buffered in
+            let counter_events =
+              List.map
+                (fun (name, value) -> Counter { name; value })
+                (Counters.snapshot t.counters)
+            in
+            let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                List.iter
+                  (fun e ->
+                    output_string oc (to_line e);
+                    output_char oc '\n')
+                  (events @ counter_events)))
+
+let drain t =
   Mutex.lock t.mutex;
   let buffered = t.buffer in
   t.buffer <- [];
   Mutex.unlock t.mutex;
-  if buffered <> [] || Counters.snapshot t.counters <> [] then
-    Repro_profile.time Repro_profile.Trace (fun () ->
-        (* Emission already happens in canonical order on the coordinating
-           domain; the sort is the safety net that makes the ordering a
-           property of the file, not of the code path that produced it. *)
-        let events =
-          List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev buffered)
-          |> List.map snd
-        in
-        let counter_events =
-          List.map
-            (fun (name, value) -> Counter { name; value })
-            (Counters.snapshot t.counters)
-        in
-        let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 t.path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-            List.iter
-              (fun e ->
-                output_string oc (to_line e);
-                output_char oc '\n')
-              (events @ counter_events)))
+  sorted_events buffered
 
 let close t = flush t
 

@@ -116,7 +116,12 @@ type event =
 module Counters : sig
   type t
 
-  val create : unit -> t
+  (** [create ?parent ()] — a fresh registry.  With [?parent], every
+      addition also propagates up the (acyclic, fixed-at-creation) parent
+      chain: a long-lived process scopes one registry per request for
+      isolated totals while the parent keeps the process-total view. *)
+  val create : ?parent:t -> unit -> t
+
   val add : t -> string -> int -> unit
   val incr : t -> string -> unit
 
@@ -136,6 +141,17 @@ val ensure_dir : string -> unit
     touched immediately, so an unwritable destination fails fast (with
     [Sys_error]) instead of after the campaign ran. *)
 val create : ?level:level -> path:string -> unit -> t
+
+(** [create_mem ?level ?counters ?on_event ()] opens an in-memory trace:
+    no file is touched, {!flush}/{!close} are no-ops, and the buffered
+    events are retrieved with {!drain}.  [level] defaults to {!Summary}.
+    [counters] substitutes an external registry (typically one created
+    with [Counters.create ~parent] to roll per-request totals into a
+    process-wide view); [on_event] is invoked synchronously for every
+    admitted event — the daemon uses it to stream phase events to
+    subscribed clients while the campaign runs. *)
+val create_mem :
+  ?level:level -> ?counters:Counters.t -> ?on_event:(event -> unit) -> unit -> t
 
 val level : t -> level
 val counters : t -> Counters.t
@@ -175,10 +191,21 @@ val flush : t -> unit
 
 val close : t -> unit
 
+(** [drain t] — take the buffered events (canonically sorted) out of an
+    in-memory trace, leaving the buffer empty.  Works on file-backed
+    traces too, in which case the drained events will not be flushed. *)
+val drain : t -> event list
+
 (** {2 Serialization} *)
 
 (** [to_line e] — the JSONL line for [e] (no trailing newline). *)
 val to_line : event -> string
+
+(** The JSON value behind {!to_line} — for embedding events inside a
+    larger document (the serve protocol nests them in response lines). *)
+val json_of_event : event -> Json.t
+
+val event_of_json : Json.t -> (event, string) result
 
 (** [of_line s] parses one JSONL line back into an event. *)
 val of_line : string -> (event, string) result

@@ -1,0 +1,39 @@
+(* Client side of the serve protocol: connect, send one request line,
+   stream events to a callback, return the final response. *)
+
+module Sp = Serve_protocol
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "client: cannot connect to %s: %s (is the daemon running?)"
+           path (Unix.error_message e))
+
+let request ?on_event ~socket_path req =
+  match connect socket_path with
+  | Error _ as e -> e
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Serve_io.write_line fd (Sp.request_to_line req) with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error ("client: send failed: " ^ Unix.error_message e)
+          | () ->
+              let reader = Serve_io.reader fd in
+              let rec next () =
+                match Serve_io.read_line reader with
+                | Error e -> Error ("client: " ^ e)
+                | Ok line -> (
+                    match Sp.response_of_line line with
+                    | Error e -> Error ("client: bad response: " ^ e)
+                    | Ok (Sp.Event ev) ->
+                        (match on_event with Some f -> f ev | None -> ());
+                        next ()
+                    | Ok r -> Ok r)
+              in
+              next ())

@@ -1,0 +1,15 @@
+(** Client side of the [mbpta serve] protocol. *)
+
+module M := Repro_mbpta
+
+(** [request ~socket_path req] — connect to a running daemon, send the
+    request, and return its final response.  Streamed {!Serve_protocol.Event}
+    lines (campaign requests sent with [events = true]) are delivered to
+    [on_event] as they arrive and are never the returned value.  All
+    failures — daemon not running, connection dropped, malformed line —
+    come back as [Error]. *)
+val request :
+  ?on_event:(M.Trace.event -> unit) ->
+  socket_path:string ->
+  Serve_protocol.request ->
+  (Serve_protocol.response, string) result

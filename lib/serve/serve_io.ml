@@ -1,0 +1,56 @@
+(* Line-oriented socket I/O shared by the daemon and the client: one
+   UTF-8/JSON line per message, LF-terminated.  Reads are buffered per
+   connection; writes loop until the whole line is on the wire. *)
+
+let write_line fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* A request or response line is at most a few MB (a report plus
+   counters); anything larger is a protocol violation, not a message. *)
+let max_line_bytes = 1 lsl 22
+
+type reader = {
+  r_fd : Unix.file_descr;
+  r_buf : Buffer.t;
+  r_chunk : Bytes.t;
+  mutable r_pending : string;  (* bytes read past the last returned line *)
+}
+
+let reader fd =
+  { r_fd = fd; r_buf = Buffer.create 256; r_chunk = Bytes.create 4096; r_pending = "" }
+
+(* [read_line r] — the next LF-terminated line (without the LF), [Ok ""]
+   possible for empty lines.  [Error] on EOF before any byte of a line,
+   on an over-long line, and on socket errors (including a receive
+   timeout when SO_RCVTIMEO is set on the descriptor). *)
+let read_line r =
+  Buffer.clear r.r_buf;
+  let take_from s =
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.add_substring r.r_buf s 0 i;
+        r.r_pending <- String.sub s (i + 1) (String.length s - i - 1);
+        true
+    | None ->
+        Buffer.add_string r.r_buf s;
+        r.r_pending <- "";
+        false
+  in
+  let rec go () =
+    if Buffer.length r.r_buf > max_line_bytes then Error "line too long"
+    else
+      match Unix.read r.r_fd r.r_chunk 0 (Bytes.length r.r_chunk) with
+      | 0 ->
+          if Buffer.length r.r_buf = 0 then Error "connection closed"
+          else Ok (Buffer.contents r.r_buf)  (* tolerate a missing final LF *)
+      | n -> if take_from (Bytes.sub_string r.r_chunk 0 n) then Ok (Buffer.contents r.r_buf) else go ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  if r.r_pending <> "" && take_from r.r_pending then Ok (Buffer.contents r.r_buf) else go ()

@@ -68,16 +68,58 @@ type codegen_key = {
   key_variant : Codegen.variant;
 }
 
-let decode_cache :
-    (codegen_key, Isa.Program.t * Isa.Layout.t * Isa.Executor.Decoded.t) Hashtbl.t =
-  Hashtbl.create 8
+type decode_entry = {
+  de_value : Isa.Program.t * Isa.Layout.t * Isa.Executor.Decoded.t;
+  mutable de_stamp : int;  (* recency: the logical clock at last use *)
+}
 
+let decode_cache : (codegen_key, decode_entry) Hashtbl.t = Hashtbl.create 8
 let decode_cache_mutex = Mutex.create ()
+let decode_cache_clock = ref 0
+
+(* A long-lived process (the [mbpta serve] daemon) sees an unbounded
+   stream of distinct (frames, gains, variant) configs; without a cap
+   every one of them would pin a decoded program forever.  The default
+   cap comfortably covers a campaign's working set (one entry per config;
+   the DET and RAND experiments share it) while bounding the daemon. *)
+let default_decode_cache_capacity = 32
+let decode_cache_capacity_v = ref default_decode_cache_capacity
 let decode_cache_hits = Atomic.make 0
 let decode_cache_misses = Atomic.make 0
 
 let decode_cache_stats () =
   (Atomic.get decode_cache_hits, Atomic.get decode_cache_misses)
+
+(* Callers hold [decode_cache_mutex]. *)
+let decode_cache_evict_to cap =
+  while Hashtbl.length decode_cache > cap do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.de_stamp -> acc
+          | _ -> Some (k, e.de_stamp))
+        decode_cache None
+    in
+    match victim with
+    | Some (k, _) -> Hashtbl.remove decode_cache k
+    | None -> ()
+  done
+
+let decode_cache_size () =
+  Mutex.lock decode_cache_mutex;
+  let n = Hashtbl.length decode_cache in
+  Mutex.unlock decode_cache_mutex;
+  n
+
+let decode_cache_capacity () = !decode_cache_capacity_v
+
+let set_decode_cache_capacity cap =
+  if cap < 1 then invalid_arg "Experiment.set_decode_cache_capacity: cap must be >= 1";
+  Mutex.lock decode_cache_mutex;
+  decode_cache_capacity_v := cap;
+  decode_cache_evict_to cap;
+  Mutex.unlock decode_cache_mutex
 
 let decoded_program ~variant ~gains ~frames =
   let key = { key_frames = frames; key_gains = gains; key_variant = variant } in
@@ -85,10 +127,12 @@ let decoded_program ~variant ~gains ~frames =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock decode_cache_mutex)
     (fun () ->
+      incr decode_cache_clock;
       match Hashtbl.find_opt decode_cache key with
       | Some entry ->
           Atomic.incr decode_cache_hits;
-          entry
+          entry.de_stamp <- !decode_cache_clock;
+          entry.de_value
       | None ->
           Atomic.incr decode_cache_misses;
           let program =
@@ -100,9 +144,13 @@ let decoded_program ~variant ~gains ~frames =
             Profile.time Profile.Decode (fun () ->
                 Isa.Executor.Decoded.decode ~program ~layout)
           in
-          let entry = (program, layout, decoded) in
+          let entry = { de_value = (program, layout, decoded); de_stamp = !decode_cache_clock } in
           Hashtbl.replace decode_cache key entry;
-          entry)
+          (* Evicting the least-recently-used entry only ever drops cache
+             references; live experiments keep their own reference to the
+             decoded triple, so eviction is invisible to them. *)
+          decode_cache_evict_to !decode_cache_capacity_v;
+          entry.de_value)
 
 let create ?(frames = Mission.default_frames) ?(gains = Controller.default_gains)
     ?(variant = Codegen.Full) ?(contenders = []) ~config ~base_seed () =

@@ -78,6 +78,21 @@ val measure_retired : t -> run_index:int -> float
     config share one generated + pre-decoded program. *)
 val decode_cache_stats : unit -> int * int
 
+(** The decode cache is bounded: at most [decode_cache_capacity ()]
+    entries (default 32), evicting the least-recently-used entry on
+    overflow — a long-lived process serving an unbounded stream of
+    distinct configs must not pin every decoded program forever.
+    Eviction only drops the cache's reference; live experiments hold
+    their own and are unaffected.  [set_decode_cache_capacity] shrinks
+    the cache immediately when lowering the cap; raises
+    [Invalid_argument] on a cap < 1. *)
+val decode_cache_capacity : unit -> int
+
+val set_decode_cache_capacity : int -> unit
+
+(** Current entry count (always [<= decode_cache_capacity ()]). *)
+val decode_cache_size : unit -> int
+
 (** [(scratches_created, batched_reuses)] — how many per-(domain,
     experiment) simulator scratches were built vs how many runs reused one;
     a healthy batched campaign shows reuses ≫ creations. *)

@@ -215,6 +215,51 @@ let test_hotpath_counters () =
   checkb "scratches created" true (created > 0);
   checkb "runs reused a scratch" true (reused > created)
 
+(* The decode cache is process-global in a long-lived daemon, so it must
+   stay bounded: cycling more distinct configs than the cap may never
+   grow it past the cap, eviction must be LRU, and the hit/miss counters
+   must stay consistent through evictions. *)
+let test_decode_cache_bounded () =
+  let default_cap = T.Experiment.decode_cache_capacity () in
+  Fun.protect ~finally:(fun () -> T.Experiment.set_decode_cache_capacity default_cap)
+  @@ fun () ->
+  let touch frames =
+    let e =
+      T.Experiment.create ~frames ~config:P.Config.deterministic ~base_seed:7L ()
+    in
+    ignore (T.Experiment.measure e ~run_index:0)
+  in
+  (match T.Experiment.set_decode_cache_capacity 0 with
+  | () -> Alcotest.fail "a cap of 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  let cap = 4 in
+  T.Experiment.set_decode_cache_capacity cap;
+  checkb "lowering the cap shrinks immediately" true
+    (T.Experiment.decode_cache_size () <= cap);
+  (* cycle 3x the cap's worth of distinct configs (frames is part of the
+     codegen key): size must never exceed the cap *)
+  for frames = 21 to 20 + (3 * cap) do
+    touch frames;
+    checkb "size stays within the cap" true (T.Experiment.decode_cache_size () <= cap)
+  done;
+  Alcotest.(check int) "cache is full after the cycle" cap
+    (T.Experiment.decode_cache_size ());
+  (* LRU order: the newest [cap] configs are resident (hits), the ones
+     cycled out first are gone (misses) *)
+  let hits_of f =
+    let h0, m0 = T.Experiment.decode_cache_stats () in
+    touch f;
+    let h1, m1 = T.Experiment.decode_cache_stats () in
+    Alcotest.(check int) "each lookup is one hit or one miss" 1
+      (h1 - h0 + (m1 - m0));
+    h1 - h0 = 1
+  in
+  checkb "most recent config still cached" true (hits_of (20 + (3 * cap)));
+  checkb "evicted config misses again" false (hits_of 21);
+  (* recaching 21 evicted the then-oldest entry, never the cap *)
+  Alcotest.(check int) "re-insertion respects the cap" cap
+    (T.Experiment.decode_cache_size ())
+
 let () =
   Alcotest.run "hotpath"
     [
@@ -237,4 +282,9 @@ let () =
         ] );
       ( "counters",
         [ Alcotest.test_case "decode cache + batch exercised" `Quick test_hotpath_counters ] );
+      ( "lru",
+        [
+          Alcotest.test_case "decode cache bounded with LRU eviction" `Quick
+            test_decode_cache_bounded;
+        ] );
     ]

@@ -706,6 +706,115 @@ let test_export_roundtrip () =
   | Ok _ -> Alcotest.fail "export must refuse a tampered record"
   | Error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* writer exclusion *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_writer_lock_in_process () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:30 ~resilient:false in
+  (match Store.open_session ~chunk_size:8 root ~key ~config ~runs:30 ~resilient:false with
+  | Ok _ -> Alcotest.fail "second writer on one key must not open"
+  | Error e ->
+      Alcotest.(check bool) "diagnostic names the writer conflict" true
+        (contains e "locked"));
+  Store.close s;
+  (* the lock travels with the session: a new writer opens cleanly now *)
+  let s2 = open_exn ~chunk_size:8 ~resume:true root ~key ~runs:30 ~resilient:false in
+  Store.close s2
+
+(* Two processes racing on one key: the child takes the session and
+   holds it; the parent must get the typed diagnostic, and must regain
+   the key without any cleanup step once the child dies — even by
+   SIGKILL, which runs no release code at all. *)
+let test_writer_lock_two_processes () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let key = Store.key ~chunk_size:8 config in
+  let r_ready, w_ready = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      (* child: report whether the open worked, then hold until killed *)
+      Unix.close r_ready;
+      let verdict =
+        let root = Store.open_root ~dir in
+        match Store.open_session ~chunk_size:8 root ~key ~config ~runs:30 ~resilient:false with
+        | Ok _ -> "k"
+        | Error _ -> "e"
+      in
+      ignore (Unix.write_substring w_ready verdict 0 1);
+      Unix.sleep 60;
+      Unix._exit 0
+  | child ->
+      Unix.close w_ready;
+      let b = Bytes.create 1 in
+      let n = Unix.read r_ready b 0 1 in
+      Unix.close r_ready;
+      Alcotest.(check int) "child reported" 1 n;
+      Alcotest.(check char) "child holds the session" 'k' (Bytes.get b 0);
+      let root = Store.open_root ~dir in
+      (match Store.open_session ~chunk_size:8 root ~key ~config ~runs:30 ~resilient:false with
+      | Ok _ ->
+          Unix.kill child Sys.sigkill;
+          ignore (Unix.waitpid [] child);
+          Alcotest.fail "two live writers on one key"
+      | Error e ->
+          Alcotest.(check bool) "diagnostic names the other writer" true
+            (contains e "locked by another writer"));
+      Unix.kill child Sys.sigkill;
+      ignore (Unix.waitpid [] child);
+      (match Store.open_session ~chunk_size:8 root ~key ~config ~runs:30 ~resilient:false with
+      | Ok s -> Store.close s
+      | Error e -> Alcotest.failf "lock must die with its process: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* graceful shutdown (signal -> checkpoint barrier -> resume) *)
+
+(* A real SIGINT mid-campaign: the store must stop at the next chunk
+   barrier with a clean prefix, and rerunning with resume must be
+   bit-identical to a cold run — the kill is invisible in the result. *)
+let test_sigint_checkpoint_resume () =
+  with_root @@ fun root ->
+  let runs = 30 in
+  let reference = Array.init runs awkward in
+  let key = Store.key ~chunk_size:8 config in
+  M.Shutdown.install ();
+  let s = open_exn ~chunk_size:8 root ~key ~runs ~resilient:false in
+  let self_kill i =
+    if i = 12 then begin
+      Unix.kill (Unix.getpid ()) Sys.sigint;
+      (* the handler only sets a flag, and runs at the next safepoint —
+         spin (allocating) until it has *)
+      while not (M.Shutdown.requested ()) do
+        ignore (Sys.opaque_identity (Array.make 1 0))
+      done
+    end;
+    awkward i
+  in
+  (match Store.collect s ~jobs:1 ~phase:session_phase runs self_kill with
+  | _ -> Alcotest.fail "expected Shutdown.Interrupted"
+  | exception M.Shutdown.Interrupted reason ->
+      Alcotest.(check string) "interruption names the signal" "SIGINT" reason;
+      Store.close s);
+  Alcotest.(check int) "SIGINT maps to exit 130" 130
+    (M.Shutdown.exit_code (M.Shutdown.Interrupted "SIGINT"));
+  Alcotest.(check int) "SIGTERM maps to exit 143" 143
+    (M.Shutdown.exit_code (M.Shutdown.Interrupted "SIGTERM"));
+  M.Shutdown.reset ();
+  let r = open_exn ~chunk_size:8 ~resume:true root ~key ~runs ~resilient:false in
+  (* the signal landed in chunk [8,16): that chunk still flushed before
+     the barrier raised, so the prefix is exactly two whole chunks *)
+  Alcotest.(check int) "clean chunk-aligned prefix" 16
+    (Store.cached_runs r ~phase:session_phase);
+  let resumed = Store.collect r ~jobs:2 ~phase:session_phase runs awkward in
+  Store.close r;
+  check_bits "kill-then-resume is bit-identical to cold" reference resumed
+
 let () =
   Alcotest.run "store"
     [
@@ -721,6 +830,18 @@ let () =
         ] );
       ( "guards",
         [ Alcotest.test_case "session guards" `Quick test_session_guards ] );
+      ( "locking",
+        [
+          Alcotest.test_case "in-process writer exclusion" `Quick
+            test_writer_lock_in_process;
+          Alcotest.test_case "two processes racing on one key" `Quick
+            test_writer_lock_two_processes;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "SIGINT checkpoints, resume equals cold" `Quick
+            test_sigint_checkpoint_resume;
+        ] );
       ( "resume",
         [
           Alcotest.test_case "resume equals cold" `Quick test_resume_equals_cold;

@@ -148,6 +148,58 @@ let test_counters_cross_domain () =
   Alcotest.(check (list (pair string int)))
     "commutative total" [ ("sum", 1999000) ] (Trace.Counters.snapshot c)
 
+(* Per-request scoping: the daemon hands every request its own registry,
+   parented on the process total.  Additions must stay isolated between
+   siblings while rolling up into the parent — and a parentless registry
+   (the back-compat process-total view) must behave exactly as before. *)
+let test_counters_scoped () =
+  let total = Trace.Counters.create () in
+  let req_a = Trace.Counters.create ~parent:total () in
+  let req_b = Trace.Counters.create ~parent:total () in
+  Trace.Counters.add req_a "rand.cycles" 100;
+  Trace.Counters.incr req_a "cache.runs_simulated";
+  Trace.Counters.add req_b "rand.cycles" 7;
+  Alcotest.(check (list (pair string int)))
+    "request A sees only its own additions"
+    [ ("cache.runs_simulated", 1); ("rand.cycles", 100) ]
+    (Trace.Counters.snapshot req_a);
+  Alcotest.(check (list (pair string int)))
+    "request B isolated from A"
+    [ ("rand.cycles", 7) ]
+    (Trace.Counters.snapshot req_b);
+  Alcotest.(check (list (pair string int)))
+    "process total rolls both up"
+    [ ("cache.runs_simulated", 1); ("rand.cycles", 107) ]
+    (Trace.Counters.snapshot total);
+  (* totals may also be written directly (daemon-level serve.* counters)
+     without touching any request's view *)
+  Trace.Counters.incr total "serve.requests";
+  Alcotest.(check (option int))
+    "parent-only counter invisible to children" None
+    (List.assoc_opt "serve.requests" (Trace.Counters.snapshot req_a))
+
+(* In-memory traces (the daemon's per-request kind): events stream to the
+   [on_event] hook as they are emitted, [drain] returns them in order,
+   and nothing touches the filesystem. *)
+let test_mem_trace_stream_and_drain () =
+  let streamed = ref [] in
+  let t =
+    Trace.create_mem ~level:Trace.Runs ~on_event:(fun e -> streamed := e :: !streamed) ()
+  in
+  Trace.phase_start t "collect_rand";
+  Trace.emit_sample t ~phase:"collect_rand" [| 1.5; 2.5 |];
+  Trace.phase_end t "collect_rand";
+  Trace.flush t;
+  let drained = Trace.drain t in
+  Alcotest.(check bool) "drain keeps the meta header" true
+    (match drained with Trace.Meta _ :: _ -> true | _ -> false);
+  Alcotest.(check int) "all events drained (meta + 4)" 5 (List.length drained);
+  Alcotest.(check int) "hook saw every emitted event" 4 (List.length !streamed);
+  Alcotest.(check bool) "hook preserves emission order" true
+    (match List.rev !streamed with
+    | Trace.Phase_start _ :: _ -> true
+    | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* File round-trip *)
 
@@ -288,6 +340,9 @@ let () =
         [
           Alcotest.test_case "accumulate & sort" `Quick test_counters;
           Alcotest.test_case "cross-domain totals" `Quick test_counters_cross_domain;
+          Alcotest.test_case "per-request scoping" `Quick test_counters_scoped;
+          Alcotest.test_case "in-memory stream & drain" `Quick
+            test_mem_trace_stream_and_drain;
         ] );
       ( "file",
         [
