@@ -1,16 +1,16 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (DESIGN.md experiment index E1-E4) plus the ablations A1-A4,
-   runs the campaign-throughput / hot-path / analysis-throughput
-   benchmarks (sections P1-P3; results optionally emitted as
-   machine-readable JSON for the perf trajectory), then runs Bechamel
-   micro-benchmarks of the pipeline's own cost.
+   runs the campaign-throughput / hot-path / analysis-throughput /
+   distributed / shuffle-leak benchmarks (sections P1-P5; results
+   optionally emitted as machine-readable JSON for the perf trajectory),
+   then runs Bechamel micro-benchmarks of the pipeline's own cost.
 
    Usage:  dune exec bench/main.exe [-- --runs N] [-- --skip-micro]
                                     [-- --smoke] [-- --json PATH]
                                     [-- --trace PATH] [-- --profile]
    Default N is 3000 (the paper's run count).  [--smoke] runs only the
-   P1-P4 perf sections at a reduced run count (the CI mode); [--json PATH]
-   writes the P1-P4 results to PATH (e.g. BENCH_pr7.json); [--trace PATH]
+   P1-P5 perf sections at a reduced run count (the CI mode); [--json PATH]
+   writes the P1-P5 results to PATH (e.g. BENCH_pr9.json); [--trace PATH]
    keeps the JSONL trace written by the P1 trace-overhead probe;
    [--profile] enables the stage-resolved micro-profiler and emits its
    table (and a JSON section) at the end. *)
@@ -1165,11 +1165,116 @@ let p4_distributed_perf () =
     quarantine_detected;
   }
 
-let json_of_perf r s a d =
+(* ------------------------------------------------------------------ *)
+(* P5: schedule randomization + the timing-leak comparator.  Per-policy
+   RTOS-simulation throughput (the [mbpta shuffle] kernel), bit-identity
+   of a shuffle campaign across job counts, comparator throughput, and
+   the two acceptance verdicts of the leak protocol: a DET platform
+   exposes a secret-dependent input, same-distribution RAND campaigns
+   stay clean. *)
+
+type shuffle_policy_perf = {
+  sp_policy : string;
+  sp_seconds : float;
+  sp_runs_per_sec : float;
+  sp_distinct : int;
+  sp_entropy_bits : float;
+}
+
+type shuffle_leak_results = {
+  sl_runs : int;
+  sl_policies : shuffle_policy_perf list;
+  shuffle_identical_across_jobs : bool;
+  welch_tests_per_sec : float;
+  leak_det_detected : bool;  (* DET input-0 vs input-1 must leak *)
+  leak_rand_clean : bool;  (* RAND same-distribution pair must not *)
+}
+
+let p5_shuffle_leak_perf () =
+  section "P5  Schedule randomization + timing-leak comparator";
+  let n = Stdlib.max 60 (Stdlib.min !runs 600) in
+  let schedule i policy =
+    T.Experiment.run_schedule rand_experiment ~policy ~period:60_000 ~max_jitter:2_000
+      ~horizon:240_000 ~run_index:i ()
+  in
+  let sl_policies =
+    List.map
+      (fun policy ->
+        let rs, seconds =
+          time_it (fun () ->
+              M.Parallel.init ~jobs:1 n (fun i -> schedule i policy))
+        in
+        let rand_metrics =
+          T.Rtos.randomization_of_signatures
+            (Array.to_list (Array.map (fun r -> r.T.Experiment.signature) rs))
+        in
+        let row =
+          {
+            sp_policy = T.Rtos.policy_name policy;
+            sp_seconds = seconds;
+            sp_runs_per_sec = float_of_int n /. seconds;
+            sp_distinct = rand_metrics.T.Rtos.distinct;
+            sp_entropy_bits = rand_metrics.T.Rtos.entropy_bits;
+          }
+        in
+        Format.printf
+          "%-8s %d RTOS runs in %8.3fs (%8.1f runs/s), %d distinct schedules, %.3f bits@."
+          row.sp_policy n seconds row.sp_runs_per_sec row.sp_distinct row.sp_entropy_bits;
+        row)
+      T.Rtos.all_policies
+  in
+  let shuffle_identical_across_jobs =
+    let collect jobs =
+      M.Parallel.init ~jobs n (fun i -> schedule i T.Rtos.Priority_shuffle)
+    in
+    collect 1 = collect 4
+  in
+  Format.printf "shuffle campaign bit-identical jobs=1 vs 4:       %b@."
+    shuffle_identical_across_jobs;
+  (* leak protocol: DET with the input pinned per class leaks; two RAND
+     campaigns over the same input distribution do not *)
+  let det_fixed idx =
+    Array.init n (fun i ->
+        T.Experiment.measure_fixed_scenario det_experiment ~scenario_index:idx ~run_index:i)
+  in
+  let det_a = det_fixed 0 and det_b = det_fixed 1 in
+  let rand_a = Array.init n (fun i -> T.Experiment.measure rand_experiment ~run_index:i) in
+  let rand_b =
+    Array.init n (fun i -> T.Experiment.measure rand_experiment ~run_index:(n + i))
+  in
+  let det_verdict = S.Welch.t_test det_a det_b in
+  let rand_verdict = S.Welch.t_test rand_a rand_b in
+  let leak_det_detected = not det_verdict.S.Welch.equal_means in
+  let leak_rand_clean = rand_verdict.S.Welch.equal_means in
+  if not leak_det_detected then failwith "P5: DET secret-dependent pair not detected";
+  if not leak_rand_clean then failwith "P5: RAND same-distribution pair flagged as leak";
+  let comparator_batch = 2_000 in
+  let (), welch_seconds =
+    time_it (fun () ->
+        for _ = 1 to comparator_batch do
+          ignore (S.Welch.t_test rand_a rand_b)
+        done)
+  in
+  let welch_tests_per_sec = float_of_int comparator_batch /. welch_seconds in
+  Format.printf "DET input-0 vs input-1 leak detected:             %b (p = %.3g)@."
+    leak_det_detected det_verdict.S.Welch.p_value;
+  Format.printf "RAND same-distribution pair clean:                %b (p = %.3g)@."
+    leak_rand_clean rand_verdict.S.Welch.p_value;
+  Format.printf "Welch comparator: %.0f tests/s on 2x%d samples@." welch_tests_per_sec n;
+  {
+    sl_runs = n;
+    sl_policies;
+    shuffle_identical_across_jobs;
+    welch_tests_per_sec;
+    leak_det_detected;
+    leak_rand_clean;
+  }
+
+let json_of_perf r s a d sl =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"bench_pr7/v1\",\n";
+  add "  \"schema\": \"bench_pr9/v1\",\n";
   add "  \"smoke\": %b,\n" !smoke;
   add "  \"campaign_runs\": %d,\n" r.campaign_runs;
   add "  \"recommended_domain_count\": %d,\n" r.domain_count;
@@ -1251,6 +1356,23 @@ let json_of_perf r s a d =
   add "      \"speedup\": %.2f,\n" a.acf_speedup;
   add "      \"bit_identical_to_per_lag\": %b\n" a.acf_identical;
   add "    }\n";
+  add "  },\n";
+  add "  \"shuffle_leak\": {\n";
+  add "    \"campaign_runs\": %d,\n" sl.sl_runs;
+  add "    \"policies\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "      {\"policy\": \"%s\", \"seconds\": %.6f, \"runs_per_sec\": %.2f, \
+         \"distinct_schedules\": %d, \"entropy_bits\": %.4f}%s\n"
+        p.sp_policy p.sp_seconds p.sp_runs_per_sec p.sp_distinct p.sp_entropy_bits
+        (if i = List.length sl.sl_policies - 1 then "" else ","))
+    sl.sl_policies;
+  add "    ],\n";
+  add "    \"shuffle_identical_across_jobs\": %b,\n" sl.shuffle_identical_across_jobs;
+  add "    \"welch_tests_per_sec\": %.2f,\n" sl.welch_tests_per_sec;
+  add "    \"leak_det_detected\": %b,\n" sl.leak_det_detected;
+  add "    \"leak_rand_clean\": %b\n" sl.leak_rand_clean;
   add "  },\n";
   add "  \"profile\": {\n";
   add "    \"enabled\": %b,\n" (M.Profile.enabled ());
@@ -1343,8 +1465,9 @@ let () =
   let store = p2_store_perf () in
   let analysis = p3_analysis_perf () in
   let distributed = p4_distributed_perf () in
+  let shuffle_leak = p5_shuffle_leak_perf () in
   (match !json_out with
-  | Some path -> write_json path (json_of_perf perf store analysis distributed)
+  | Some path -> write_json path (json_of_perf perf store analysis distributed shuffle_leak)
   | None -> ());
   if !profile then begin
     section "Stage-resolved profile (whole benchmark process)";

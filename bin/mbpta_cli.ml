@@ -7,6 +7,8 @@
      paths        per-path analysis (groups runs by execution path)
      qualify      PRNG qualification battery
      plot         Figure 2 exceedance plot only
+     shuffle      schedule-randomization campaigns (pWCET impact + entropy)
+     leak         two-campaign timing-leak test (Welch's t + Cohen's d)
      trace        inspect JSONL traces written with --trace
      cache        inspect/maintain the measurement store (--cache-dir)
      serve        long-running campaign daemon on a Unix socket
@@ -1346,6 +1348,254 @@ let client_cmd =
       $ no_gates_arg $ bootstrap_arg $ factor $ seu_rate $ watchdog_budget $ max_retries
       $ min_survival $ probability $ events)
 
+(* ------------------------------- shuffle ------------------------------- *)
+
+(* One campaign per schedule-randomization policy: measure worst-case task
+   response times under the randomized schedule, analyze them like any
+   other MBPTA sample, and report schedule-diversity metrics next to the
+   pWCET impact.  Every schedule derives from [Experiment.schedule_seed],
+   a pure function of [(base_seed, run_index)], so the whole subcommand is
+   bit-identical at any --jobs. *)
+let shuffle runs seed frames tail no_gates jobs period max_jitter horizon context_switch
+    policies trace_path trace_level =
+  let jobs = resolve_jobs jobs in
+  validate_runs runs;
+  validate_frames frames;
+  if period < 1 then usage_error "--period must be >= 1 (got %d)" period;
+  if max_jitter < 0 then usage_error "--max-jitter must be >= 0 (got %d)" max_jitter;
+  if horizon < period then
+    usage_error "--horizon must cover at least one period (got %d < %d)" horizon period;
+  if context_switch < 0 then
+    usage_error "--context-switch must be >= 0 (got %d)" context_switch;
+  let policies = match policies with [] -> T.Rtos.all_policies | ps -> ps in
+  let config =
+    base_config ~subcommand:"shuffle" ~runs ~seed ~frames
+    @ [
+        ("tail", tail_name tail);
+        ("period", string_of_int period);
+        ("max_jitter", string_of_int max_jitter);
+        ("horizon", string_of_int horizon);
+        ("policies", String.concat "," (List.map T.Rtos.policy_name policies));
+      ]
+  in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
+  let exp = experiment ~config:P.Config.mbpta_compliant ~seed ~frames in
+  let options = options_of ~seed ~tail ~no_gates () in
+  let campaign policy =
+    let name = T.Rtos.policy_name policy in
+    let phase = "shuffle_" ^ name in
+    (match trace with Some t -> M.Trace.phase_start t phase | None -> ());
+    let results =
+      M.Parallel.init ?trace ~jobs runs (fun i ->
+          T.Experiment.run_schedule exp ~context_switch ~policy ~period ~max_jitter
+            ~horizon ~run_index:i ())
+    in
+    let sample = Array.map (fun r -> r.T.Experiment.worst_response) results in
+    let rnd =
+      T.Rtos.randomization_of_signatures
+        (Array.to_list (Array.map (fun r -> r.T.Experiment.signature) results))
+    in
+    (match trace with
+    | Some t ->
+        M.Trace.emit_sample t ~phase sample;
+        let c = M.Trace.counters t in
+        let add k v = M.Trace.Counters.add c (Printf.sprintf "shuffle.%s.%s" name k) v in
+        add "runs" rnd.T.Rtos.schedules;
+        add "distinct_schedules" rnd.T.Rtos.distinct;
+        add "entropy_millibits"
+          (int_of_float (Float.round (rnd.T.Rtos.entropy_bits *. 1000.)));
+        add "vulnerability_ppm"
+          (int_of_float (Float.round (rnd.T.Rtos.vulnerability *. 1e6)));
+        Array.iter
+          (fun r ->
+            add "preemptions" r.T.Experiment.preemptions;
+            add "skipped_releases" r.T.Experiment.skipped_releases)
+          results;
+        M.Trace.phase_end t phase
+    | None -> ());
+    let analysis =
+      in_analysis_phase trace (fun () -> M.Protocol.analyze ~options ~jobs ?trace sample)
+    in
+    let pwcet_at_1e6, analysis_note =
+      match analysis with
+      | Ok a ->
+          (Some (E.Pwcet.estimate a.M.Protocol.curve ~cutoff_probability:1e-6), None)
+      | Error f -> (None, Some (Format.asprintf "%a" M.Protocol.pp_failure f))
+    in
+    ( analysis,
+      {
+        M.Report.policy = name;
+        summary = Repro_stats.Descriptive.summarize sample;
+        pwcet_at_1e6;
+        analysis_note;
+        schedules = rnd.T.Rtos.schedules;
+        distinct_schedules = rnd.T.Rtos.distinct;
+        entropy_bits = rnd.T.Rtos.entropy_bits;
+        vulnerability = rnd.T.Rtos.vulnerability;
+      } )
+  in
+  let outcomes = List.map campaign policies in
+  print_endline (M.Report.render_shuffle (List.map snd outcomes));
+  if List.for_all (fun (a, _) -> Result.is_ok a) outcomes then 0 else 1
+
+let shuffle_cmd =
+  let period =
+    let doc = "Release period of the three TVCA tasks, cycles." in
+    Arg.(value & opt int 60_000 & info [ "period" ] ~docv:"CYCLES" ~doc)
+  in
+  let max_jitter =
+    let doc = "Upper bound of the per-task release delay drawn by the jitter policy." in
+    Arg.(value & opt int 2_000 & info [ "max-jitter" ] ~docv:"CYCLES" ~doc)
+  in
+  let horizon =
+    let doc = "Cycles simulated per run (jobs in flight at the horizon are abandoned)." in
+    Arg.(value & opt int 240_000 & info [ "horizon" ] ~docv:"CYCLES" ~doc)
+  in
+  let context_switch =
+    let doc = "Cycles charged whenever the running job changes." in
+    Arg.(value & opt int 40 & info [ "context-switch" ] ~docv:"CYCLES" ~doc)
+  in
+  let policies =
+    let policy =
+      Arg.conv
+        ( (fun s -> Result.map_error (fun e -> `Msg e) (T.Rtos.policy_of_string s)),
+          fun ppf p -> Format.pp_print_string ppf (T.Rtos.policy_name p) )
+    in
+    let doc =
+      "Run only this schedule-randomization policy (repeatable): fixed, shuffle or \
+       jitter.  Default: all three."
+    in
+    Arg.(value & opt_all policy [] & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let doc =
+    "campaign per schedule-randomization policy: pWCET impact + schedule entropy"
+  in
+  Cmd.v (Cmd.info "shuffle" ~doc)
+    Term.(
+      const shuffle $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg
+      $ jobs_arg $ period $ max_jitter $ horizon $ context_switch $ policies $ trace_arg
+      $ trace_level_arg)
+
+(* -------------------------------- leak --------------------------------- *)
+
+(* Two-sample timing-leak comparator (dudect-style): collect two campaigns
+   — each either varying its input scenario per run ("random class") or
+   pinning it to one scenario index (a "fixed class", the secret-dependent
+   variant) on a DET or RAND platform — and test whether their
+   execution-time means are distinguishable (Welch's t) and by how much
+   (Cohen's d).  The canonical protocols: two fixed classes with different
+   indices on DET expose the input through timing; the same pair on RAND
+   shows the randomized platform masking it. *)
+let leak runs seed seed_b frames alpha platform_a platform_b fixed_a fixed_b jobs
+    trace_path trace_level =
+  let jobs = resolve_jobs jobs in
+  validate_runs runs;
+  validate_frames frames;
+  if runs < 2 then usage_error "--runs must be >= 2 for a two-sample test (got %d)" runs;
+  if not (alpha > 0. && alpha < 1.) then
+    usage_error "--alpha must lie in (0, 1) (got %g)" alpha;
+  (match (fixed_a, fixed_b) with
+  | Some i, _ when i < 0 -> usage_error "--fixed-input-a must be >= 0 (got %d)" i
+  | _, Some i when i < 0 -> usage_error "--fixed-input-b must be >= 0 (got %d)" i
+  | _ -> ());
+  let seed_b = match seed_b with Some s -> s | None -> seed in
+  let platform_config = function
+    | "det" -> P.Config.deterministic
+    | "rand" -> P.Config.mbpta_compliant
+    | p -> usage_error "unknown platform %s (expected det|rand)" p
+  in
+  let label platform fixed s =
+    Printf.sprintf "%s/%s/seed=%Ld" platform
+      (match fixed with
+      | Some i -> Printf.sprintf "input-%d" i
+      | None -> "varying-input")
+      s
+  in
+  let config =
+    base_config ~subcommand:"leak" ~runs ~seed ~frames
+    @ [
+        ("alpha", string_of_float alpha);
+        ("a", label platform_a fixed_a seed);
+        ("b", label platform_b fixed_b seed_b);
+      ]
+  in
+  with_trace ~path:trace_path ~level:trace_level ~config @@ fun trace ->
+  let collect which ~platform ~fixed ~seed =
+    let exp = experiment ~config:(platform_config platform) ~seed ~frames in
+    let phase = "leak_" ^ which in
+    (match trace with Some t -> M.Trace.phase_start t phase | None -> ());
+    let measure =
+      match fixed with
+      | Some scenario_index ->
+          fun i -> T.Experiment.measure_fixed_scenario exp ~scenario_index ~run_index:i
+      | None -> measure_with_counters trace exp ~prefix:(which ^ ".")
+    in
+    let xs = M.Parallel.init ?trace ~jobs runs measure in
+    (match trace with
+    | Some t ->
+        M.Trace.emit_sample t ~phase xs;
+        M.Trace.phase_end t phase
+    | None -> ());
+    xs
+  in
+  let xs = collect "a" ~platform:platform_a ~fixed:fixed_a ~seed in
+  let ys = collect "b" ~platform:platform_b ~fixed:fixed_b ~seed:seed_b in
+  let verdict =
+    in_analysis_phase trace (fun () ->
+        M.Report.leak_verdict ~alpha ~label_a:(label platform_a fixed_a seed)
+          ~label_b:(label platform_b fixed_b seed_b)
+          xs ys)
+  in
+  (match trace with
+  | Some t ->
+      let c = M.Trace.counters t in
+      M.Trace.Counters.add c "leak.detected" (if verdict.M.Report.leak then 1 else 0);
+      M.Trace.Counters.add c "leak.p_ppm"
+        (int_of_float
+           (Float.round (verdict.M.Report.welch.Repro_stats.Welch.p_value *. 1e6)))
+  | None -> ());
+  print_endline (M.Report.render_leak verdict);
+  0
+
+let leak_cmd =
+  let seed_b =
+    let doc =
+      "Base seed of campaign B (default: the same --seed; give a different one to \
+       compare two independent samplings of the same configuration)."
+    in
+    Arg.(value & opt (some int64) None & info [ "seed-b" ] ~docv:"SEED" ~doc)
+  in
+  let alpha =
+    let doc = "Significance level of the Welch test (reject equal means below it)." in
+    Arg.(value & opt float 0.05 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+  in
+  let platform = Arg.enum [ ("det", "det"); ("rand", "rand") ] in
+  let platform_a =
+    let doc = "Platform of campaign A: det or rand." in
+    Arg.(value & opt platform "rand" & info [ "platform-a" ] ~docv:"PLATFORM" ~doc)
+  in
+  let platform_b =
+    let doc = "Platform of campaign B: det or rand." in
+    Arg.(value & opt platform "rand" & info [ "platform-b" ] ~docv:"PLATFORM" ~doc)
+  in
+  let fixed_a =
+    let doc =
+      "Pin campaign A's input scenario to index $(docv) (a secret-dependent class); \
+       platform randomization still varies per run.  Default: a fresh scenario per \
+       run (the random class)."
+    in
+    Arg.(value & opt (some int) None & info [ "fixed-input-a" ] ~docv:"INDEX" ~doc)
+  in
+  let fixed_b =
+    let doc = "Pin campaign B's input scenario to index $(docv)." in
+    Arg.(value & opt (some int) None & info [ "fixed-input-b" ] ~docv:"INDEX" ~doc)
+  in
+  let doc = "two-campaign timing-leak test (Welch's t + Cohen's d, typed verdict)" in
+  Cmd.v (Cmd.info "leak" ~doc)
+    Term.(
+      const leak $ runs_arg $ seed_arg $ seed_b $ frames_arg $ alpha $ platform_a
+      $ platform_b $ fixed_a $ fixed_b $ jobs_arg $ trace_arg $ trace_level_arg)
+
 (* -------------------------------- main -------------------------------- *)
 
 let () =
@@ -1362,6 +1612,8 @@ let () =
         paths_cmd;
         qualify_cmd;
         plot_cmd;
+        shuffle_cmd;
+        leak_cmd;
         trace_cmd;
         cache_cmd;
         serve_cmd;

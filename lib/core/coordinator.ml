@@ -144,7 +144,11 @@ let supervise ?trace ~policy ~chunk_size ~runs ~run_shard () =
 (* ------------------------------------------------------------------ *)
 (* Process workers *)
 
-let run_worker ?log ~deadline ~poll_interval ~argv () =
+(* Deadlines are measured against the monotonic clock: an NTP step on the
+   wall clock must neither spare a stalled worker nor kill a healthy one. *)
+let monotonic_s () = Int64.to_float (Repro_profile.now_ns ()) /. 1e9
+
+let run_worker ?log ?(now = monotonic_s) ~deadline ~poll_interval ~argv () =
   let open_log () =
     match log with
     | Some path ->
@@ -165,12 +169,12 @@ let run_worker ?log ~deadline ~poll_interval ~argv () =
       match spawned with
       | Error _ as e -> e
       | Ok pid ->
-          let started = Unix.gettimeofday () in
+          let started = now () in
           let rec wait () =
             match Unix.waitpid [ Unix.WNOHANG ] pid with
             | 0, _ -> (
                 match deadline with
-                | Some d when Unix.gettimeofday () -. started > d ->
+                | Some d when now () -. started > d ->
                     (* The worker gets no grace period: its store flushed a
                        valid prefix at every chunk barrier, so SIGKILL costs
                        at most the in-flight chunk and the retry resumes

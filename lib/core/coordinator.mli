@@ -29,7 +29,7 @@
 
 type policy = {
   shards : int;  (** worker count N of [--shard k/N] *)
-  deadline : float option;  (** per-attempt wall-clock limit, seconds *)
+  deadline : float option;  (** per-attempt elapsed-time limit, seconds (monotonic) *)
   max_retries : int;  (** extra attempts per shard after the first *)
   backoff : float;  (** base delay before retry k is [backoff * 2^k] s *)
   backoff_cap : float;  (** ceiling on the delay *)
@@ -97,6 +97,7 @@ val supervise :
 
 val run_worker :
   ?log:string ->
+  ?now:(unit -> float) ->
   deadline:float option ->
   poll_interval:float ->
   argv:string array ->
@@ -106,7 +107,12 @@ val run_worker :
     every [poll_interval] seconds, and SIGKILL it past [deadline].  The
     kill needs no grace period: workers flush a valid record prefix at
     every chunk barrier, so a kill costs at most the in-flight chunk and
-    the retry resumes from the shard record. *)
+    the retry resumes from the shard record.
+
+    Deadlines are measured on the monotonic clock, so wall-clock steps
+    (NTP) can neither spare a stalled worker nor kill a healthy one.
+    [now] substitutes the clock (seconds; test hook for simulating
+    steps). *)
 
 val pp_failure : Format.formatter -> worker_failure -> unit
 val pp_shard_report : Format.formatter -> shard_report -> unit

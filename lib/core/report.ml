@@ -42,6 +42,80 @@ let pp_comparison ppf c =
     c.pwcet_at;
   Format.fprintf ppf "@]"
 
+(* ---- schedule-randomization report ----------------------------------- *)
+
+type shuffle_row = {
+  policy : string;
+  summary : Stats.Descriptive.summary;  (* worst-case response times *)
+  pwcet_at_1e6 : float option;
+  analysis_note : string option;
+  schedules : int;
+  distinct_schedules : int;
+  entropy_bits : float;
+  vulnerability : float;
+}
+
+let pp_shuffle_row ~baseline ppf r =
+  Format.fprintf ppf
+    "@[<v>policy %-8s worst-response %a@,\
+    \  schedule diversity: %d runs, %d distinct, entropy %.3f bits, attacker \
+     best-guess %.4f@,"
+    r.policy Stats.Descriptive.pp_summary r.summary r.schedules r.distinct_schedules
+    r.entropy_bits r.vulnerability;
+  (match r.pwcet_at_1e6 with
+  | Some v ->
+      Format.fprintf ppf "  pWCET(1e-6): %.0f cycles" v;
+      (match baseline with
+      | Some b when b > 0. ->
+          Format.fprintf ppf "  (%+.2f%% vs fixed)" (100. *. ((v /. b) -. 1.))
+      | _ -> ());
+      Format.fprintf ppf "@,"
+  | None -> ());
+  (match r.analysis_note with
+  | Some note -> Format.fprintf ppf "  analysis: %s@," note
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let render_shuffle rows =
+  let baseline =
+    List.find_opt (fun r -> r.policy = "fixed") rows
+    |> Fun.flip Option.bind (fun r -> r.pwcet_at_1e6)
+  in
+  Format.asprintf "@[<v>Schedule randomization (worst-case task response times):@,%a@]"
+    (Format.pp_print_list (pp_shuffle_row ~baseline))
+    rows
+
+(* ---- timing-leak verdict ---------------------------------------------- *)
+
+type leak_verdict = {
+  label_a : string;
+  label_b : string;
+  welch : Stats.Welch.result;
+  cohens_d : float;
+  leak : bool;
+}
+
+let leak_verdict ?alpha ~label_a ~label_b xs ys =
+  let welch = Stats.Welch.t_test ?alpha xs ys in
+  { label_a; label_b; welch; cohens_d = Stats.Effect_size.cohens_d xs ys;
+    leak = not welch.Stats.Welch.equal_means }
+
+let render_leak v =
+  let w = v.welch in
+  Format.asprintf
+    "@[<v>Timing-leak comparison: %s vs %s@,\
+    \  %a@,\
+    \  effect size (Cohen's d): %.4f (%s)@,\
+     verdict: %s@]"
+    v.label_a v.label_b Stats.Welch.pp_result w v.cohens_d
+    (Stats.Effect_size.magnitude v.cohens_d)
+    (if v.leak then
+       Printf.sprintf "LEAK DETECTED (p = %.4g < alpha = %g)" w.Stats.Welch.p_value
+         w.Stats.Welch.alpha
+     else
+       Printf.sprintf "no leak detected (p = %.4g >= alpha = %g)" w.Stats.Welch.p_value
+         w.Stats.Welch.alpha)
+
 let pp_resilience_section ppf (label, report) =
   match report with
   | None -> ()

@@ -572,9 +572,12 @@ type t = {
   on_event : (event -> unit) option;  (* live subscriber (daemon event streaming) *)
   mutable buffer : (int * event) list;  (* newest first *)
   mutable seq : int;
-  mutable phases : (string * float) list;  (* open phases: name, start wall time *)
+  clock : unit -> int64;  (* monotonic ns, injectable for clock-step tests *)
+  mutable phases : (string * int64) list;  (* open phases: name, monotonic start ns *)
   mutex : Mutex.t;
 }
+
+let monotonic_ns () = Repro_profile.now_ns ()
 
 (* mkdir -p for a trace/store destination; raises [Sys_error] with the
    offending path when a component cannot be created. *)
@@ -600,6 +603,7 @@ let create ?(level = Runs) ~path () =
       path = Some path;
       counters = Counters.create ();
       on_event = None;
+      clock = monotonic_ns;
       buffer = [];
       seq = 0;
       phases = [];
@@ -610,7 +614,7 @@ let create ?(level = Runs) ~path () =
   t.seq <- 1;
   t
 
-let create_mem ?(level = Summary) ?counters ?on_event () =
+let create_mem ?(level = Summary) ?counters ?on_event ?(clock = monotonic_ns) () =
   let counters = match counters with Some c -> c | None -> Counters.create () in
   let t =
     {
@@ -618,6 +622,7 @@ let create_mem ?(level = Summary) ?counters ?on_event () =
       path = None;
       counters;
       on_event;
+      clock;
       buffer = [];
       seq = 0;
       phases = [];
@@ -653,7 +658,7 @@ let emit t e =
 let current_phase t = match t.phases with (name, _) :: _ -> name | [] -> ""
 
 let phase_start t name =
-  t.phases <- (name, Unix.gettimeofday ()) :: t.phases;
+  t.phases <- (name, t.clock ()) :: t.phases;
   emit t (Phase_start { phase = name })
 
 let phase_end t name =
@@ -661,7 +666,10 @@ let phase_end t name =
     match t.phases with
     | (top, t0) :: rest when top = name ->
         t.phases <- rest;
-        if t.lvl = Debug then Some (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+        if t.lvl = Debug then
+          (* Monotonic elapsed time, clamped defensively: durations in a
+             trace must never be negative, whatever the clock does. *)
+          Some (Stdlib.max 0 (Int64.to_int (Int64.sub (t.clock ()) t0)))
         else None
     | _ -> None
   in

@@ -17,7 +17,7 @@
     completed, in canonical (run-index) order over PR 2's deterministic
     static sharding; the buffered events are additionally sorted on flush
     as a safety net.  The {!Debug} level adds events that legitimately
-    depend on the execution configuration (chunk scheduling, wall-clock
+    depend on the execution configuration (chunk scheduling, elapsed
     phase durations) and therefore varies across job counts — by design.
 
     When no trace is attached ([?trace] left out), every hook is a single
@@ -26,7 +26,7 @@
 (** Verbosity levels, ordered.  {!Summary}: campaign/phase lifecycle,
     i.i.d. and fit diagnostics, counters.  {!Runs} (default): adds one
     event per run plus retry/fault events.  {!Debug}: adds domain-pool
-    chunk scheduling and wall-clock phase durations — the only events
+    chunk scheduling and monotonic phase durations — the only events
     whose content is {e not} invariant across [--jobs]. *)
 type level = Summary | Runs | Debug
 
@@ -72,7 +72,8 @@ type event =
   | Campaign_end of { ok : bool; failure : string option }
   | Phase_start of { phase : string }
   | Phase_end of { phase : string; wall_ns : int option }
-      (** [wall_ns] only at {!Debug} (wall time is not deterministic) *)
+      (** elapsed monotonic ns, never negative; only at {!Debug}
+          (elapsed time is not deterministic) *)
   | Run of {
       phase : string;
       run_index : int;
@@ -149,9 +150,16 @@ val create : ?level:level -> path:string -> unit -> t
     with [Counters.create ~parent] to roll per-request totals into a
     process-wide view); [on_event] is invoked synchronously for every
     admitted event — the daemon uses it to stream phase events to
-    subscribed clients while the campaign runs. *)
+    subscribed clients while the campaign runs.  [clock] substitutes the
+    monotonic nanosecond source used for phase durations (test hook for
+    simulating clock steps; defaults to the process monotonic clock). *)
 val create_mem :
-  ?level:level -> ?counters:Counters.t -> ?on_event:(event -> unit) -> unit -> t
+  ?level:level ->
+  ?counters:Counters.t ->
+  ?on_event:(event -> unit) ->
+  ?clock:(unit -> int64) ->
+  unit ->
+  t
 
 val level : t -> level
 val counters : t -> Counters.t
@@ -165,7 +173,8 @@ val enabled : t -> level -> bool
 val emit : t -> event -> unit
 
 (** [phase_start t name] / [phase_end t name] bracket a pipeline phase;
-    [phase_end] stamps the wall-clock duration at {!Debug} level. *)
+    [phase_end] stamps the elapsed monotonic duration at {!Debug} level
+    (immune to NTP steps; clamped to be non-negative). *)
 val phase_start : t -> string -> unit
 
 val phase_end : t -> string -> unit

@@ -1,0 +1,23 @@
+let cohens_d xs ys =
+  let n_a = Array.length xs and n_b = Array.length ys in
+  if n_a < 2 || n_b < 2 then
+    invalid_arg "Effect_size.cohens_d: each sample needs at least two observations";
+  let mean_a = Descriptive.mean xs and mean_b = Descriptive.mean ys in
+  let va = Descriptive.sample_variance xs and vb = Descriptive.sample_variance ys in
+  let fa = float_of_int n_a and fb = float_of_int n_b in
+  let pooled = (((fa -. 1.) *. va) +. ((fb -. 1.) *. vb)) /. (fa +. fb -. 2.) in
+  let diff = mean_a -. mean_b in
+  if pooled <= 0. then
+    (* Both samples constant: zero spread, so any mean difference is an
+       infinitely large standardized effect. *)
+    if diff = 0. then 0.
+    else if diff > 0. then Float.infinity
+    else Float.neg_infinity
+  else diff /. sqrt pooled
+
+let magnitude d =
+  let a = Float.abs d in
+  if a < 0.2 then "negligible"
+  else if a < 0.5 then "small"
+  else if a < 0.8 then "medium"
+  else "large"

@@ -1,0 +1,18 @@
+(** Standardized effect sizes for two-sample comparisons.
+
+    A small p-value alone does not make a timing leak exploitable: with
+    enough runs, Welch's test flags differences of a fraction of a cycle.
+    Cohen's d reports how large the difference is relative to the pooled
+    spread, so leak verdicts can pair statistical significance with
+    practical magnitude. *)
+
+(** [cohens_d xs ys] = (mean xs - mean ys) / pooled sample std.
+
+    Raises [Invalid_argument] if either sample has fewer than two
+    observations.  When both samples are constant the pooled std is zero:
+    equal constants give [0.], distinct constants give [+/-infinity]. *)
+val cohens_d : float array -> float array -> float
+
+(** Conventional label for |d|: ["negligible"] (< 0.2), ["small"]
+    (< 0.5), ["medium"] (< 0.8) or ["large"]. *)
+val magnitude : float -> string

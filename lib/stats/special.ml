@@ -134,6 +134,67 @@ let normal_quantile p =
   let u = e *. sqrt (2. *. Float.pi) *. exp (x *. x /. 2.) in
   x -. (u /. (1. +. (x *. u /. 2.)))
 
+let log_beta a b = log_gamma a +. log_gamma b -. log_gamma (a +. b)
+
+(* Continued fraction for the incomplete beta (modified Lentz), evaluated
+   at [x < (a + 1) / (a + b + 2)] where it converges fastest; callers use
+   the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) for the other half. *)
+let betacf ~a ~b ~x =
+  let eps = 1e-15 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1. /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let continue = ref true in
+  while !continue && !m <= 1000 do
+    let mf = float_of_int !m in
+    let m2 = 2. *. mf in
+    (* Even step. *)
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1. +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1. +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1. /. !d;
+    h := !h *. !d *. !c;
+    (* Odd step. *)
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1. +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1. +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1. /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.) < eps then continue := false;
+    incr m
+  done;
+  !h
+
+let betainc ~a ~b ~x =
+  if not (a > 0. && b > 0.) then invalid_arg "Special.betainc: need a > 0 and b > 0";
+  if not (x >= 0. && x <= 1.) then invalid_arg "Special.betainc: x outside [0, 1]";
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else begin
+    let front = exp ((a *. log x) +. (b *. log (1. -. x)) -. log_beta a b) in
+    if x < (a +. 1.) /. (a +. b +. 2.) then front *. betacf ~a ~b ~x /. a
+    else 1. -. (front *. betacf ~a:b ~b:a ~x:(1. -. x) /. b)
+  end
+
+let student_t_survival ~df t =
+  if not (df > 0.) then invalid_arg "Special.student_t_survival: df must be > 0";
+  if Float.is_nan t then Float.nan
+  else if t = Float.infinity then 0.
+  else if t = Float.neg_infinity then 1.
+  else begin
+    let tail = 0.5 *. betainc ~a:(df /. 2.) ~b:0.5 ~x:(df /. (df +. (t *. t))) in
+    if t >= 0. then tail else 1. -. tail
+  end
+
 let chi_square_survival ~df x =
   if df < 1 then invalid_arg "Special.chi_square_survival: df must be >= 1";
   if x <= 0. then 1. else gamma_q ~a:(float_of_int df /. 2.) ~x:(x /. 2.)

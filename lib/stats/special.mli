@@ -27,6 +27,19 @@ val normal_cdf : float -> float
     one Halley step; |error| < 1e-9). *)
 val normal_quantile : float -> float
 
+(** Natural log of the beta function B(a, b), for [a > 0], [b > 0]. *)
+val log_beta : float -> float -> float
+
+(** Regularized incomplete beta I_x(a, b), for [a > 0], [b > 0] and
+    [x] in [[0, 1]] (NR-style continued fraction, symmetry-split at
+    [(a + 1) / (a + b + 2)]). *)
+val betainc : a:float -> b:float -> x:float -> float
+
+(** Upper-tail probability of a Student-t variable with [df] (possibly
+    fractional, as produced by Welch–Satterthwaite) degrees of freedom:
+    P(T >= t).  [t = +/-infinity] maps to 0 / 1 exactly. *)
+val student_t_survival : df:float -> float -> float
+
 (** Upper-tail probability of a chi-square variable with [df] degrees of
     freedom: P(X >= x). *)
 val chi_square_survival : df:int -> float -> float

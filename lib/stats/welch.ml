@@ -1,0 +1,70 @@
+type result = {
+  t_statistic : float;
+  df : float;
+  p_value : float;
+  mean_a : float;
+  mean_b : float;
+  n_a : int;
+  n_b : int;
+  alpha : float;
+  equal_means : bool;
+}
+
+(* Welch–Satterthwaite degrees of freedom, computed in log space so that
+   wildly mismatched variances (e.g. cycle counts vs nanoseconds) cannot
+   overflow the intermediate squares.  Exact zero-variance terms drop out
+   of the formula analytically instead of producing 0/0. *)
+let satterthwaite_df ~va ~na ~vb ~nb =
+  let fa = float_of_int na and fb = float_of_int nb in
+  if va <= 0. && vb <= 0. then invalid_arg "Welch.satterthwaite_df: both variances zero"
+  else if va <= 0. then fb -. 1.
+  else if vb <= 0. then fa -. 1.
+  else if not (Float.is_finite va) || not (Float.is_finite vb) then
+    (* An overflowed sample variance dominates the formula analytically:
+       df -> that sample's n - 1 (the conservative minimum when both
+       overflow), never nan. *)
+    if not (Float.is_finite va) && not (Float.is_finite vb) then Float.min fa fb -. 1.
+    else if Float.is_finite vb then fa -. 1.
+    else fb -. 1.
+  else begin
+    (* log-sum-exp over la = log(va/na), lb = log(vb/nb). *)
+    let la = log va -. log fa and lb = log vb -. log fb in
+    let lse x y =
+      let m = Float.max x y in
+      m +. log (exp (x -. m) +. exp (y -. m))
+    in
+    let log_num = 2. *. lse la lb in
+    let log_den = lse ((2. *. la) -. log (fa -. 1.)) ((2. *. lb) -. log (fb -. 1.)) in
+    exp (log_num -. log_den)
+  end
+
+let t_test ?(alpha = 0.05) xs ys =
+  if not (alpha > 0. && alpha < 1.) then invalid_arg "Welch.t_test: alpha outside (0, 1)";
+  let n_a = Array.length xs and n_b = Array.length ys in
+  if n_a < 2 || n_b < 2 then
+    invalid_arg "Welch.t_test: each sample needs at least two observations";
+  let mean_a = Descriptive.mean xs and mean_b = Descriptive.mean ys in
+  let va = Descriptive.sample_variance xs and vb = Descriptive.sample_variance ys in
+  let diff = mean_a -. mean_b in
+  let se2 = (va /. float_of_int n_a) +. (vb /. float_of_int n_b) in
+  let t_statistic, df, p_value =
+    if se2 <= 0. then
+      (* Both samples are constant: the test degenerates to an exact
+         comparison of the two (noise-free) means. *)
+      if diff = 0. then (0., Float.infinity, 1.)
+      else ((if diff > 0. then Float.infinity else Float.neg_infinity), Float.infinity, 0.)
+    else begin
+      let t = diff /. sqrt se2 in
+      let df = satterthwaite_df ~va ~na:n_a ~vb ~nb:n_b in
+      let p = Float.min 1. (2. *. Special.student_t_survival ~df (Float.abs t)) in
+      (t, df, p)
+    end
+  in
+  { t_statistic; df; p_value; mean_a; mean_b; n_a; n_b; alpha; equal_means = p_value >= alpha }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "Welch t-test: t = %.4f, df = %.2f, p = %.4g (alpha = %g) -> %s@ means %.6g (n=%d) vs %.6g (n=%d)"
+    r.t_statistic r.df r.p_value r.alpha
+    (if r.equal_means then "means indistinguishable" else "means differ")
+    r.mean_a r.n_a r.mean_b r.n_b

@@ -1,0 +1,36 @@
+(** Welch's unequal-variance two-sample t-test.
+
+    The workhorse of the timing-leak detector: given two campaigns of
+    execution-time measurements, decide whether their means are
+    statistically distinguishable at a configurable [alpha].  Degrees of
+    freedom come from the Welch–Satterthwaite equation evaluated in log
+    space (robust to wildly mismatched variance magnitudes), and
+    degenerate inputs — zero-variance and identical samples — are handled
+    by explicit guards rather than NaN propagation, so verdicts survive
+    [-noassert] builds. *)
+
+type result = {
+  t_statistic : float;  (** Welch t statistic; [+/-infinity] when both samples
+                            are constant but unequal. *)
+  df : float;  (** Welch–Satterthwaite degrees of freedom (fractional);
+                   [infinity] in the fully degenerate constant-sample case. *)
+  p_value : float;  (** Two-sided p-value under the Student-t null. *)
+  mean_a : float;
+  mean_b : float;
+  n_a : int;
+  n_b : int;
+  alpha : float;  (** Significance level the verdict was taken at. *)
+  equal_means : bool;  (** [p_value >= alpha]: no detectable difference. *)
+}
+
+(** [t_test ?alpha xs ys] runs the two-sided Welch test.
+
+    Raises [Invalid_argument] if [alpha] is outside (0, 1) or either
+    sample has fewer than two observations.  Zero-variance samples are
+    legal: if both are constant the test degenerates to exact comparison
+    of the means (identical constants give [p = 1.], distinct constants
+    give [p = 0.]); if only one is constant the other sample's
+    [n - 1] is used as degrees of freedom. *)
+val t_test : ?alpha:float -> float array -> float array -> result
+
+val pp_result : Format.formatter -> result -> unit

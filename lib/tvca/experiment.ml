@@ -53,6 +53,12 @@ let attempt_base base ~attempt =
       (Repro_rng.Splitmix.create
          (Int64.logxor base (Int64.mul (Int64.of_int attempt) retry_salt)))
 
+(* Schedule-randomization stream: its own salted family, so adding shuffle
+   campaigns leaves every existing seed (and measurement) untouched. *)
+let schedule_salt = 0x9E3779B97F4A7C15L
+
+let derive_schedule_seed base run = derive_seed (Int64.logxor base schedule_salt) run 0
+
 (* ---- decode cache ----------------------------------------------------
 
    TVCA codegen is a pure function of (variant, gains, frames) — the
@@ -179,6 +185,8 @@ let platform_seed t ~run_index ~attempt =
 let fault_seed t ~run_index ~attempt =
   derive_fault_seed (attempt_base t.base_seed ~attempt) run_index
 
+let schedule_seed t ~run_index = derive_schedule_seed t.base_seed run_index
+
 let scenario t ~run_index =
   Mission.generate ~frames:t.frames ~gains:t.gains ~seed:(scenario_seed t ~run_index) ()
 
@@ -290,6 +298,69 @@ let run_retired t ~run_index =
 
 let measure_retired t ~run_index =
   float_of_int (Platform.Metrics.cycles (run_retired t ~run_index))
+
+(* ---- randomized-schedule runs ---------------------------------------- *)
+
+type schedule_run = {
+  worst_response : float;
+  signature : string;
+  preemptions : int;
+  skipped_releases : int;
+}
+
+let run_schedule t ?(context_switch = 40) ~policy ~period ~max_jitter ~horizon
+    ~run_index () =
+  let tasks =
+    Rtos.apply_policy policy ~seed:(schedule_seed t ~run_index) ~max_jitter
+      (Rtos.tvca_tasks ~period ())
+  in
+  (* Fresh state per run, as in {!run_retired}: the RTOS sim owns the core
+     for the whole horizon, so there is no batched scratch to share. *)
+  let _, memory = prepared_memory t ~run_index in
+  let core =
+    Platform.Core_sim.create ~contenders:t.contenders ~config:t.config
+      ~seed:(platform_seed t ~run_index ~attempt:0) ()
+  in
+  Platform.Core_sim.reset_run core;
+  let r =
+    Rtos.run ~context_switch ~frames:t.frames ~core ~program:t.program ~layout:t.layout
+      ~memory ~tasks ~horizon ()
+  in
+  let worst_response =
+    List.fold_left
+      (fun acc (tr : Rtos.task_result) -> Array.fold_left Float.max acc tr.response_times)
+      0. r.Rtos.per_task
+  in
+  let skipped_releases =
+    List.fold_left
+      (fun acc (tr : Rtos.task_result) -> acc + tr.Rtos.skipped_releases)
+      0 r.Rtos.per_task
+  in
+  {
+    worst_response;
+    signature = Rtos.schedule_signature tasks;
+    preemptions = r.Rtos.preemptions;
+    skipped_releases;
+  }
+
+(* ---- fixed-input runs (timing-leak detection) ------------------------ *)
+
+let measure_fixed_scenario t ~scenario_index ~run_index =
+  (* The scenario (the "secret" input) is pinned to [scenario_index] while
+     the platform randomization still varies with [run_index] — on a
+     time-randomized platform the resulting sample should be statistically
+     indistinguishable from any other input's; on a deterministic platform
+     the input shows through as a timing leak. *)
+  let sc = scenario t ~run_index:scenario_index in
+  let memory = Isa.Memory.create t.program in
+  Mission.load_memory sc memory;
+  let core =
+    Platform.Core_sim.create ~contenders:t.contenders ~config:t.config
+      ~seed:(platform_seed t ~run_index ~attempt:0) ()
+  in
+  float_of_int
+    (Platform.Metrics.cycles
+       (Platform.Core_sim.run_program core ~program:t.program ~layout:t.layout ~memory))
 
 (* ---- fault-injected, supervised runs ---- *)
 

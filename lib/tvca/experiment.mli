@@ -49,6 +49,10 @@ val scenario_seed : t -> run_index:int -> int64
 val platform_seed : t -> run_index:int -> attempt:int -> int64
 val fault_seed : t -> run_index:int -> attempt:int -> int64
 
+(** Schedule-randomization stream ({!run_schedule}); a fourth salted
+    family, so shuffle campaigns leave all other seeds untouched. *)
+val schedule_seed : t -> run_index:int -> int64
+
 (** [run t ~run_index] — one measured run; returns the full metrics.
 
     Runs execute on the batched hot path: a per-(domain, experiment)
@@ -70,6 +74,43 @@ val measure : t -> run_index:int -> float
 
 val run_retired : t -> run_index:int -> Repro_platform.Metrics.t
 val measure_retired : t -> run_index:int -> float
+
+(** {2 Randomized-schedule runs}
+
+    One RTOS simulation of the TVCA task set under a {!Rtos.policy},
+    randomized from {!schedule_seed} — a pure function of
+    [(base_seed, run_index)], so shuffle campaigns are bit-identical at
+    any [--jobs]. *)
+
+type schedule_run = {
+  worst_response : float;
+      (** worst completed-activation response time (cycles) across all
+          tasks — the campaign's measurement unit *)
+  signature : string;  (** {!Rtos.schedule_signature} of the realized schedule *)
+  preemptions : int;
+  skipped_releases : int;  (** overruns summed over tasks *)
+}
+
+val run_schedule :
+  t ->
+  ?context_switch:int ->
+  policy:Rtos.policy ->
+  period:int ->
+  max_jitter:int ->
+  horizon:int ->
+  run_index:int ->
+  unit ->
+  schedule_run
+
+(** {2 Fixed-input runs (timing-leak detection)}
+
+    [measure_fixed_scenario t ~scenario_index ~run_index] measures run
+    [run_index] with its input scenario pinned to [scenario_index]
+    (platform randomization still follows [run_index]).  Comparing a
+    fixed-input campaign against a varying-input one (dudect-style) is the
+    [mbpta leak] protocol: on a deterministic platform the input shows
+    through as a timing difference; a time-randomized platform masks it. *)
+val measure_fixed_scenario : t -> scenario_index:int -> run_index:int -> float
 
 (** {2 Hot-path instrumentation} *)
 

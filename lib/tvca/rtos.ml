@@ -1,5 +1,6 @@
 module Isa = Repro_isa
 module Platform = Repro_platform
+module Prng = Repro_rng.Prng
 
 type task_spec = {
   name : string;
@@ -36,11 +37,14 @@ type task_state = {
 
 let run ?(context_switch = 40) ?(frames = Mission.default_frames) ~core ~program ~layout
     ~memory ~tasks ~horizon () =
+  (* [sort_uniq] silently merges duplicates — the length check turns that
+     into a typed rejection: duplicate priorities make the fixed-priority
+     order ambiguous, and shuffle policies must not inherit ambiguity. *)
   (match
-     List.sort_uniq compare (List.map (fun (s : task_spec) -> s.priority) tasks)
+     List.sort_uniq Int.compare (List.map (fun (s : task_spec) -> s.priority) tasks)
    with
   | unique when List.length unique <> List.length tasks ->
-      invalid_arg "Rtos.run: duplicate priorities"
+      invalid_arg "Rtos.run: duplicate priorities make the schedule ambiguous"
   | _ -> ());
   List.iter
     (fun (s : task_spec) ->
@@ -50,7 +54,7 @@ let run ?(context_switch = 40) ?(frames = Mission.default_frames) ~core ~program
     tasks;
   let states =
     tasks
-    |> List.sort (fun (a : task_spec) b -> compare a.priority b.priority)
+    |> List.sort (fun (a : task_spec) b -> Int.compare a.priority b.priority)
     |> List.map (fun spec_ ->
            {
              spec_;
@@ -160,6 +164,110 @@ let tvca_tasks ~period ?(release_jitter = 0) () =
       offset = 2 * release_jitter;
     };
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-randomization policies (TaskShuffler++-style) *)
+
+type policy = Fixed_priority | Priority_shuffle | Offset_jitter
+
+let all_policies = [ Fixed_priority; Priority_shuffle; Offset_jitter ]
+
+let policy_name = function
+  | Fixed_priority -> "fixed"
+  | Priority_shuffle -> "shuffle"
+  | Offset_jitter -> "jitter"
+
+let policy_of_string = function
+  | "fixed" -> Ok Fixed_priority
+  | "shuffle" -> Ok Priority_shuffle
+  | "jitter" -> Ok Offset_jitter
+  | s -> Error (Printf.sprintf "unknown policy %S (expected fixed|shuffle|jitter)" s)
+
+(* Tasks may legally swap priorities only within an equal-period class:
+   under implicit deadlines (deadline = period), rate-monotonic priority
+   order is optimal, so permuting across period classes could turn a
+   feasible task set infeasible.  Within a class, any order meets the same
+   deadlines — that is the shuffle's legal freedom. *)
+let period_classes tasks =
+  let periods =
+    List.sort_uniq Int.compare (List.map (fun (s : task_spec) -> s.period) tasks)
+  in
+  List.map
+    (fun p -> List.filter (fun (s : task_spec) -> s.period = p) tasks)
+    periods
+
+let apply_policy policy ~seed ~max_jitter tasks =
+  if max_jitter < 0 then invalid_arg "Rtos.apply_policy: max_jitter must be >= 0";
+  match policy with
+  | Fixed_priority -> tasks
+  | Priority_shuffle ->
+      let prng = Prng.create seed in
+      (* Permute priorities within each equal-period class.  Classes are
+         visited in ascending period order and members in task-list order,
+         so the draw sequence — and hence the schedule — is a pure
+         function of [seed]. *)
+      let assignment = Hashtbl.create 8 in
+      List.iter
+        (fun cls ->
+          let prios = Array.of_list (List.map (fun (s : task_spec) -> s.priority) cls) in
+          Prng.shuffle_in_place prng prios;
+          List.iteri (fun i (s : task_spec) -> Hashtbl.replace assignment s.name prios.(i)) cls)
+        (period_classes tasks);
+      List.map (fun (s : task_spec) -> { s with priority = Hashtbl.find assignment s.name }) tasks
+  | Offset_jitter ->
+      let prng = Prng.create seed in
+      (* Delay each release uniformly in [0, max_jitter]; offsets only grow,
+         so they stay non-negative.  Draws follow task-list order. *)
+      List.map
+        (fun (s : task_spec) -> { s with offset = s.offset + Prng.int_below prng (max_jitter + 1) })
+        tasks
+
+let schedule_signature tasks =
+  tasks
+  |> List.map (fun (s : task_spec) -> Printf.sprintf "%s:%d:%d" s.name s.priority s.offset)
+  |> String.concat ";"
+
+type randomization = {
+  schedules : int;
+  distinct : int;
+  entropy_bits : float;
+  vulnerability : float;
+}
+
+let randomization_of_signatures sigs =
+  if sigs = [] then invalid_arg "Rtos.randomization_of_signatures: empty signature list";
+  let freq = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace freq s (1 + (try Hashtbl.find freq s with Not_found -> 0)))
+    sigs;
+  let n = List.length sigs in
+  let counts =
+    Hashtbl.fold (fun s c acc -> (s, c) :: acc) freq []
+    (* sorted before the float fold so entropy is bit-deterministic
+       whatever order the hashtable yields *)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let fn = float_of_int n in
+  let entropy_bits =
+    List.fold_left
+      (fun acc (_, c) ->
+        let p = float_of_int c /. fn in
+        acc -. (p *. (log p /. log 2.)))
+      0. counts
+  in
+  let max_count = List.fold_left (fun acc (_, c) -> Stdlib.max acc c) 0 counts in
+  {
+    schedules = n;
+    distinct = List.length counts;
+    entropy_bits;
+    vulnerability = float_of_int max_count /. fn;
+  }
+
+let pp_randomization ppf r =
+  Format.fprintf ppf
+    "%d schedules, %d distinct, entropy %.3f bits, attacker best-guess %.4f" r.schedules
+    r.distinct r.entropy_bits r.vulnerability
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d cycles simulated, %d preemptions, %d idle cycles@,"

@@ -64,4 +64,53 @@ val run :
     all at [period] with staggered offsets [0; jitter; 2 jitter]. *)
 val tvca_tasks : period:int -> ?release_jitter:int -> unit -> task_spec list
 
+(** {2 Schedule randomization}
+
+    TaskShuffler++-style randomization of the fixed-priority schedule: a
+    predictable schedule lets an attacker phase-align with a victim task,
+    so each policy perturbs the schedule from a derived seed while keeping
+    it deterministic per [(seed)] — campaigns stay bit-identical at any
+    [--jobs]. *)
+
+type policy =
+  | Fixed_priority  (** baseline: the task set unchanged *)
+  | Priority_shuffle
+      (** uniform priority permutation within each equal-period class
+          (the deadline-safe freedom under rate-monotonic order) *)
+  | Offset_jitter  (** uniform release delay in [[0, max_jitter]] per task *)
+
+val all_policies : policy list
+
+(** Stable CLI/report names: ["fixed"], ["shuffle"], ["jitter"]. *)
+val policy_name : policy -> string
+
+val policy_of_string : string -> (policy, string) result
+
+(** [apply_policy policy ~seed ~max_jitter tasks] — a {e pure} function of
+    its arguments: same seed, same schedule, whatever core it runs on.
+    Priorities are only permuted within equal-period classes (implicit
+    deadlines stay met); jittered offsets only grow, so they remain
+    non-negative.  Raises [Invalid_argument] if [max_jitter < 0]. *)
+val apply_policy : policy -> seed:int64 -> max_jitter:int -> task_spec list -> task_spec list
+
+(** Canonical one-line encoding of a concrete schedule
+    (["name:prio:offset;..."]), the unit of the entropy/vulnerability
+    metrics below. *)
+val schedule_signature : task_spec list -> string
+
+(** Schedule-diversity metrics over one campaign's realized schedules. *)
+type randomization = {
+  schedules : int;  (** campaign runs observed *)
+  distinct : int;  (** distinct schedule signatures *)
+  entropy_bits : float;  (** Shannon entropy of the schedule distribution *)
+  vulnerability : float;
+      (** probability of the modal schedule — an attacker's best-guess
+          success rate; 1.0 = fully predictable, lower is better *)
+}
+
+(** Raises [Invalid_argument] on an empty list.  Deterministic: the
+    frequency fold is over signature-sorted bins. *)
+val randomization_of_signatures : string list -> randomization
+
+val pp_randomization : Format.formatter -> randomization -> unit
 val pp : Format.formatter -> t -> unit

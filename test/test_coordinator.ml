@@ -345,6 +345,47 @@ let test_coordinator_dies_mid_merge () =
   check_bits "det sample after coordinator restart" det_cold det;
   check_bits "rand sample after coordinator restart" rand_cold rand
 
+(* ------------------------------------------------------------------ *)
+(* Worker deadlines on an injectable clock.  Deadlines used to be measured
+   on [Unix.gettimeofday]: an NTP step forward could kill a healthy worker
+   and a step backward could spare a stalled one forever.  [run_worker]'s
+   [?now] hook simulates exactly those clock behaviors. *)
+
+let stepping_clock step =
+  let t = ref 0. in
+  fun () ->
+    let v = !t in
+    t := v +. step;
+    v
+
+let test_worker_deadline_on_stepped_clock () =
+  (* A worker that would sleep 30 s: with the mocked clock advancing 6 s
+     per reading, the 10 s deadline trips after two polls — the test
+     itself finishes in milliseconds of real time. *)
+  match
+    Coordinator.run_worker ~now:(stepping_clock 6.) ~deadline:(Some 10.)
+      ~poll_interval:0.01
+      ~argv:[| "/bin/sh"; "-c"; "sleep 30" |]
+      ()
+  with
+  | Error (Coordinator.Stalled d) ->
+      Alcotest.(check bool) "reports the configured deadline" true (d = 10.)
+  | Error (Coordinator.Crashed e) -> Alcotest.failf "expected Stalled, got Crashed %s" e
+  | Ok () -> Alcotest.fail "expected the stalled worker to be killed"
+
+let test_worker_survives_frozen_clock () =
+  (* A healthy worker under a clock that never advances (the monotonic
+     equivalent of a backwards NTP step): elapsed time stays 0, so even a
+     tight deadline cannot kill it and it completes normally. *)
+  match
+    Coordinator.run_worker ~now:(stepping_clock 0.) ~deadline:(Some 0.05)
+      ~poll_interval:0.005
+      ~argv:[| "/bin/sh"; "-c"; "true" |]
+      ()
+  with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "healthy worker killed: %a" Coordinator.pp_failure f
+
 let () =
   Alcotest.run "coordinator"
     [
@@ -357,6 +398,10 @@ let () =
         [
           Alcotest.test_case "retries and graceful degradation" `Quick
             test_supervise_retries_and_degrades;
+          Alcotest.test_case "deadline on stepped clock" `Quick
+            test_worker_deadline_on_stepped_clock;
+          Alcotest.test_case "frozen clock spares healthy worker" `Quick
+            test_worker_survives_frozen_clock;
         ] );
       ( "end-to-end",
         [

@@ -50,6 +50,27 @@ let rng_guards =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* stats: Welch comparator + special functions (timing-leak machinery) *)
+
+let stats_guards =
+  [
+    guard "Special.betainc rejects a <= 0" (fun () ->
+        Stats.Special.betainc ~a:0. ~b:1. ~x:0.5);
+    guard "Special.betainc rejects x outside [0, 1]" (fun () ->
+        Stats.Special.betainc ~a:1. ~b:1. ~x:(-0.1));
+    guard "Special.student_t_survival rejects df <= 0" (fun () ->
+        Stats.Special.student_t_survival ~df:0. 1.);
+    guard "Welch.t_test rejects a singleton sample" (fun () ->
+        Stats.Welch.t_test [| 1. |] [| 1.; 2. |]);
+    guard "Welch.t_test rejects an empty sample" (fun () ->
+        Stats.Welch.t_test [| 1.; 2. |] [||]);
+    guard "Welch.t_test rejects alpha outside (0, 1)" (fun () ->
+        Stats.Welch.t_test ~alpha:1. [| 1.; 2. |] [| 3.; 4. |]);
+    guard "Effect_size.cohens_d rejects a singleton sample" (fun () ->
+        Stats.Effect_size.cohens_d [| 1. |] [| 1.; 2. |]);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* evt *)
 
 let sample n = Array.init n (fun i -> 100. +. float_of_int ((i * 7919) mod 97))
@@ -134,6 +155,11 @@ let tvca_guards =
         T.Mission.generate ~frames:(T.Controller.history_length + 1) ~seed:1L ());
     guard "Codegen.program rejects frames = 0" (fun () ->
         T.Codegen.program ~frames:0 ());
+    guard "Rtos.apply_policy rejects negative max_jitter" (fun () ->
+        T.Rtos.apply_policy T.Rtos.Offset_jitter ~seed:1L ~max_jitter:(-1)
+          (T.Rtos.tvca_tasks ~period:60_000 ()));
+    guard "Rtos.randomization_of_signatures rejects an empty campaign" (fun () ->
+        T.Rtos.randomization_of_signatures []);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -186,6 +212,7 @@ let () =
   Alcotest.run "guards"
     [
       ("rng", rng_guards);
+      ("stats", stats_guards);
       ("evt", evt_guards);
       ("platform", platform_guards);
       ("tvca", tvca_guards);

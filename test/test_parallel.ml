@@ -269,6 +269,38 @@ let test_budget_exhaustion_identical_across_jobs () =
       checki "runs_completed" r1 r5
   | _ -> Alcotest.fail "both job counts must exhaust the budget identically"
 
+(* ------------------------------------------------------------------ *)
+(* Schedule-randomization and fixed-input campaigns: the [mbpta shuffle]
+   and [mbpta leak] measurement kernels must also be bit-identical at any
+   job count — their randomness comes only from per-run derived seeds. *)
+
+let test_shuffle_campaign_bit_identical () =
+  let e = T.Experiment.create ~frames:4 ~config:P.Config.mbpta_compliant ~base_seed:99L () in
+  List.iter
+    (fun policy ->
+      let collect jobs =
+        M.Parallel.init ~jobs 12 (fun i ->
+            T.Experiment.run_schedule e ~policy ~period:60_000 ~max_jitter:2_000
+              ~horizon:120_000 ~run_index:i ())
+      in
+      let reference = collect 1 in
+      checkb (T.Rtos.policy_name policy ^ " jobs=4 = jobs=1") true (collect 4 = reference);
+      (* pure in [(base_seed, run_index)]: a second pass reproduces it *)
+      checkb (T.Rtos.policy_name policy ^ " repeatable") true (collect 1 = reference))
+    T.Rtos.all_policies
+
+let test_fixed_scenario_bit_identical () =
+  let e = T.Experiment.create ~frames:4 ~config:P.Config.mbpta_compliant ~base_seed:99L () in
+  let collect jobs =
+    M.Parallel.init ~jobs 24 (fun i ->
+        T.Experiment.measure_fixed_scenario e ~scenario_index:0 ~run_index:i)
+  in
+  let reference = collect 1 in
+  checkb "fixed-input sample jobs=4 = jobs=1" true (collect 4 = reference);
+  (* the input is pinned, but platform randomization still varies per run *)
+  checkb "platform noise varies across runs" true
+    (Array.exists (fun v -> v <> reference.(0)) reference)
+
 let () =
   Alcotest.run "repro_parallel"
     [
@@ -293,6 +325,10 @@ let () =
             test_campaign_analysis_identical;
           Alcotest.test_case "resilient + SEU identical jobs=1 vs 4" `Slow
             test_resilient_campaign_bit_identical;
+          Alcotest.test_case "shuffle campaign identical jobs=1 vs 4" `Slow
+            test_shuffle_campaign_bit_identical;
+          Alcotest.test_case "fixed-input sample identical jobs=1 vs 4" `Slow
+            test_fixed_scenario_bit_identical;
         ] );
       ( "supervisor",
         [

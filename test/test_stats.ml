@@ -83,6 +83,155 @@ let test_kolmogorov_survival () =
   checkb "monotone" true
     (S.Special.kolmogorov_survival 0.5 > S.Special.kolmogorov_survival 1.0)
 
+let test_betainc_closed_forms () =
+  (* I_x(1, 1) = x: Beta(1,1) is the uniform distribution. *)
+  List.iter
+    (fun x -> close ~tol:1e-12 "I_x(1,1)" x (S.Special.betainc ~a:1. ~b:1. ~x))
+    [ 0.; 0.125; 0.5; 0.75; 1. ];
+  (* I_x(1/2, 1/2) = (2/pi) arcsin(sqrt x) — the arcsine distribution. *)
+  List.iter
+    (fun x ->
+      close ~tol:1e-10 "I_x(.5,.5)"
+        (2. /. Float.pi *. asin (sqrt x))
+        (S.Special.betainc ~a:0.5 ~b:0.5 ~x))
+    [ 0.01; 0.3; 0.5; 0.9; 0.99 ];
+  (* I_x(2, 2) = x^2 (3 - 2x). *)
+  List.iter
+    (fun x ->
+      close ~tol:1e-12 "I_x(2,2)"
+        (x *. x *. (3. -. (2. *. x)))
+        (S.Special.betainc ~a:2. ~b:2. ~x))
+    [ 0.1; 0.4; 0.5; 0.8 ]
+
+let test_betainc_symmetry =
+  qtest
+    (QCheck.Test.make ~name:"I_x(a,b) = 1 - I_(1-x)(b,a)" ~count:300
+       QCheck.(triple (float_range 0.1 20.) (float_range 0.1 20.) (float_range 0. 1.))
+       (fun (a, b, x) ->
+         Float.abs
+           (S.Special.betainc ~a ~b ~x +. S.Special.betainc ~a:b ~b:a ~x:(1. -. x) -. 1.)
+         < 1e-9))
+
+let test_student_t_survival_cauchy () =
+  (* df = 1 is the Cauchy distribution: S(t) = 1/2 - atan(t)/pi. *)
+  List.iter
+    (fun t ->
+      close ~tol:1e-10 "t-survival df=1"
+        (0.5 -. (atan t /. Float.pi))
+        (S.Special.student_t_survival ~df:1. t))
+    [ -5.; -1.; 0.; 0.5; 1.; 3.; 12. ]
+
+let test_student_t_survival_df2 () =
+  (* df = 2 has the closed form S(t) = 1/2 (1 - t / sqrt(2 + t^2)). *)
+  List.iter
+    (fun t ->
+      close ~tol:1e-10 "t-survival df=2"
+        (0.5 *. (1. -. (t /. sqrt (2. +. (t *. t)))))
+        (S.Special.student_t_survival ~df:2. t))
+    [ -4.; -0.5; 0.; 1.; 2.92; 10. ]
+
+let test_student_t_survival_limits () =
+  close "t-survival at 0" 0.5 (S.Special.student_t_survival ~df:7. 0.);
+  close "t-survival +inf" 0. (S.Special.student_t_survival ~df:3. Float.infinity);
+  close "t-survival -inf" 1. (S.Special.student_t_survival ~df:3. Float.neg_infinity);
+  checkb "t-survival nan" true (Float.is_nan (S.Special.student_t_survival ~df:3. Float.nan));
+  (* Large df approaches the normal survival function. *)
+  close ~tol:1e-4 "t-survival df=1e6 ~ normal" (1. -. S.Special.normal_cdf 1.96)
+    (S.Special.student_t_survival ~df:1e6 1.96)
+
+(* ------------------------------------------------------------------ *)
+(* Welch's t-test and effect size *)
+
+let test_welch_known_value () =
+  (* Equal n, equal variance: t = diff / sqrt(2 s^2 / n) and the
+     Welch-Satterthwaite df collapses to 2n - 2 = 8.  scipy reference:
+     ttest_ind([1..5], [2..6], equal_var=False) -> t = -1.0, p = 0.3466. *)
+  let a = [| 1.; 2.; 3.; 4.; 5. |] and b = [| 2.; 3.; 4.; 5.; 6. |] in
+  let r = S.Welch.t_test a b in
+  close ~tol:1e-12 "t" (-1.) r.S.Welch.t_statistic;
+  close ~tol:1e-9 "df" 8. r.S.Welch.df;
+  close ~tol:1e-4 "p" 0.34659 r.S.Welch.p_value;
+  close "mean_a" 3. r.S.Welch.mean_a;
+  close "mean_b" 4. r.S.Welch.mean_b;
+  checkb "equal means at alpha=0.05" true r.S.Welch.equal_means;
+  (* Consistency with the incomplete beta the p-value is built from. *)
+  let df = r.S.Welch.df and t = Float.abs r.S.Welch.t_statistic in
+  close ~tol:1e-12 "p from betainc"
+    (S.Special.betainc ~a:(df /. 2.) ~b:0.5 ~x:(df /. (df +. (t *. t))))
+    r.S.Welch.p_value
+
+let test_welch_identical_samples () =
+  let xs = [| 10.; 11.; 12.; 13. |] in
+  let r = S.Welch.t_test xs (Array.copy xs) in
+  close "t" 0. r.S.Welch.t_statistic;
+  close "p" 1. r.S.Welch.p_value;
+  checkb "equal" true r.S.Welch.equal_means
+
+let test_welch_zero_variance () =
+  (* Both samples constant and equal: no evidence of a difference. *)
+  let r = S.Welch.t_test [| 5.; 5.; 5. |] [| 5.; 5.; 5. |] in
+  close "t equal constants" 0. r.S.Welch.t_statistic;
+  close "p equal constants" 1. r.S.Welch.p_value;
+  (* Both constant but different: the difference is certain. *)
+  let r = S.Welch.t_test [| 5.; 5.; 5. |] [| 7.; 7.; 7. |] in
+  checkb "t -inf" true (r.S.Welch.t_statistic = Float.neg_infinity);
+  close "p different constants" 0. r.S.Welch.p_value;
+  checkb "leak verdict" false r.S.Welch.equal_means;
+  (* One sample constant: df falls back to the other sample's n - 1. *)
+  let r = S.Welch.t_test [| 5.; 5.; 5. |] [| 6.; 7.; 8.; 9. |] in
+  close ~tol:1e-9 "df one-constant" 3. r.S.Welch.df;
+  checkb "p finite" true (r.S.Welch.p_value >= 0. && r.S.Welch.p_value <= 1.)
+
+let test_welch_detects_shift () =
+  let g = Prng.create 11L in
+  let a = Array.init 200 (fun _ -> Prng.gaussian g) in
+  let b = Array.init 200 (fun _ -> 1.5 +. Prng.gaussian g) in
+  let r = S.Welch.t_test a b in
+  checkb "shift detected" false r.S.Welch.equal_means;
+  checkb "p tiny" true (r.S.Welch.p_value < 1e-6)
+
+let test_welch_symmetry =
+  qtest
+    (QCheck.Test.make ~name:"welch t(a,b) = -t(b,a), same p" ~count:200
+       QCheck.(
+         pair
+           (list_of_size (Gen.int_range 2 30) (float_range (-100.) 100.))
+           (list_of_size (Gen.int_range 2 30) (float_range (-100.) 100.)))
+       (fun (la, lb) ->
+         let a = Array.of_list la and b = Array.of_list lb in
+         let r1 = S.Welch.t_test a b and r2 = S.Welch.t_test b a in
+         Float.abs (r1.S.Welch.t_statistic +. r2.S.Welch.t_statistic) < 1e-9
+         || r1.S.Welch.t_statistic = -.r2.S.Welch.t_statistic (* infinities *))
+       )
+
+let test_welch_extreme_variance_df_finite () =
+  (* va ~ 1e300 is representable but the naive Welch-Satterthwaite
+     formula squares va/na (overflow past ~1e154) and returns nan; the
+     log-space implementation keeps df finite. *)
+  let a = [| 1e150; 2e150; 3e150 |] and b = [| 1.; 2.; 3. |] in
+  let r = S.Welch.t_test a b in
+  checkb "df finite" true (Float.is_finite r.S.Welch.df);
+  close ~tol:1e-9 "df -> n_a - 1" 2. r.S.Welch.df;
+  checkb "p in range" true (r.S.Welch.p_value >= 0. && r.S.Welch.p_value <= 1.);
+  (* Past representability the sample variance itself overflows; the df
+     falls back to the dominant sample's n - 1 instead of going nan. *)
+  let r = S.Welch.t_test [| 1e160; 2e160; 3e160 |] b in
+  close ~tol:1e-9 "df overflow fallback" 2. r.S.Welch.df;
+  close "p under infinite noise" 1. r.S.Welch.p_value
+
+let test_cohens_d () =
+  (* means 2 vs 4, pooled variance ((2*1)+(2*1))/4 = 1 -> d = -2. *)
+  close ~tol:1e-12 "d" (-2.) (S.Effect_size.cohens_d [| 1.; 2.; 3. |] [| 3.; 4.; 5. |]);
+  close "d identical" 0. (S.Effect_size.cohens_d [| 1.; 2. |] [| 1.; 2. |]);
+  (* Zero pooled variance: 0 when means agree, signed infinity otherwise. *)
+  close "d constant equal" 0. (S.Effect_size.cohens_d [| 4.; 4. |] [| 4.; 4. |]);
+  checkb "d constant unequal" true
+    (S.Effect_size.cohens_d [| 4.; 4. |] [| 5.; 5. |] = Float.neg_infinity);
+  Alcotest.(check string) "negligible" "negligible" (S.Effect_size.magnitude 0.1);
+  Alcotest.(check string) "small" "small" (S.Effect_size.magnitude (-0.3));
+  Alcotest.(check string) "medium" "medium" (S.Effect_size.magnitude 0.6);
+  Alcotest.(check string) "large" "large" (S.Effect_size.magnitude (-2.))
+
 (* ------------------------------------------------------------------ *)
 (* Descriptive *)
 
@@ -606,7 +755,17 @@ let test_guards_survive_noassert () =
       S.Distribution.Gev.create ~mu:0. ~sigma:0. ~xi:0.1);
   expect_invalid "gpd sigma" (fun () -> S.Distribution.Gpd.create ~u:0. ~sigma:0. ~xi:0.1);
   expect_invalid "weibull scale" (fun () ->
-      S.Distribution.Weibull.create ~scale:0. ~shape:1.)
+      S.Distribution.Weibull.create ~scale:0. ~shape:1.);
+  expect_invalid "betainc a=0" (fun () -> S.Special.betainc ~a:0. ~b:1. ~x:0.5);
+  expect_invalid "betainc x>1" (fun () -> S.Special.betainc ~a:1. ~b:1. ~x:1.5);
+  expect_invalid "t-survival df=0" (fun () -> S.Special.student_t_survival ~df:0. 1.);
+  expect_invalid "welch n_a<2" (fun () -> S.Welch.t_test [| 1. |] [| 1.; 2. |]);
+  expect_invalid "welch n_b<2" (fun () -> S.Welch.t_test [| 1.; 2. |] [||]);
+  expect_invalid "welch alpha=0" (fun () ->
+      S.Welch.t_test ~alpha:0. [| 1.; 2. |] [| 1.; 2. |]);
+  expect_invalid "welch alpha=1" (fun () ->
+      S.Welch.t_test ~alpha:1. [| 1.; 2. |] [| 1.; 2. |]);
+  expect_invalid "cohens_d n<2" (fun () -> S.Effect_size.cohens_d [| 1. |] [| 1.; 2. |])
 
 (* ------------------------------------------------------------------ *)
 (* [summarize] bit-identity: the single-sort single-mean implementation
@@ -694,6 +853,22 @@ let () =
           Alcotest.test_case "chi-square df=1" `Quick test_chi_square_df1;
           Alcotest.test_case "chi-square df=2" `Quick test_chi_square_df2;
           Alcotest.test_case "kolmogorov survival" `Quick test_kolmogorov_survival;
+          Alcotest.test_case "betainc closed forms" `Quick test_betainc_closed_forms;
+          test_betainc_symmetry;
+          Alcotest.test_case "student-t df=1 (Cauchy)" `Quick test_student_t_survival_cauchy;
+          Alcotest.test_case "student-t df=2" `Quick test_student_t_survival_df2;
+          Alcotest.test_case "student-t limits" `Quick test_student_t_survival_limits;
+        ] );
+      ( "welch",
+        [
+          Alcotest.test_case "known value" `Quick test_welch_known_value;
+          Alcotest.test_case "identical samples" `Quick test_welch_identical_samples;
+          Alcotest.test_case "zero variance" `Quick test_welch_zero_variance;
+          Alcotest.test_case "detects shift" `Quick test_welch_detects_shift;
+          test_welch_symmetry;
+          Alcotest.test_case "extreme variance df finite" `Quick
+            test_welch_extreme_variance_df_finite;
+          Alcotest.test_case "cohen's d" `Quick test_cohens_d;
         ] );
       ( "descriptive",
         [

@@ -326,6 +326,51 @@ let test_trace_records_campaign () =
   checkb "evt fit recorded" true
     (List.exists (function Trace.Evt_fit _ -> true | _ -> false) events)
 
+(* ------------------------------------------------------------------ *)
+(* Monotonic phase timing: the phase clock is injectable; durations are
+   exact deltas of it, and clamped at zero if the clock ever steps
+   backwards (the wall-clock regression this replaced — an NTP step could
+   produce negative phase durations in the trace). *)
+
+let mock_clock values =
+  let remaining = ref values in
+  fun () ->
+    match !remaining with
+    | [] -> Alcotest.fail "mock clock exhausted"
+    | v :: rest ->
+        remaining := rest;
+        v
+
+let phase_end_durations events =
+  List.filter_map
+    (function Trace.Phase_end { wall_ns; _ } -> Some wall_ns | _ -> None)
+    events
+
+let test_phase_duration_from_injected_clock () =
+  let t = Trace.create_mem ~level:Trace.Debug ~clock:(mock_clock [ 1_000L; 3_500L ]) () in
+  Trace.phase_start t "analysis";
+  Trace.phase_end t "analysis";
+  match phase_end_durations (Trace.drain t) with
+  | [ Some d ] -> checki "wall_ns = clock delta" 2_500 d
+  | _ -> Alcotest.fail "expected exactly one timed phase_end"
+
+let test_phase_duration_clamped_on_backwards_step () =
+  let t = Trace.create_mem ~level:Trace.Debug ~clock:(mock_clock [ 5_000L; 1_000L ]) () in
+  Trace.phase_start t "analysis";
+  Trace.phase_end t "analysis";
+  match phase_end_durations (Trace.drain t) with
+  | [ Some d ] -> checki "duration clamped, never negative" 0 d
+  | _ -> Alcotest.fail "expected exactly one timed phase_end"
+
+let test_phase_duration_only_at_debug () =
+  (* Below Debug only the start timestamp is read; no duration is emitted. *)
+  let t = Trace.create_mem ~level:Trace.Runs ~clock:(mock_clock [ 1_000L ]) () in
+  Trace.phase_start t "analysis";
+  Trace.phase_end t "analysis";
+  match phase_end_durations (Trace.drain t) with
+  | [ None ] -> ()
+  | _ -> Alcotest.fail "expected an untimed phase_end below Debug"
+
 let () =
   Alcotest.run "trace"
     [
@@ -354,5 +399,13 @@ let () =
           Alcotest.test_case "traced = untraced" `Quick test_traced_equals_untraced;
           Alcotest.test_case "jobs-invariant trace" `Quick test_trace_identical_across_jobs;
           Alcotest.test_case "campaign events" `Quick test_trace_records_campaign;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "duration = injected clock delta" `Quick
+            test_phase_duration_from_injected_clock;
+          Alcotest.test_case "backwards step clamps to 0" `Quick
+            test_phase_duration_clamped_on_backwards_step;
+          Alcotest.test_case "untimed below Debug" `Quick test_phase_duration_only_at_debug;
         ] );
     ]

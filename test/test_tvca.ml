@@ -408,6 +408,103 @@ let test_rtos_deterministic () =
   in
   checkb "same seed, same schedule" true (run () = run ())
 
+(* ------------------------------------------------------------------ *)
+(* Schedule-randomization policies *)
+
+let base_tasks () = T.Rtos.tvca_tasks ~period:60_000 ()
+
+let sorted_priorities tasks =
+  List.sort Int.compare (List.map (fun s -> s.T.Rtos.priority) tasks)
+
+let test_policy_pure_function_of_seed () =
+  List.iter
+    (fun policy ->
+      let apply seed =
+        T.Rtos.schedule_signature
+          (T.Rtos.apply_policy policy ~seed ~max_jitter:2_000 (base_tasks ()))
+      in
+      checkb
+        (T.Rtos.policy_name policy ^ " same seed, same schedule")
+        true
+        (String.equal (apply 77L) (apply 77L)))
+    T.Rtos.all_policies;
+  (* Randomizing policies actually depend on the seed. *)
+  let distinct_under policy =
+    let sigs =
+      List.map
+        (fun i ->
+          T.Rtos.schedule_signature
+            (T.Rtos.apply_policy policy ~seed:(Int64.of_int i) ~max_jitter:2_000
+               (base_tasks ())))
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    in
+    List.length (List.sort_uniq String.compare sigs)
+  in
+  checkb "shuffle varies with seed" true (distinct_under T.Rtos.Priority_shuffle > 1);
+  checkb "jitter varies with seed" true (distinct_under T.Rtos.Offset_jitter > 1)
+
+let test_policy_fixed_is_identity () =
+  let tasks = base_tasks () in
+  checkb "fixed leaves the task set untouched" true
+    (T.Rtos.apply_policy T.Rtos.Fixed_priority ~seed:123L ~max_jitter:5_000 tasks = tasks)
+
+let test_policy_shuffle_preserves_priorities () =
+  (* A priority permutation within equal-period classes: the multiset of
+     priorities, the periods and the offsets all survive. *)
+  let tasks = base_tasks () in
+  List.iter
+    (fun seed ->
+      let shuffled =
+        T.Rtos.apply_policy T.Rtos.Priority_shuffle ~seed ~max_jitter:0 tasks
+      in
+      checkb "priority multiset preserved" true
+        (sorted_priorities shuffled = sorted_priorities tasks);
+      List.iter2
+        (fun a b ->
+          checkb "task order stable" true (String.equal a.T.Rtos.name b.T.Rtos.name);
+          checkb "period unchanged" true (a.T.Rtos.period = b.T.Rtos.period);
+          checkb "offset unchanged" true (a.T.Rtos.offset = b.T.Rtos.offset))
+        tasks shuffled)
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_policy_jitter_offsets_grow () =
+  let tasks = base_tasks () in
+  let max_jitter = 2_000 in
+  List.iter
+    (fun seed ->
+      let jittered = T.Rtos.apply_policy T.Rtos.Offset_jitter ~seed ~max_jitter tasks in
+      List.iter2
+        (fun a b ->
+          checkb "offset only grows" true (b.T.Rtos.offset >= a.T.Rtos.offset);
+          checkb "offset within jitter bound" true
+            (b.T.Rtos.offset <= a.T.Rtos.offset + max_jitter);
+          checkb "priority unchanged" true (a.T.Rtos.priority = b.T.Rtos.priority))
+        tasks jittered)
+    [ 10L; 11L; 12L; 13L ]
+
+let test_randomization_metrics () =
+  (* 4 observations of 2 distinct schedules, 3:1 split. *)
+  let r = T.Rtos.randomization_of_signatures [ "a"; "a"; "a"; "b" ] in
+  checkb "schedules" true (r.T.Rtos.schedules = 4);
+  checkb "distinct" true (r.T.Rtos.distinct = 2);
+  let expected_entropy = -.((0.75 *. (log 0.75 /. log 2.)) +. (0.25 *. (log 0.25 /. log 2.))) in
+  checkb "entropy" true (Float.abs (r.T.Rtos.entropy_bits -. expected_entropy) < 1e-12);
+  checkb "vulnerability = modal probability" true (r.T.Rtos.vulnerability = 0.75);
+  (* Degenerate single schedule: zero entropy, fully predictable. *)
+  let fixed = T.Rtos.randomization_of_signatures [ "s"; "s" ] in
+  checkb "fixed entropy 0" true (fixed.T.Rtos.entropy_bits = 0.);
+  checkb "fixed vulnerability 1" true (fixed.T.Rtos.vulnerability = 1.)
+
+let test_policy_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match T.Rtos.policy_of_string (T.Rtos.policy_name p) with
+      | Ok p' -> checkb (T.Rtos.policy_name p ^ " roundtrips") true (p = p')
+      | Error e -> Alcotest.failf "policy_of_string failed: %s" e)
+    T.Rtos.all_policies;
+  checkb "unknown policy rejected" true
+    (match T.Rtos.policy_of_string "bogus" with Error _ -> true | Ok _ -> false)
+
 let () =
   Alcotest.run "repro_tvca"
     [
@@ -460,6 +557,16 @@ let () =
           Alcotest.test_case "duplicate priorities" `Quick
             test_rtos_rejects_duplicate_priorities;
           Alcotest.test_case "deterministic" `Quick test_rtos_deterministic;
+        ] );
+      ( "shuffle",
+        [
+          Alcotest.test_case "policies pure in seed" `Quick test_policy_pure_function_of_seed;
+          Alcotest.test_case "fixed is identity" `Quick test_policy_fixed_is_identity;
+          Alcotest.test_case "shuffle preserves priorities" `Quick
+            test_policy_shuffle_preserves_priorities;
+          Alcotest.test_case "jitter grows offsets" `Quick test_policy_jitter_offsets_grow;
+          Alcotest.test_case "randomization metrics" `Quick test_randomization_metrics;
+          Alcotest.test_case "policy names roundtrip" `Quick test_policy_names_roundtrip;
         ] );
       ( "experiment",
         [
