@@ -108,6 +108,14 @@ let () =
     ~better_lower:true;
   gate_opt "jobs=1 runs_per_sec (higher is better)" (jobs1_runs_per_sec prev)
     (jobs1_runs_per_sec next) ~better_lower:false;
+  gate_opt "store_io.warm_query_seconds (lower is better)"
+    (number [ "store_io"; "warm_query_seconds" ] prev)
+    (number [ "store_io"; "warm_query_seconds" ] next)
+    ~better_lower:true;
+  gate_opt "store_io.merge_rss_large_kb (lower is better)"
+    (number [ "store_io"; "merge_rss_large_kb" ] prev)
+    (number [ "store_io"; "merge_rss_large_kb" ] next)
+    ~better_lower:true;
   if !failures > 0 then begin
     Printf.printf "%d perf regression%s beyond %.0f%%\n" !failures
       (if !failures = 1 then "" else "s")

@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (DESIGN.md experiment index E1-E4) plus the ablations A1-A4,
    runs the campaign-throughput / hot-path / analysis-throughput /
-   distributed / shuffle-leak benchmarks (sections P1-P5; results
+   distributed / shuffle-leak / store-I/O benchmarks (sections P1-P6; results
    optionally emitted as machine-readable JSON for the perf trajectory),
    then runs Bechamel micro-benchmarks of the pipeline's own cost.
 
@@ -9,8 +9,8 @@
                                     [-- --smoke] [-- --json PATH]
                                     [-- --trace PATH] [-- --profile]
    Default N is 3000 (the paper's run count).  [--smoke] runs only the
-   P1-P5 perf sections at a reduced run count (the CI mode); [--json PATH]
-   writes the P1-P5 results to PATH (e.g. BENCH_pr9.json); [--trace PATH]
+   P1-P6 perf sections at a reduced run count (the CI mode); [--json PATH]
+   writes the P1-P6 results to PATH (e.g. BENCH_pr10.json); [--trace PATH]
    keeps the JSONL trace written by the P1 trace-overhead probe;
    [--profile] enables the stage-resolved micro-profiler and emits its
    table (and a JSON section) at the end. *)
@@ -23,9 +23,51 @@ module S = Repro_stats
 module Isa = Repro_isa
 module D = S.Descriptive
 
+(* Hidden child mode for the P6 merge-RSS probe: re-invoked as
+   [main.exe --p6-merge SRC... DST], performs just the store merge and
+   prints its own peak RSS — a fresh process, so VmHWM measures the merge
+   (plus runtime baseline) rather than whatever the parent benchmark
+   allocated earlier. *)
+let vmhwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            0
+        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+            close_in ic;
+            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+        | _ -> go ()
+      in
+      (try go () with Scanf.Scan_failure _ | Failure _ -> 0)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--p6-merge" :: (_ :: _ :: _ as dirs) ->
+      let rec split_last acc = function
+        | [ dst ] -> (List.rev acc, dst)
+        | d :: rest -> split_last (d :: acc) rest
+        | [] -> assert false
+      in
+      let src_dirs, dst_dir = split_last [] dirs in
+      let src = List.map (fun dir -> M.Store.open_root ~dir) src_dirs in
+      let dst = M.Store.open_root ~dir:dst_dir in
+      (match M.Store.merge ~src dst with
+      | Ok _ -> ()
+      | Error e ->
+          prerr_endline ("p6-merge: " ^ e);
+          exit 1);
+      Printf.printf "vmhwm_kb %d\n" (vmhwm_kb ());
+      exit 0
+  | _ -> ()
+
 let runs = ref 3000
 let skip_micro = ref false
 let smoke = ref false
+let p6_only = ref false
 let json_out = ref None
 let trace_out = ref None
 let profile = ref false
@@ -41,6 +83,11 @@ let () =
         parse rest
     | "--smoke" :: rest ->
         smoke := true;
+        parse rest
+    | "--p6-only" :: rest ->
+        (* the CI store-io smoke mode: just the store-I/O section, which
+           carries its own pass/fail gates *)
+        p6_only := true;
         parse rest
     | "--json" :: path :: rest ->
         json_out := Some path;
@@ -448,6 +495,19 @@ let time_it f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
+
+(* Best-of-[reps] timing: the minimum is the standard robust estimator for
+   a deterministic workload on a shared box — every source of interference
+   (scheduler preemption, page-cache misses, GC from a previous section)
+   only ever adds time. *)
+let time_best ~reps f =
+  let v, t0 = time_it f in
+  let best = ref t0 in
+  for _ = 2 to reps do
+    let _, t = time_it f in
+    if t < !best then best := t
+  done;
+  (v, !best)
 
 (* Direct hot-path probe: hammer one structure with a strided read/write
    mix large enough to live beyond the cold-start transient. *)
@@ -1270,11 +1330,267 @@ let p5_shuffle_leak_perf () =
     leak_rand_clean;
   }
 
-let json_of_perf r s a d sl =
+(* ------------------------------------------------------------------ *)
+(* P6: store I/O at campaign scale.  The three claims of the million-run
+   rebuild, each checked as it is measured: (1) a warm query over a
+   10^5-run v3 record (binary payloads + index sidecar) is >= 10x faster
+   than the PR9-style full text parse of the same sample in v2 framing;
+   (2) merge peak RSS is flat between 10^4- and 10^5-run campaigns
+   (streaming chunk union, measured as VmHWM of a child process that does
+   nothing but the merge); (3) binary payloads shrink bytes-per-run vs
+   text.  Uses a synthetic measurement (pure in the run index) so the
+   store, not the simulator, is what's timed. *)
+
+type store_io_results = {
+  io_runs : int;
+  io_chunk_size : int;
+  v3_bytes_per_run : float;
+  v2_bytes_per_run : float;
+  warm_query_seconds : float;
+  full_parse_seconds : float;
+  warm_speedup_vs_full_parse : float;
+  io_warm_identical : bool;
+  merge_rss_small_kb : int;
+  merge_rss_large_kb : int;
+  merge_rss_ratio : float;
+}
+
+let p6_store_io_perf () =
+  section "P6  Store I/O at campaign scale: binary payloads, indexed reads, streaming merge";
+  let n = 100_000 in
+  (* the scaled-protocol chunk size for 10^5+-run campaigns (EXPERIMENTS
+     §scaled): ~25 checkpoint barriers at this n — still fine-grained
+     enough to resume from, and 16x fewer per-chunk seeks/frames than the
+     3,000-run default of 256.  Both the v3 record and the v2 baseline use
+     the same layout. *)
+  let chunk_size = 4096 in
+  let phase = "collect_det" in
+  (* synthetic latency: pure in the run index, cheap, full-width mantissas
+     (division by 3 leaves a repeating binary fraction, so the v2 text
+     framing prints the full 17 significant digits — matching what real
+     campaign latencies, products of float arithmetic, look like) *)
+  let value i = 1e6 +. (float_of_int ((i * 2654435761) land 0xfffff) /. 3.) in
+  let config runs extra =
+    [ ("bench", "p6"); ("runs", string_of_int runs) ] @ extra
+  in
+  let tmp_dir () =
+    let d = Filename.temp_file "bench_p6" "" in
+    Sys.remove d;
+    M.Trace.ensure_dir d;
+    d
+  in
+  let with_dir f =
+    let d = tmp_dir () in
+    Fun.protect ~finally:(fun () -> rm_rf d) @@ fun () -> f d
+  in
+  let open_session ?resume ?shard root ~runs cfg =
+    let key = M.Store.key ~chunk_size cfg in
+    match
+      M.Store.open_session ~chunk_size ?resume ?shard root ~key ~config:cfg ~runs
+        ~resilient:false
+    with
+    | Ok s -> s
+    | Error e -> failwith ("P6: open_session: " ^ e)
+  in
+  with_dir @@ fun v3_dir ->
+  with_dir @@ fun v2_dir ->
+  (* --- warm query vs full parse ----------------------------------- *)
+  let cfg = config n [] in
+  let root_v3 = M.Store.open_root ~dir:v3_dir in
+  let s = open_session root_v3 ~runs:n cfg in
+  let expected = M.Store.collect s ~jobs:1 ~phase n value in
+  M.Store.close s;
+  let v3_file = Filename.concat v3_dir (M.Store.key ~chunk_size cfg ^ ".jsonl") in
+  (* the same sample in v2 framing (text float payloads), fabricated the
+     way the PR9 writer framed it — the full-parse baseline reads this *)
+  let key2 = M.Store.key_v2 ~chunk_size cfg in
+  let fabricate_v2 () =
+    let module J = M.Trace.Json in
+    let oc = open_out_bin (Filename.concat v2_dir (key2 ^ ".jsonl")) in
+    let put line = output_string oc (M.Store.seal line ^ "\n") in
+    put
+      (J.to_string
+         (J.Obj
+            [
+              ("kind", J.String "meta");
+              ("schema", J.String "store/v2");
+              ("key", J.String key2);
+              ("runs", J.Int n);
+              ("resilient", J.Bool false);
+              ("chunk_size", J.Int chunk_size);
+              ( "config",
+                J.Obj (List.map (fun (k, v) -> (k, J.String v)) (List.sort compare cfg))
+              );
+            ]));
+    let lo = ref 0 in
+    while !lo < n do
+      let len = Stdlib.min chunk_size (n - !lo) in
+      put
+        (J.to_string
+           (J.Obj
+              [
+                ("kind", J.String "chunk");
+                ("phase", J.String phase);
+                ("lo", J.Int !lo);
+                ("values", J.List (List.init len (fun i -> J.Float expected.(!lo + i))));
+              ]));
+      lo := !lo + len
+    done;
+    close_out oc
+  in
+  fabricate_v2 ();
+  let root_v2 = M.Store.open_root ~dir:v2_dir in
+  let file_size f = (Unix.stat f).Unix.st_size in
+  let v3_bytes_per_run = float_of_int (file_size v3_file) /. float_of_int n in
+  let v2_bytes_per_run =
+    float_of_int (file_size (Filename.concat v2_dir (key2 ^ ".jsonl"))) /. float_of_int n
+  in
+  (* PR9 full-parse read path, reproduced faithfully: a warm query used to
+     re-scan the whole record — per line, verify the md5 trailer, hand the
+     body to the JSON parser, and rebuild each chunk's float array from
+     text ([parse_chunk_line] in the PR9 store).  The current [ls ~deep]
+     scan is already cheaper than that, so timing it would flatter the
+     baseline. *)
+  let pr9_full_parse file =
+    let module J = M.Trace.Json in
+    let unseal line =
+      let tlen = String.length ",\"sum\":\"\"}" + 32 in
+      let len = String.length line in
+      if len <= tlen then failwith "P6: v2 line without a checksum trailer";
+      let start = len - tlen in
+      let sum = String.sub line (start + 8) 32 in
+      let body = String.sub line 0 start ^ "}" in
+      if Digest.to_hex (Digest.string body) <> sum then
+        failwith "P6: v2 checksum mismatch";
+      body
+    in
+    let ic = open_in_bin file in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let total = ref 0 in
+    (try
+       while true do
+         let body = unseal (input_line ic) in
+         match J.of_string body with
+         | Error e -> failwith ("P6: v2 line unreadable: " ^ e)
+         | Ok j -> (
+             match Option.bind (J.member "kind" j) J.to_str with
+             | Some "meta" -> ()
+             | Some "chunk" -> (
+                 match J.member "values" j with
+                 | Some (J.List vs) ->
+                     List.iter
+                       (fun v ->
+                         match J.to_float v with
+                         | Some _ -> incr total
+                         | None -> failwith "P6: non-numeric sample")
+                       vs
+                 | _ -> failwith "P6: chunk without values")
+             | _ -> failwith "P6: unexpected v2 line kind")
+       done
+     with End_of_file -> ());
+    !total
+  in
+  (match M.Store.ls ~deep:true root_v2 with
+  | [ e ] when e.M.Store.status = M.Store.Complete -> ()
+  | _ -> failwith "P6: fabricated v2 record did not verify");
+  let parsed_runs, full_parse_seconds =
+    time_best ~reps:5 (fun () -> pr9_full_parse (Filename.concat v2_dir (key2 ^ ".jsonl")))
+  in
+  if parsed_runs <> n then failwith "P6: full parse dropped runs";
+  (* warm v3 query: open, materialize the sample from the record (the
+     measurement function must never run), close *)
+  let warm, warm_query_seconds =
+    time_best ~reps:5 (fun () ->
+        let s = open_session ~resume:true root_v3 ~runs:n cfg in
+        let sample =
+          M.Store.collect s ~jobs:1 ~phase n (fun _ ->
+              failwith "P6: warm query recomputed a run")
+        in
+        M.Store.close s;
+        sample)
+  in
+  let io_warm_identical = warm = expected in
+  let warm_speedup = full_parse_seconds /. warm_query_seconds in
+  (* --- merge RSS flatness ------------------------------------------ *)
+  let merge_rss runs =
+    let cfg = config runs [ ("variant", "merge") ] in
+    let shard_dirs = [ tmp_dir (); tmp_dir () ] in
+    let dst_dir = tmp_dir () in
+    Fun.protect ~finally:(fun () -> List.iter rm_rf (dst_dir :: shard_dirs))
+    @@ fun () ->
+    let mid = runs / 2 / chunk_size * chunk_size in
+    List.iteri
+      (fun i dir ->
+        let span = if i = 0 then (0, mid) else (mid, runs) in
+        let root = M.Store.open_root ~dir in
+        let s = open_session ~shard:span root ~runs cfg in
+        ignore (M.Store.collect s ~jobs:1 ~phase runs value);
+        M.Store.close s)
+      shard_dirs;
+    M.Trace.ensure_dir dst_dir;
+    let argv =
+      Array.of_list
+        ((Sys.executable_name :: "--p6-merge" :: shard_dirs) @ [ dst_dir ])
+    in
+    let r_out, w_out = Unix.pipe () in
+    let pid = Unix.create_process Sys.executable_name argv Unix.stdin w_out Unix.stderr in
+    Unix.close w_out;
+    let ic = Unix.in_channel_of_descr r_out in
+    let line = try input_line ic with End_of_file -> "" in
+    let _, status = Unix.waitpid [] pid in
+    close_in ic;
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ -> failwith "P6: merge child failed");
+    match String.split_on_char ' ' line with
+    | [ "vmhwm_kb"; v ] -> int_of_string v
+    | _ -> failwith ("P6: unexpected merge-child output: " ^ line)
+  in
+  let merge_rss_small_kb = merge_rss (n / 10) in
+  let merge_rss_large_kb = merge_rss n in
+  let merge_rss_ratio =
+    if merge_rss_small_kb > 0 then
+      float_of_int merge_rss_large_kb /. float_of_int merge_rss_small_kb
+    else 0.
+  in
+  Format.printf "campaign of %d runs, chunk size %d@.@." n chunk_size;
+  Format.printf "%-52s %10.1f B@." "bytes per run, v2 text payloads" v2_bytes_per_run;
+  Format.printf "%-52s %10.1f B@." "bytes per run, v3 binary payloads" v3_bytes_per_run;
+  Format.printf "%-52s %10.3fs@." "full parse of the v2 record (PR9 read path)"
+    full_parse_seconds;
+  Format.printf "%-52s %10.3fs  (%.1fx full parse)@." "warm v3 query (index + binary decode)"
+    warm_query_seconds warm_speedup;
+  Format.printf "warm sample bit-identical to cold:  %b@." io_warm_identical;
+  Format.printf "merge peak RSS: %d runs -> %d KB, %d runs -> %d KB (ratio %.2f)@."
+    (n / 10) merge_rss_small_kb n merge_rss_large_kb merge_rss_ratio;
+  if not io_warm_identical then failwith "P6: warm sample diverged from cold";
+  if warm_speedup < 10. then
+    Format.kasprintf failwith
+      "P6: warm query only %.1fx faster than the full-parse path (need >= 10x)"
+      warm_speedup;
+  if merge_rss_small_kb > 0 && merge_rss_ratio > 1.5 then
+    Format.kasprintf failwith
+      "P6: merge peak RSS grew %.2fx from %d to %d runs — not constant-memory"
+      merge_rss_ratio (n / 10) n;
+  {
+    io_runs = n;
+    io_chunk_size = chunk_size;
+    v3_bytes_per_run;
+    v2_bytes_per_run;
+    warm_query_seconds;
+    full_parse_seconds;
+    warm_speedup_vs_full_parse = warm_speedup;
+    io_warm_identical;
+    merge_rss_small_kb;
+    merge_rss_large_kb;
+    merge_rss_ratio;
+  }
+
+let json_of_perf r s a d sl io =
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"bench_pr9/v1\",\n";
+  add "  \"schema\": \"bench_pr10/v1\",\n";
   add "  \"smoke\": %b,\n" !smoke;
   add "  \"campaign_runs\": %d,\n" r.campaign_runs;
   add "  \"recommended_domain_count\": %d,\n" r.domain_count;
@@ -1374,6 +1690,19 @@ let json_of_perf r s a d sl =
   add "    \"leak_det_detected\": %b,\n" sl.leak_det_detected;
   add "    \"leak_rand_clean\": %b\n" sl.leak_rand_clean;
   add "  },\n";
+  add "  \"store_io\": {\n";
+  add "    \"campaign_runs\": %d,\n" io.io_runs;
+  add "    \"chunk_size\": %d,\n" io.io_chunk_size;
+  add "    \"v2_bytes_per_run\": %.1f,\n" io.v2_bytes_per_run;
+  add "    \"v3_bytes_per_run\": %.1f,\n" io.v3_bytes_per_run;
+  add "    \"full_parse_seconds\": %.6f,\n" io.full_parse_seconds;
+  add "    \"warm_query_seconds\": %.6f,\n" io.warm_query_seconds;
+  add "    \"warm_speedup_vs_full_parse\": %.2f,\n" io.warm_speedup_vs_full_parse;
+  add "    \"warm_samples_identical\": %b,\n" io.io_warm_identical;
+  add "    \"merge_rss_small_kb\": %d,\n" io.merge_rss_small_kb;
+  add "    \"merge_rss_large_kb\": %d,\n" io.merge_rss_large_kb;
+  add "    \"merge_rss_ratio\": %.3f\n" io.merge_rss_ratio;
+  add "  },\n";
   add "  \"profile\": {\n";
   add "    \"enabled\": %b,\n" (M.Profile.enabled ());
   add "    \"stages\": [\n";
@@ -1445,6 +1774,11 @@ let micro () =
          | Some [] | None -> Format.printf "%-48s (no estimate)@." name)
 
 let () =
+  if !p6_only then begin
+    ignore (p6_store_io_perf ());
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   Format.printf
     "MBPTA-on-time-randomized-platform reproduction benchmark (runs per config: %d)@."
     !runs;
@@ -1466,8 +1800,11 @@ let () =
   let analysis = p3_analysis_perf () in
   let distributed = p4_distributed_perf () in
   let shuffle_leak = p5_shuffle_leak_perf () in
+  let store_io = p6_store_io_perf () in
   (match !json_out with
-  | Some path -> write_json path (json_of_perf perf store analysis distributed shuffle_leak)
+  | Some path ->
+      write_json path
+        (json_of_perf perf store analysis distributed shuffle_leak store_io)
   | None -> ());
   if !profile then begin
     section "Stage-resolved profile (whole benchmark process)";

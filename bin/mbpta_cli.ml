@@ -85,6 +85,28 @@ let resolve_jobs = function
       Format.eprintf "mbpta_cli: --jobs must be >= 0 (got %d)@." j;
       exit 2
 
+let dispatch_arg =
+  let doc =
+    "Scheduling granularity of the store checkpoint walk: $(b,chunk) (one store \
+     chunk per domain-pool fan-out; the reference schedule), $(b,auto) \
+     (calibrate the per-chunk cost on the first uncached chunk and batch \
+     fan-outs to roughly 50ms of work), or an integer batch size.  Purely \
+     operational: samples and record bytes are identical under every choice."
+  in
+  Arg.(value & opt string "chunk" & info [ "dispatch" ] ~docv:"MODE" ~doc)
+
+let resolve_dispatch s : M.Parallel.dispatch =
+  match s with
+  | "chunk" -> `Chunk
+  | "auto" -> `Auto
+  | s -> (
+      match int_of_string_opt s with
+      | Some b when b >= 1 -> `Batch b
+      | _ ->
+          Format.eprintf
+            "mbpta_cli: --dispatch must be chunk, auto, or a batch size >= 1 (got %s)@." s;
+          exit 2)
+
 (* Usage errors share one shape: message on stderr, exit 2 (the cmdliner
    convention resolve_jobs established). *)
 let usage_error fmt =
@@ -388,10 +410,12 @@ let resilience_outcome_of = function
         { detail = Printf.sprintf "worst output error %g" worst_error }
 
 let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
-    watchdog_budget max_retries min_survival jobs profile trace_path trace_level
-    cache_dir resume no_cache cache_sync shard workers worker_deadline worker_retries
-    worker_backoff =
+    watchdog_budget max_retries min_survival jobs dispatch profile trace_path
+    trace_level cache_dir resume no_cache cache_sync shard workers worker_deadline
+    worker_retries worker_backoff =
   let jobs = resolve_jobs jobs in
+  let dispatch_s = dispatch in
+  let dispatch = resolve_dispatch dispatch in
   if profile then M.Profile.set_enabled true;
   validate_runs runs;
   validate_frames frames;
@@ -508,6 +532,8 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
            string_of_int frames;
            "--jobs";
            string_of_int jobs;
+           "--dispatch";
+           dispatch_s;
            "--shard";
            Printf.sprintf "%d/%d" k workers;
            "--cache-dir";
@@ -624,9 +650,9 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
         Fun.protect ~finally:(fun () -> M.Store.close session) @@ fun () ->
         let result =
           if resilient then
-            M.Campaign.collect_shard_resilient ~jobs ?trace ~store:session
+            M.Campaign.collect_shard_resilient ~jobs ?trace ~dispatch ~store:session
               (resilient_input ())
-          else M.Campaign.collect_shard ~jobs ?trace ~store:session input
+          else M.Campaign.collect_shard ~jobs ?trace ~dispatch ~store:session input
         in
         match result with
         | Error f ->
@@ -650,8 +676,8 @@ let analyze runs seed frames tail no_gates bootstrap factor csv_dir seu_rate
       @@ fun store ->
       let result =
         if resilient then
-          M.Campaign.run_resilient ~jobs ?trace ?store (resilient_input ())
-        else M.Campaign.run ~jobs ?trace ?store input
+          M.Campaign.run_resilient ~jobs ?trace ~dispatch ?store (resilient_input ())
+        else M.Campaign.run ~jobs ?trace ~dispatch ?store input
       in
       match result with
   | Error f ->
@@ -739,7 +765,7 @@ let analyze_cmd =
     Term.(
       const analyze $ runs_arg $ seed_arg $ frames_arg $ tail_arg $ no_gates_arg
       $ bootstrap_arg $ factor $ csv_dir $ seu_rate $ watchdog_budget $ max_retries
-      $ min_survival $ jobs_arg $ profile_arg
+      $ min_survival $ jobs_arg $ dispatch_arg $ profile_arg
       $ trace_arg $ trace_level_arg $ cache_dir_arg $ resume_arg $ no_cache_arg
       $ cache_sync_arg $ shard_arg $ workers_arg $ worker_deadline_arg
       $ worker_retries_arg $ worker_backoff_arg)
@@ -1004,7 +1030,10 @@ let with_cache_root dir f =
 
 let cache_ls dir =
   with_cache_root dir @@ fun root ->
-  let entries = M.Store.ls root in
+  (* header-only listing: index sidecars stand in for the payload scan, so
+     ls on a million-run store reads a few lines per record, not gigabytes;
+     `cache verify` remains the full-validation pass *)
+  let entries = M.Store.ls ~deep:false root in
   if entries = [] then print_endline "cache is empty"
   else
     List.iter (fun e -> Format.printf "%a@." M.Store.pp_entry e) entries;
@@ -1076,17 +1105,25 @@ let cache_merge trace_path trace_level sync dirs =
 
 let cache_export out dir skey =
   with_cache_root dir @@ fun root ->
-  match M.Store.export root ~key:skey with
-  | Error e -> usage_error "%s" e
-  | Ok text -> (
-      match out with
-      | None ->
-          print_string text;
-          0
-      | Some path ->
-          let oc = try open_out_bin path with Sys_error e -> usage_error "%s" e in
-          output_string oc text;
-          close_out oc;
+  (* stream the record to the sink in bounded memory — export never holds
+     more than one copy buffer of a million-run record at once *)
+  let to_channel oc = M.Store.export_to root ~key:skey oc in
+  match out with
+  | None -> (
+      match to_channel stdout with
+      | Error e -> usage_error "%s" e
+      | Ok () ->
+          flush stdout;
+          0)
+  | Some path -> (
+      let oc = try open_out_bin path with Sys_error e -> usage_error "%s" e in
+      let r = to_channel oc in
+      close_out oc;
+      match r with
+      | Error e ->
+          (try Sys.remove path with Sys_error _ -> ());
+          usage_error "%s" e
+      | Ok () ->
           Format.printf "exported %s to %s@." skey path;
           0)
 

@@ -87,10 +87,15 @@ type error =
     barrier and previously recorded trails are replayed instead of
     re-measured.  Because the accounting phase runs over the trails either
     way, a resumed or fully cached campaign reproduces the report (sample,
-    records, budget arithmetic) bit-identically. *)
+    records, budget arithmetic) bit-identically.
+
+    [dispatch] (store-backed runs only) sets the scheduling granularity of
+    the checkpoint walk — see {!Parallel.dispatch}; purely operational,
+    never a sample or accounting bit. *)
 val supervise :
   ?jobs:int ->
   ?trace:Trace.t ->
+  ?dispatch:Parallel.dispatch ->
   ?store:Store.session * string ->
   policy:policy ->
   runs:int ->

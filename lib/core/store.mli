@@ -22,42 +22,62 @@
     of the key: re-analysing the same measurements is a pure cache hit.
 
     {b Record format.}  One JSONL file per key, [<key>.jsonl] under the
-    store root, reusing {!Trace.Json} (bit-exact float round-trip):
+    store root:
 
     - line 1 — [meta]: schema, key, runs, resilient flag, chunk size,
       optional shard span, and the full config for human inspection
       ([cache ls]);
-    - then [chunk] (fault-free: an array of measured cycles) or [rchunk]
-      (resilient: per-run attempt trails) lines, appended at every
-      checkpoint barrier in deterministic ascending order per phase.
+    - then [chunk] (fault-free: measured cycles as little-endian IEEE-754
+      bit patterns, base64-framed — bit-exact by construction, including
+      [-0.], subnormals, infinities and NaN payloads) or [rchunk]
+      (resilient: per-run attempt trails as {!Trace.Json} text) lines,
+      appended at every checkpoint barrier in deterministic ascending
+      order per phase.
 
-    Every [store/v2] line ends with an integrity trailer
-    [,"sum":"<md5-hex>"] — the digest of the line with the trailer removed.
-    Verification is byte-exact string surgery (no JSON round-trip), so a
-    flipped bit, a mid-record truncation or a hand-edited value is caught
-    and classified as {e tampering}, distinct from a {e torn tail} (a kill
-    mid-write tears at most the last line; the valid prefix stays
-    trustworthy and resumable).  Tampered records are refused by resume,
-    reported [Corrupt] by [cache verify], and quarantined — renamed to
-    [<file>.quarantined] — by {!merge}, never merged.  [store/v1] records
-    (no checksums) remain readable by [ls]/[verify]/[export] but hash to
-    different keys and are skipped by {!merge}.
+    Every sealed line ([store/v3] and [store/v2]) ends with an integrity
+    trailer [,"sum":"<md5-hex>"] — the digest of the line with the trailer
+    removed.  Verification is byte-exact string surgery (no JSON
+    round-trip), so a flipped bit, a mid-record truncation or a
+    hand-edited value is caught and classified as {e tampering}, distinct
+    from a {e torn tail} (a kill mid-write tears at most the last line;
+    the valid prefix stays trustworthy and resumable).  Tampered records
+    are refused by resume, reported [Corrupt] by [cache verify], and
+    quarantined — renamed to [<file>.quarantined] — by {!merge}, never
+    merged.  Legacy [store/v2] (text float payloads) and [store/v1] (no
+    checksums) records remain readable by [ls]/[verify]/[export] but hash
+    to different keys and are skipped by {!merge}.
 
     Each phase's chunks must form a contiguous prefix of the fixed chunk
     layout (starting at the record's shard lower bound); the first
     malformed or out-of-place line invalidates that line and everything
     after it, never the valid prefix before it.
 
+    {b Streaming reads.}  No whole-record read exists anywhere in this
+    module: records are scanned line by line, sessions keep a byte-range
+    index instead of decoded payloads and re-read chunks on demand, and
+    {!merge}/{!export} copy chunk byte ranges through a bounded buffer —
+    so open, warm query, verify, merge and export all run in O(chunk)
+    memory however large the campaign.  A per-record sidecar
+    ([<key>.jsonl.idx]) caches the byte layout for header-only listings
+    and warm opens; it is a derived cache, honored only when it stamps the
+    record's exact byte size, mtime and meta digest, and rebuilt from the
+    record otherwise.  The trust model is git's index: the sidecar is only
+    ever written over chunks whose seals were verified (by the writer at
+    append time, or by the full scan that rebuilt it), so a session
+    adopting a stamped sidecar decodes chunks without re-hashing each line
+    — structural checks still catch a record swapped behind the session,
+    and [cache verify] remains the offline deep check.
+
     {b Determinism contract.}  Chunk layout is a pure function of the run
-    count (never of [--jobs] or the shard count), each run's value is a
-    pure function of its index (the seed-derivation contract), and floats
-    round-trip bit-exact.  Hence a campaign resumed from any valid prefix —
-    served entirely from cache, or merged together from shard records —
-    returns samples bit-identical to a cold sequential run at any job
-    count. *)
+    count (never of [--jobs], the shard count, or dispatch batching), each
+    run's value is a pure function of its index (the seed-derivation
+    contract), and floats round-trip bit-exact.  Hence a campaign resumed
+    from any valid prefix — served entirely from cache, or merged together
+    from shard records — returns samples bit-identical to a cold
+    sequential run at any job count. *)
 
 val schema_version : string
-(** ["store/v2"] — bumped on any record-format change, which (being part
+(** ["store/v3"] — bumped on any record-format change, which (being part
     of the digest) retires every old record automatically. *)
 
 val default_chunk_size : int
@@ -90,9 +110,32 @@ val key : ?chunk_size:int -> (string * string) list -> string
     (name-sorted) order — so the digest does not depend on the order the
     harness assembled the list in. *)
 
+val key_v2 : ?chunk_size:int -> (string * string) list -> string
+(** The address the same configuration had under the [store/v2] schema —
+    exposed so tests and tooling can locate (read-only) v2 records. *)
+
 val key_v1 : ?chunk_size:int -> (string * string) list -> string
 (** The address the same configuration had under the [store/v1] schema —
     exposed so tests and tooling can locate (read-only) v1 records. *)
+
+(** {1 Format internals — exposed for tests and tooling} *)
+
+val seal : string -> string
+(** Append the integrity trailer to a JSON object line: [{...}] becomes
+    [{...,"sum":"<md5-hex>"}] where the digest covers the line with the
+    trailer removed.  This is the exact sealing sessions apply to every
+    line they write; exposed so tests can fabricate legacy-schema records
+    without exporting the writer. *)
+
+(** Little-endian IEEE-754 binary float payloads — the [store/v3] chunk
+    encoding.  [encode] maps each float to its 8-byte bit pattern
+    ([Int64.bits_of_float], little-endian) and base64-frames the result;
+    [decode] inverts it exactly, so every value — [-0.], subnormals,
+    infinities, NaN payloads — round-trips bit-for-bit by construction. *)
+module F64 : sig
+  val encode : float array -> string
+  val decode : string -> n:int -> (float array, string) result
+end
 
 (** {1 Sessions} *)
 
@@ -109,8 +152,11 @@ type trail = outcome list
 (** One run's attempt trail, attempt 0 first. *)
 
 type session
-(** An open campaign record: cached chunks parsed into memory, appends go
-    to the record file (flushed at every checkpoint barrier). *)
+(** An open campaign record.  The session holds a byte-range index of the
+    record's valid chunks — never the decoded payloads — and re-reads
+    chunks on demand, so session memory is O(chunk) regardless of
+    campaign size; appends go to the record file (flushed at every
+    checkpoint barrier).  {!close} refreshes the [.idx] sidecar. *)
 
 val open_session :
   ?chunk_size:int ->
@@ -128,7 +174,9 @@ val open_session :
     - no record on disk — fresh session, meta line written immediately
       (an unwritable store fails fast);
     - complete record — every chunk served from cache, regardless of
-      [resume];
+      [resume]; with a sidecar stamping the record's exact size, mtime
+      and meta digest, the open adopts the cached byte layout without
+      scanning the record at all — O(index), not O(record);
     - partial or tail-torn record — with [resume = true] (default
       [false]) the valid prefix is kept (the file is rewritten to exactly
       that prefix) and the campaign continues from the first missing
@@ -208,7 +256,14 @@ val persist_trails : session -> phase:string -> lo:int -> trail array -> unit
 (** {1 Collect drivers} *)
 
 val collect :
-  ?trace:Trace.t -> ?jobs:int -> session -> phase:string -> int -> (int -> float) -> float array
+  ?trace:Trace.t ->
+  ?jobs:int ->
+  ?dispatch:Parallel.dispatch ->
+  session ->
+  phase:string ->
+  int ->
+  (int -> float) ->
+  float array
 (** [collect session ~phase runs f] — the checkpointed fault-free
     measurement pass: cached chunks are served without calling [f],
     missing chunks are computed on the domain pool and appended at their
@@ -216,11 +271,26 @@ val collect :
     the span's values ([hi - lo] of them; a full session returns all
     [runs]).  Emits one {!Trace.Cache_hit} / {!Trace.Resume} /
     {!Trace.Cache_miss} event and bumps the [cache.runs_cached] /
-    [cache.runs_simulated] counters when a trace is attached.  Raises
-    [Invalid_argument] if [runs] disagrees with the session. *)
+    [cache.runs_simulated] counters when a trace is attached.  [dispatch]
+    sets the scheduling granularity (see {!Parallel.dispatch}; default
+    [`Chunk]) — samples and record bytes are invariant under it.
+
+    A fully-cached fault-free span skips the checkpoint walk entirely:
+    every chunk decodes independently from its indexed byte range, fanned
+    out over the domain pool into one preallocated sample array (the
+    result is the same ascending concatenation the sequential walk
+    produces, and [f] is never called).  Raises [Invalid_argument] if
+    [runs] disagrees with the session. *)
 
 val collect_trails :
-  ?trace:Trace.t -> ?jobs:int -> session -> phase:string -> int -> (int -> trail) -> trail array
+  ?trace:Trace.t ->
+  ?jobs:int ->
+  ?dispatch:Parallel.dispatch ->
+  session ->
+  phase:string ->
+  int ->
+  (int -> trail) ->
+  trail array
 (** Resilient-campaign counterpart of {!collect}: per-run attempt trails
     instead of bare cycle counts. *)
 
@@ -243,13 +313,24 @@ type entry = {
   status : status;
 }
 
-val ls : t -> entry list
-(** Parse and fully validate every [*.jsonl] record under the root, sorted
-    by key, followed by any [*.jsonl.quarantined] files (always [Corrupt]).
-    Validation includes the per-line checksums and re-deriving the digest
-    from the stored config and comparing it with the filename — a
-    bit-flipped, truncated or foreign record is [Corrupt]; a record torn by
-    a kill mid-write is [Partial] (its valid prefix is resumable). *)
+val ls : ?deep:bool -> t -> entry list
+(** List every [*.jsonl] record under the root, sorted by key, followed by
+    any [*.jsonl.quarantined] files (always [Corrupt]).
+
+    With [deep = true] (the default, what [cache verify] uses) every
+    record is scanned whole: per-line checksums, payload decode, and
+    re-deriving the digest from the stored config to compare with the
+    filename — a bit-flipped, truncated or foreign record is [Corrupt]; a
+    record torn by a kill mid-write is [Partial] (its valid prefix is
+    resumable).
+
+    With [deep = false] (what [cache ls] uses) a record with a fresh
+    [.idx] sidecar is answered from its meta line and the sidecar alone —
+    O(header) per record; records without a fresh sidecar fall back to a
+    shallow scan (checksums verified, payloads length-checked but not
+    decoded) that rebuilds the sidecar for next time.  The header-only
+    path can miss a payload-level defect that postdates the sidecar;
+    integrity verdicts belong to [deep]. *)
 
 val gc : ?partial:bool -> t -> entry list * int
 (** Remove corrupt records (including quarantined files) — and, with
@@ -292,9 +373,12 @@ val merge :
     - surviving chunks are composed into the maximal contiguous prefix of
       the global chunk layout per phase: a gap (an unrecoverable shard)
       truncates coverage there — partial coverage, never silent wrong data;
-    - each destination record is written whole to a temp file and renamed
-      into place, so a coordinator killed mid-merge leaves the previous
-      record intact and rerunning the merge converges.
+    - each destination record is streamed chunk by chunk out of the source
+      files into a temp file and renamed into place — peak memory is one
+      copy buffer, constant in campaign size — so a coordinator killed
+      mid-merge leaves the previous record intact and rerunning the merge
+      converges (an already-merged destination is detected from chunk
+      digests without re-reading any payload, and left untouched).
 
     The merged record is byte-identical to the record a single-process
     campaign writes (chunk lines carry no shard information and the merged
@@ -311,3 +395,9 @@ val export : t -> key:string -> (string, string) result
     the record for [key] — for shipping a shard store's record over a
     copy-only channel.  [Error] on a missing, unreadable or tampered
     record. *)
+
+val export_to : t -> key:string -> out_channel -> (unit, string) result
+(** {!export} streamed straight to a channel in bounded pieces — the
+    constant-memory path for million-run records ([cache export] uses
+    it).  The record is validated in full before the first byte is
+    written. *)

@@ -415,62 +415,94 @@ let test_bit_flip_detected () =
   Store.close fresh;
   check_bits "recomputed record is bit-identical" (Array.init 24 awkward) out
 
-(* Strip the integrity trailer from a sealed v2 line: the line shape a
-   pre-checksum (store/v1) build wrote. *)
-let unsealed line =
-  let n = String.length line in
-  let trailer = String.length ",\"sum\":\"\"}" + 32 in
-  String.sub line 0 (n - trailer) ^ "}"
+(* Fabricate a legacy-schema record from scratch: v1 (unsealed) and v2
+   (sealed) both carried text float payloads ([values]) serialized by
+   {!Trace.Json}.  Building the bytes by hand pins the historical line
+   shapes independently of what today's writer emits. *)
+let fabricate_legacy root ~schema ~key ~chunk_size ~runs values =
+  let module J = M.Trace.Json in
+  let seal = if schema = "store/v1" then Fun.id else Store.seal in
+  let meta =
+    J.to_string
+      (J.Obj
+         [
+           ("kind", J.String "meta");
+           ("schema", J.String schema);
+           ("key", J.String key);
+           ("runs", J.Int runs);
+           ("resilient", J.Bool false);
+           ("chunk_size", J.Int chunk_size);
+           ( "config",
+             J.Obj
+               (List.map (fun (k, v) -> (k, J.String v)) (List.sort compare config)) );
+         ])
+  in
+  let chunks = ref [] in
+  let lo = ref 0 in
+  while !lo < runs do
+    let len = min chunk_size (runs - !lo) in
+    chunks :=
+      J.to_string
+        (J.Obj
+           [
+             ("kind", J.String "chunk");
+             ("phase", J.String "collect_det");
+             ("lo", J.Int !lo);
+             ("values", J.List (List.init len (fun i -> J.Float (values (!lo + i)))));
+           ])
+      :: !chunks;
+    lo := !lo + len
+  done;
+  write_file (record_file root key)
+    (String.concat "" (List.map (fun l -> seal l ^ "\n") (meta :: List.rev !chunks)))
 
-let test_v1_read_compat () =
+let test_legacy_read_compat () =
   with_root @@ fun root ->
-  let key = Store.key ~chunk_size:8 config in
-  let s = open_exn ~chunk_size:8 root ~key ~runs:16 ~resilient:false in
-  ignore (Store.collect s ~jobs:1 ~phase:"collect_det" 16 awkward);
-  Store.close s;
-  (* Demote the record to v1: unseal every line, relabel the schema, and
-     re-address the file under the v1 key. *)
-  let v2 = read_file (record_file root key) in
-  let lines = String.split_on_char '\n' v2 |> List.filter (fun l -> l <> "") in
-  let replace ~sub ~by s =
-    let n = String.length sub in
-    let rec find i =
-      if i + n > String.length s then None
-      else if String.sub s i n = sub then Some i
-      else find (i + 1)
-    in
-    match find 0 with
-    | None -> s
-    | Some i ->
-        String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
-  in
   let key1 = Store.key_v1 ~chunk_size:8 config in
-  let v1_lines =
-    List.map
-      (fun l ->
-        unsealed l
-        |> replace ~sub:"\"schema\":\"store/v2\"" ~by:"\"schema\":\"store/v1\""
-        |> replace ~sub:("\"key\":\"" ^ key ^ "\"") ~by:("\"key\":\"" ^ key1 ^ "\""))
-      lines
+  let key2 = Store.key_v2 ~chunk_size:8 config in
+  fabricate_legacy root ~schema:"store/v1" ~key:key1 ~chunk_size:8 ~runs:16 awkward;
+  fabricate_legacy root ~schema:"store/v2" ~key:key2 ~chunk_size:8 ~runs:16 awkward;
+  (* Legacy records stay readable: listed, verified, complete — through
+     both the deep scan and the header-only listing. *)
+  let check_ls ~deep name =
+    let entries = Store.ls ~deep root in
+    Alcotest.(check int) (name ^ ": two records") 2 (List.length entries);
+    List.iter
+      (fun (e : Store.entry) ->
+        Alcotest.(check int) (name ^ ": runs") 16 e.runs;
+        match e.status with
+        | Store.Complete -> ()
+        | _ -> Alcotest.failf "%s: legacy record %s must verify as Complete" name e.entry_key)
+      entries
   in
-  write_file (record_file root key1)
-    (String.concat "" (List.map (fun l -> l ^ "\n") v1_lines));
-  Sys.remove (record_file root key);
-  (* v1 records stay readable: listed, verified, complete. *)
-  (match Store.ls root with
-  | [ e ] ->
-      Alcotest.(check string) "v1 record listed under its v1 key" key1 e.entry_key;
-      (match e.status with
-      | Store.Complete -> ()
-      | _ -> Alcotest.fail "clean v1 record must verify as Complete")
-  | l -> Alcotest.failf "expected 1 record, found %d" (List.length l));
-  (* ...but sessions write v2 only: a v1 key is refused outright (it is not
-     this build's digest of the config), never silently upgraded in place. *)
-  match
-    Store.open_session ~chunk_size:8 root ~key:key1 ~config ~runs:16 ~resilient:false
-  with
-  | Ok _ -> Alcotest.fail "a session must not open a v1 record"
-  | Error _ -> ()
+  check_ls ~deep:true "deep";
+  check_ls ~deep:false "shallow";
+  (* export ships the legacy bytes verbatim *)
+  (match Store.export root ~key:key2 with
+  | Error e -> Alcotest.failf "v2 export: %s" e
+  | Ok text ->
+      Alcotest.(check string) "v2 export verbatim" (read_file (record_file root key2)) text);
+  (* ...but sessions write v3 only: a legacy key is refused outright (it is
+     not this build's digest of the config), never silently upgraded. *)
+  List.iter
+    (fun k ->
+      match Store.open_session ~chunk_size:8 root ~key:k ~config ~runs:16 ~resilient:false with
+      | Ok _ -> Alcotest.fail "a session must not open a legacy record"
+      | Error _ -> ())
+    [ key1; key2 ];
+  (* ...and merge refuses both flavours: skipped, left in place, never
+     quarantined or rewritten. *)
+  let dst_dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dst_dir) @@ fun () ->
+  let dst = Store.open_root ~dir:dst_dir in
+  match Store.merge ~src:[ root ] dst with
+  | Error e -> Alcotest.failf "merge: %s" e
+  | Ok m ->
+      Alcotest.(check int) "nothing merged" 0 m.Store.records_merged;
+      Alcotest.(check int) "both legacy records skipped" 2 (List.length m.Store.skipped);
+      Alcotest.(check int) "nothing quarantined" 0 (List.length m.Store.quarantined);
+      Alcotest.(check bool) "legacy records left in place" true
+        (Sys.file_exists (record_file root key1) && Sys.file_exists (record_file root key2))
 
 let test_foreign_record_detected () =
   with_root @@ fun root ->
@@ -815,6 +847,140 @@ let test_sigint_checkpoint_resume () =
   Store.close r;
   check_bits "kill-then-resume is bit-identical to cold" reference resumed
 
+(* --- binary float codec ------------------------------------------------- *)
+
+let test_f64_codec () =
+  let specials =
+    [|
+      0.;
+      -0.;
+      infinity;
+      neg_infinity;
+      Float.min_float;
+      Float.max_float;
+      ldexp 1. (-1074);
+      -.ldexp 1. (-1074);
+      (* quiet NaN, signalling NaN, NaN with a distinctive payload: the
+         codec must carry the exact bit pattern, not "a NaN" *)
+      Int64.float_of_bits 0x7ff8000000000000L;
+      Int64.float_of_bits 0x7ff0000000000001L;
+      Int64.float_of_bits 0xfff800000000beefL;
+      Float.pi;
+      1. /. 3.;
+      -1.5e308;
+    |]
+  in
+  (match Store.F64.decode (Store.F64.encode specials) ~n:(Array.length specials) with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok got -> check_bits "special values survive bit-exactly" specials got);
+  (* empty payload *)
+  (match Store.F64.decode (Store.F64.encode [||]) ~n:0 with
+  | Error e -> Alcotest.failf "empty decode: %s" e
+  | Ok got -> Alcotest.(check int) "empty payload" 0 (Array.length got));
+  (* every base64 padding shape *)
+  for len = 1 to 9 do
+    let a = Array.init len (fun i -> Int64.float_of_bits (Int64.of_int (0x0100 * len + i))) in
+    match Store.F64.decode (Store.F64.encode a) ~n:len with
+    | Error e -> Alcotest.failf "len %d: %s" len e
+    | Ok got -> check_bits (Printf.sprintf "len %d round-trips" len) a got
+  done;
+  (* declared run count must match the payload length *)
+  (match Store.F64.decode (Store.F64.encode [| 1.; 2. |]) ~n:3 with
+  | Ok _ -> Alcotest.fail "length mismatch must be rejected"
+  | Error _ -> ());
+  (* and garbage base64 must be rejected, not decoded to something *)
+  match Store.F64.decode "!!!!" ~n:0 with
+  | Ok _ -> Alcotest.fail "invalid base64 must be rejected"
+  | Error _ -> ()
+
+(* --- index sidecar ------------------------------------------------------ *)
+
+let test_index_sidecar () =
+  with_root @@ fun root ->
+  let key = Store.key ~chunk_size:8 config in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:32 ~resilient:false in
+  let expected = Store.collect s ~jobs:2 ~phase:"collect_det" 32 awkward in
+  Store.close s;
+  let idx = record_file root key ^ ".idx" in
+  Alcotest.(check bool) "close writes the sidecar" true (Sys.file_exists idx);
+  (* header-only listing agrees with the deep scan *)
+  let summary e = (e.Store.entry_key, e.Store.runs, e.Store.status = Store.Complete) in
+  Alcotest.(check bool) "shallow ls matches deep ls" true
+    (List.map summary (Store.ls ~deep:true root)
+    = List.map summary (Store.ls ~deep:false root));
+  (* a warm query must be served from the index: the simulator must never run *)
+  let w = open_exn ~chunk_size:8 ~resume:true root ~key ~runs:32 ~resilient:false in
+  let warm =
+    Store.collect w ~jobs:1 ~phase:"collect_det" 32 (fun _ ->
+        Alcotest.fail "warm query must not simulate")
+  in
+  Store.close w;
+  check_bits "warm == cold" expected warm;
+  (* a stale/corrupt sidecar is ignored and rebuilt, never trusted *)
+  let junk = "mbpta-idx/v1 999999 deadbeef\n\"collect_det\" 0 8 1 1\n" in
+  write_file idx junk;
+  (match Store.ls ~deep:false root with
+  | [ e ] ->
+      (match e.status with
+      | Store.Complete -> ()
+      | _ -> Alcotest.fail "stale sidecar must fall back to the deep scan")
+  | l -> Alcotest.failf "expected 1 record, found %d" (List.length l));
+  Alcotest.(check bool) "stale sidecar rebuilt" true (read_file idx <> junk)
+
+(* --- cost-calibrated dispatch ------------------------------------------- *)
+
+let test_dispatch_identity () =
+  (* Every dispatch mode must produce bit-identical samples and, for equal
+     stores, byte-identical records. *)
+  with_dirs 2 @@ fun dirs ->
+  let d_chunk, d_auto = (List.nth dirs 0, List.nth dirs 1) in
+  let key = Store.key ~chunk_size:8 config in
+  let run dir dispatch jobs =
+    let root = Store.open_root ~dir in
+    let s = open_exn ~chunk_size:8 root ~key ~runs:32 ~resilient:false in
+    let v = Store.collect s ~jobs ~dispatch ~phase:"collect_det" 32 awkward in
+    Store.close s;
+    v
+  in
+  let reference = run d_chunk `Chunk 1 in
+  let auto = run d_auto `Auto 4 in
+  check_bits "`Auto == `Chunk samples" reference auto;
+  Alcotest.(check string) "byte-identical records across dispatch modes"
+    (read_file (record_file (Store.open_root ~dir:d_chunk) key))
+    (read_file (record_file (Store.open_root ~dir:d_auto) key));
+  (* batched dispatch against a fresh store, then crash-resume under `Auto *)
+  let d_batch = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d_batch) @@ fun () ->
+  let root = Store.open_root ~dir:d_batch in
+  let s = open_exn ~chunk_size:8 root ~key ~runs:32 ~resilient:false in
+  let fail_after_two i =
+    if i >= 16 then failwith "injected crash mid-batch" else awkward i
+  in
+  (* `Batch 2 on 8-run chunks: the first fan-out covers runs [0,16) and
+     persists both chunks at its barrier; the second fan-out crashes before
+     persisting anything, so exactly one whole batch survives. *)
+  (match Store.collect s ~jobs:1 ~dispatch:(`Batch 2) ~phase:"collect_det" 32 fail_after_two with
+  | _ -> Alcotest.fail "expected the injected crash"
+  | exception Failure _ -> Store.close s);
+  let r = open_exn ~chunk_size:8 ~resume:true root ~key ~runs:32 ~resilient:false in
+  Alcotest.(check int) "crash loses at most one batch" 16
+    (Store.cached_runs r ~phase:"collect_det");
+  let resumed = Store.collect r ~jobs:4 ~dispatch:`Auto ~phase:"collect_det" 32 awkward in
+  Store.close r;
+  check_bits "batched crash + auto resume == cold" reference resumed
+
+let test_batch_of_cost () =
+  let pick chunk_ns = Repro_parallel.batch_of_cost ~chunk_ns ~target_ns:50_000_000L in
+  Alcotest.(check int) "50ms chunk -> 1" 1 (pick 50_000_000L);
+  Alcotest.(check int) "30ms chunk -> 2" 2 (pick 30_000_000L);
+  Alcotest.(check int) "10ms chunk -> 8" 8 (pick 10_000_000L);
+  Alcotest.(check int) "1ms chunk -> 64" 64 (pick 1_000_000L);
+  Alcotest.(check int) "1ns chunk caps at the grid max" 64 (pick 1L);
+  Alcotest.(check int) "non-positive cost clamps to 1ns" 64 (pick 0L);
+  match Repro_parallel.batch_of_cost ~chunk_ns:1L ~target_ns:0L with
+  | _ -> Alcotest.fail "target_ns < 1 must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "store"
     [
@@ -827,6 +993,7 @@ let () =
         [
           Alcotest.test_case "floats bit-exact" `Quick test_roundtrip_bit_exact;
           Alcotest.test_case "attempt trails" `Quick test_trails_roundtrip;
+          Alcotest.test_case "f64 binary codec" `Quick test_f64_codec;
         ] );
       ( "guards",
         [ Alcotest.test_case "session guards" `Quick test_session_guards ] );
@@ -855,13 +1022,15 @@ let () =
       ( "inspect",
         [
           Alcotest.test_case "ls statuses and gc" `Quick test_ls_statuses_and_gc;
+          Alcotest.test_case "index sidecar" `Quick test_index_sidecar;
           Alcotest.test_case "tail corruption keeps prefix" `Quick
             test_tail_corruption_keeps_prefix;
         ] );
       ( "integrity",
         [
           Alcotest.test_case "bit flip detected" `Quick test_bit_flip_detected;
-          Alcotest.test_case "store/v1 read compatibility" `Quick test_v1_read_compat;
+          Alcotest.test_case "legacy schema read compatibility" `Quick
+            test_legacy_read_compat;
           Alcotest.test_case "foreign record detected" `Quick
             test_foreign_record_detected;
           Alcotest.test_case "fsync'd session round-trips" `Quick test_sync_roundtrip;
@@ -875,6 +1044,12 @@ let () =
           Alcotest.test_case "quarantine + graceful degradation" `Quick
             test_merge_quarantines_and_degrades;
           Alcotest.test_case "merge crash safety" `Quick test_merge_crash_safety;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "dispatch modes are sample-identical" `Quick
+            test_dispatch_identity;
+          Alcotest.test_case "cost-to-batch grid rounding" `Quick test_batch_of_cost;
         ] );
       ( "export",
         [ Alcotest.test_case "export round-trip" `Quick test_export_roundtrip ] );
